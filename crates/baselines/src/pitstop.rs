@@ -1,0 +1,352 @@
+//! Pitstop \[13\]: a virtual-network-free NoC via NI pit lanes.
+//!
+//! Pitstop removes both deadlock types with **0 VNs** by letting blocked
+//! packets pull into a *pit lane* at the local network interface and be
+//! transported NI-to-NI to their destination, bypassing the clogged
+//! router buffers (no misrouting, unlike DRAIN). To bound the NI storage
+//! and wiring, only **one message class at a time** may use the pit
+//! lanes (rotating on a TDM period), and the bypass transports one
+//! packet at a time — the serialization that makes Pitstop's resolution
+//! latency grow with network size (Table I footnote, §V-B), which
+//! FastPass's concurrent per-partition lanes avoid.
+
+use noc_core::packet::{MessageClass, PacketId, CLASSES};
+use noc_core::topology::{NodeId, Port, NUM_PORTS};
+use noc_sim::network::NetworkCore;
+use noc_sim::ni::EjectEntry;
+use noc_sim::regular::{advance, AdvanceCtx};
+use noc_sim::routing::FullyAdaptive;
+use noc_sim::scheme::{Scheme, SchemeProperties};
+use std::collections::VecDeque;
+
+/// Tunables for [`Pitstop`].
+#[derive(Debug, Clone, Copy)]
+pub struct PitstopConfig {
+    /// Cycles each message class owns the pit lanes.
+    pub class_period: u64,
+    /// Pit capacity per node, in packets.
+    pub pit_capacity: usize,
+    /// Blocked time before a packet may pull into the pit.
+    pub threshold: u64,
+}
+
+impl Default for PitstopConfig {
+    fn default() -> Self {
+        PitstopConfig {
+            class_period: 256,
+            pit_capacity: 4,
+            threshold: 128,
+        }
+    }
+}
+
+/// A packet in the NI-to-NI bypass.
+#[derive(Debug, Clone, Copy)]
+struct BypassTransit {
+    pkt: PacketId,
+    dst: NodeId,
+    arrival: u64,
+}
+
+/// The Pitstop baseline (implements [`Scheme`]).
+#[derive(Debug)]
+pub struct Pitstop {
+    cfg: PitstopConfig,
+    routing: FullyAdaptive,
+    pits: Vec<VecDeque<PacketId>>,
+    /// The single serialized bypass channel (one packet at a time).
+    transit: Option<BypassTransit>,
+    /// Round-robin dispatch pointer over nodes.
+    dispatch_rr: usize,
+    /// Packets absorbed into pits (diagnostics).
+    pub absorbed: u64,
+    /// Packets delivered over the bypass (diagnostics).
+    pub bypassed: u64,
+}
+
+impl Pitstop {
+    /// Creates the scheme for `nodes` nodes.
+    pub fn new(nodes: usize, seed: u64, cfg: PitstopConfig) -> Self {
+        Pitstop {
+            cfg,
+            routing: FullyAdaptive::new(seed ^ 0x9175_0907),
+            pits: vec![VecDeque::new(); nodes],
+            transit: None,
+            dispatch_rr: 0,
+            absorbed: 0,
+            bypassed: 0,
+        }
+    }
+
+    /// The message class currently owning the pit lanes.
+    pub fn active_class(&self, cycle: u64) -> MessageClass {
+        CLASSES[((cycle / self.cfg.class_period) % CLASSES.len() as u64) as usize]
+    }
+
+    /// Pit occupancy that counts against the absorption capacity:
+    /// packets still needing transport. Packets that already landed at
+    /// their destination sit in delivered-side NI storage and do not
+    /// block further absorption.
+    fn pit_load(&self, core: &NetworkCore, node: NodeId) -> usize {
+        self.pits[node.index()]
+            .iter()
+            .filter(|&&pkt| core.store.get(pkt).dst != node)
+            .count()
+    }
+
+    /// Absorb: one long-blocked packet of the active class per router
+    /// per cycle may pull into the local pit — from the head of the
+    /// class's injection queue (the NI-side pit entrance) or from a
+    /// router input buffer.
+    fn absorb(&mut self, core: &mut NetworkCore) {
+        let now = core.cycle();
+        let active = self.active_class(now);
+        let vcs = core.cfg().vcs_per_port();
+        let nodes: Vec<NodeId> = core.nodes_rotating().collect();
+        for node in nodes {
+            if self.pit_load(core, node) >= self.cfg.pit_capacity {
+                continue;
+            }
+            // NI-side entrance: a head packet stuck in the injection
+            // queue of the active class joins the pit directly.
+            if let Some(pkt) = core.ni(node).inj_head(active) {
+                if core.store.get(pkt).gen_cycle + self.cfg.threshold <= now {
+                    core.ni_mut(node).pop_inj(active);
+                    if core.store.get(pkt).inject_cycle.is_none() {
+                        core.store.get_mut(pkt).inject_cycle = Some(now);
+                    }
+                    self.pits[node.index()].push_back(pkt);
+                    self.absorbed += 1;
+                    continue;
+                }
+            }
+            'found: for p in 0..NUM_PORTS {
+                for vc in 0..vcs {
+                    let Some(occ) = core.router(node).inputs[p].vc(vc).occupant() else {
+                        continue;
+                    };
+                    if !occ.quiescent()
+                        || occ.route.is_some()
+                        || occ.out_vc.is_some()
+                        || occ.blocked_for(now) < self.cfg.threshold
+                    {
+                        continue;
+                    }
+                    if core.store.get(occ.pkt).class != active {
+                        continue;
+                    }
+                    let pkt = core.take_vc_packet(node, Port::from_index(p), vc);
+                    self.pits[node.index()].push_back(pkt);
+                    self.absorbed += 1;
+                    break 'found;
+                }
+            }
+        }
+    }
+
+    /// Dispatch: when the bypass channel is idle, the next pit packet of
+    /// the active class (round-robin over nodes) enters NI-to-NI transit;
+    /// transit time models hop-by-hop store-and-forward through the
+    /// interface bypass (2 cycles/hop + serialization). Packets already
+    /// at their destination's pit are handled by [`local_eject`] instead.
+    ///
+    /// [`local_eject`]: Self::local_eject
+    fn dispatch(&mut self, core: &mut NetworkCore) {
+        if self.transit.is_some() {
+            return;
+        }
+        let now = core.cycle();
+        let active = self.active_class(now);
+        let n = self.pits.len();
+        for k in 0..n {
+            let i = (self.dispatch_rr + k) % n;
+            let Some(pos) = self.pits[i].iter().position(|&pkt| {
+                let p = core.store.get(pkt);
+                p.class == active && p.dst != NodeId::new(i)
+            }) else {
+                continue;
+            };
+            let pkt = self.pits[i].remove(pos).unwrap();
+            let p = core.store.get(pkt);
+            let dst = p.dst;
+            let len = p.len_flits as u64;
+            let hops = core.mesh().hops(NodeId::new(i), dst) as u64;
+            self.dispatch_rr = (i + 1) % n;
+            self.transit = Some(BypassTransit {
+                pkt,
+                dst,
+                arrival: now + 2 * hops + len,
+            });
+            core.store.get_mut(pkt).hops += hops as u32;
+            return;
+        }
+    }
+
+    /// Complete a transit whose packet has arrived: it lands in the
+    /// destination's pit (NI storage; may transiently exceed the
+    /// absorption capacity so the shared channel never blocks) and is
+    /// ejected locally from there.
+    fn land(&mut self, core: &mut NetworkCore) {
+        let now = core.cycle();
+        let Some(t) = self.transit else { return };
+        if now < t.arrival {
+            return;
+        }
+        let _ = core;
+        self.pits[t.dst.index()].push_back(t.pkt);
+        self.bypassed += 1;
+        self.transit = None;
+    }
+
+    /// Pit packets that are at their destination move into the local
+    /// ejection queue as space appears (one per node per cycle).
+    fn local_eject(&mut self, core: &mut NetworkCore) {
+        let now = core.cycle();
+        for i in 0..self.pits.len() {
+            let node = NodeId::new(i);
+            let Some(pos) = self.pits[i].iter().position(|&pkt| {
+                let p = core.store.get(pkt);
+                p.dst == node && core.ni(node).ej_can_accept(p.class, pkt)
+            }) else {
+                continue;
+            };
+            let pkt = self.pits[i].remove(pos).unwrap();
+            let class = core.store.get(pkt).class;
+            core.ni_mut(node).ej_begin(class, pkt);
+            let ready = now + core.cfg().ni_consume_cycles;
+            core.store.get_mut(pkt).eject_cycle = Some(now);
+            core.ni_mut(node).ej_commit(class, EjectEntry { pkt, ready });
+        }
+    }
+}
+
+impl Scheme for Pitstop {
+    fn name(&self) -> &'static str {
+        "Pitstop"
+    }
+
+    fn properties(&self) -> SchemeProperties {
+        // Table I, row Pitstop: everything except high throughput and
+        // scalability (single class, single bypass at a time).
+        SchemeProperties {
+            no_detection: true,
+            protocol_deadlock_freedom: true,
+            network_deadlock_freedom: true,
+            full_path_diversity: true,
+            high_throughput: false,
+            low_power: true,
+            scalable: false,
+            no_misrouting: true,
+        }
+    }
+
+    fn required_vns(&self) -> usize {
+        0
+    }
+
+    fn step(&mut self, core: &mut NetworkCore) {
+        self.land(core);
+        self.local_eject(core);
+        self.absorb(core);
+        self.dispatch(core);
+        advance(core, &mut self.routing, &AdvanceCtx::default());
+    }
+
+    fn overlay_packets(&self) -> usize {
+        self.pits.iter().map(|p| p.len()).sum::<usize>() + usize::from(self.transit.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::config::SimConfig;
+    use noc_sim::Simulation;
+    use traffic::{SyntheticPattern, SyntheticWorkload};
+
+    fn cfg() -> SimConfig {
+        SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).seed(6).build()
+    }
+
+    #[test]
+    fn class_rotation_covers_all() {
+        let p = Pitstop::new(16, 1, PitstopConfig::default());
+        let period = PitstopConfig::default().class_period;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..6u64 {
+            seen.insert(p.active_class(k * period));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn survives_saturation_with_zero_vns() {
+        let sim_cfg = SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).seed(6).build();
+        let n = sim_cfg.mesh.num_nodes();
+        let mut sim = Simulation::new(
+            sim_cfg,
+            Box::new(Pitstop::new(n, 1, PitstopConfig::default())),
+            Box::new(SyntheticWorkload::new(SyntheticPattern::Transpose, 0.7, 2)),
+        );
+        sim.run(40_000);
+        assert!(
+            sim.starvation_cycles() < 4_000,
+            "Pitstop wedged: {}",
+            sim.starvation_cycles()
+        );
+        assert!(sim.total_consumed() > 500);
+    }
+
+    #[test]
+    fn pits_absorb_and_bypass_conservatively() {
+        let sim_cfg = cfg();
+        let n = sim_cfg.mesh.num_nodes();
+        let mut core = NetworkCore::new(sim_cfg);
+        let mut pit = Pitstop::new(
+            n,
+            1,
+            PitstopConfig {
+                class_period: 64,
+                pit_capacity: 2,
+                threshold: 16,
+            },
+        );
+        let mut wl = SyntheticWorkload::new(SyntheticPattern::Transpose, 0.6, 2);
+        use noc_sim::Workload;
+        for _ in 0..20_000 {
+            wl.tick(&mut core);
+            pit.step(&mut core);
+            let now = core.cycle();
+            for node in core.mesh().nodes() {
+                for class in CLASSES {
+                    if core.ni(node).ej_consumable(class, now).is_some() {
+                        let e = core.ni_mut(node).pop_ej(class).unwrap();
+                        core.store.remove(e.pkt);
+                    }
+                }
+            }
+            core.advance_cycle();
+        }
+        assert!(pit.absorbed > 0, "saturation must trigger pit stops");
+        assert!(pit.bypassed > 0, "the bypass must deliver");
+        assert!(pit.bypassed <= pit.absorbed);
+        assert_eq!(
+            pit.absorbed - pit.bypassed,
+            pit.overlay_packets() as u64,
+            "pit accounting balances"
+        );
+    }
+
+    #[test]
+    fn quiet_network_never_pits() {
+        let sim_cfg = cfg();
+        let n = sim_cfg.mesh.num_nodes();
+        let mut sim = Simulation::new(
+            sim_cfg,
+            Box::new(Pitstop::new(n, 1, PitstopConfig::default())),
+            Box::new(SyntheticWorkload::new(SyntheticPattern::Uniform, 0.02, 2)),
+        );
+        sim.run(5_000);
+        assert!(sim.total_consumed() > 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! SPIN \[31\]: Synchronized Progress in Interconnection Networks.
+//!
+//! SPIN pairs fully-adaptive routing with timeout-based deadlock
+//! *detection*: a packet blocked past a threshold launches a probe that
+//! walks the dependency chain; if the probe returns (a cycle exists),
+//! every packet in the cycle moves forward one hop simultaneously — a
+//! "spin". Each packet moves through its desired output into the buffer
+//! vacated by the next, so spins are productive (no misrouting).
+//!
+//! The cost the paper highlights (and this model reproduces) is the
+//! probe round-trip: detection latency grows with the dependency-chain
+//! length, so SPIN pays heavily at saturation and scales poorly
+//! (Table I, Fig. 8).
+
+use noc_sim::network::NetworkCore;
+use noc_sim::regular::{advance, AdvanceCtx};
+use noc_sim::routing::FullyAdaptive;
+use noc_sim::scheme::{Scheme, SchemeProperties};
+use noc_sim::waitgraph::{rotate_cycle, WaitGraph};
+
+/// Tunables for [`Spin`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpinConfig {
+    /// Cycles a packet must be blocked before counting as suspected
+    /// (Table II: 128).
+    pub detection_threshold: u64,
+    /// Cycles between suspicion scans.
+    pub check_interval: u64,
+}
+
+impl Default for SpinConfig {
+    fn default() -> Self {
+        SpinConfig {
+            detection_threshold: 128,
+            check_interval: 16,
+        }
+    }
+}
+
+/// The SPIN baseline (implements [`Scheme`]).
+#[derive(Debug)]
+pub struct Spin {
+    cfg: SpinConfig,
+    routing: FullyAdaptive,
+    /// An outstanding probe: the cycle its round trip completes.
+    probe_due: Option<u64>,
+    /// Spins performed (diagnostics).
+    pub spins: u64,
+    /// Probes launched (diagnostics).
+    pub probes: u64,
+}
+
+impl Spin {
+    /// Creates the scheme.
+    pub fn new(seed: u64, cfg: SpinConfig) -> Self {
+        Spin {
+            cfg,
+            routing: FullyAdaptive::new(seed ^ 0x5917),
+            probe_due: None,
+            spins: 0,
+            probes: 0,
+        }
+    }
+
+    fn any_suspect(&self, core: &NetworkCore) -> bool {
+        let now = core.cycle();
+        let vcs = core.cfg().vcs_per_port();
+        core.mesh().nodes().any(|n| {
+            let router = core.router(n);
+            (0..noc_core::topology::NUM_PORTS).any(|p| {
+                (0..vcs).any(|vc| {
+                    router.inputs[p]
+                        .vc(vc)
+                        .occupant()
+                        .is_some_and(|o| {
+                            o.route.is_none()
+                                && o.quiescent()
+                                && o.blocked_for(now) >= self.cfg.detection_threshold
+                        })
+                })
+            })
+        })
+    }
+
+    /// The probe's modelled round-trip latency: proportional to the
+    /// network's diameter (the probe walks the dependency chain and
+    /// back).
+    fn probe_latency(core: &NetworkCore) -> u64 {
+        (2 * core.mesh().diameter()) as u64
+    }
+}
+
+impl Scheme for Spin {
+    fn name(&self) -> &'static str {
+        "SPIN"
+    }
+
+    fn properties(&self) -> SchemeProperties {
+        // Table I, row SPIN: requires detection, no protocol freedom,
+        // full path diversity, poor scalability.
+        SchemeProperties {
+            no_detection: false,
+            protocol_deadlock_freedom: false,
+            network_deadlock_freedom: true,
+            full_path_diversity: true,
+            high_throughput: false,
+            low_power: false,
+            scalable: false,
+            no_misrouting: true,
+        }
+    }
+
+    fn required_vns(&self) -> usize {
+        6
+    }
+
+    fn step(&mut self, core: &mut NetworkCore) {
+        let cycle = core.cycle();
+        match self.probe_due {
+            None => {
+                if cycle.is_multiple_of(self.cfg.check_interval) && self.any_suspect(core) {
+                    self.probe_due = Some(cycle + Self::probe_latency(core));
+                    self.probes += 1;
+                }
+            }
+            Some(due) if cycle >= due => {
+                self.probe_due = None;
+                // Probe returned: rebuild the dependency graph and spin
+                // the first confirmed cycle.
+                let graph = WaitGraph::build(core, &self.routing, self.cfg.detection_threshold);
+                let found = (0..graph.len()).find_map(|v| graph.find_cycle_from(v));
+                if let Some(cycle_verts) = found {
+                    rotate_cycle(core, &graph, &cycle_verts);
+                    self.spins += 1;
+                }
+            }
+            Some(_) => {}
+        }
+        advance(core, &mut self.routing, &AdvanceCtx::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::config::SimConfig;
+    use noc_sim::Simulation;
+    use traffic::{SyntheticPattern, SyntheticWorkload};
+
+    fn cfg(vcs: usize) -> SimConfig {
+        SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(vcs).seed(8).build()
+    }
+
+    #[test]
+    fn survives_saturation_with_adaptive_routing() {
+        // Fully-adaptive + tiny VC budget is the deadlock-prone corner;
+        // SPIN must keep the network moving.
+        let sim_cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(1)
+            .seed(8)
+            .build();
+        let mut sim = Simulation::new(
+            sim_cfg,
+            Box::new(Spin::new(1, SpinConfig::default())),
+            Box::new(SyntheticWorkload::new(SyntheticPattern::Transpose, 0.7, 2)),
+        );
+        sim.run(40_000);
+        assert!(
+            sim.starvation_cycles() < 4_000,
+            "SPIN wedged: starved {} cycles",
+            sim.starvation_cycles()
+        );
+        assert!(sim.total_consumed() > 500);
+    }
+
+    #[test]
+    fn no_probes_at_low_load() {
+        let mut core = NetworkCore::new(cfg(2));
+        let mut spin = Spin::new(1, SpinConfig::default());
+        let mut wl = SyntheticWorkload::new(SyntheticPattern::Uniform, 0.02, 2);
+        use noc_sim::Workload;
+        for _ in 0..3_000 {
+            wl.tick(&mut core);
+            spin.step(&mut core);
+            let now = core.cycle();
+            for n in core.mesh().nodes() {
+                for class in noc_core::packet::CLASSES {
+                    if core.ni(n).ej_consumable(class, now).is_some() {
+                        let e = core.ni_mut(n).pop_ej(class).unwrap();
+                        core.store.remove(e.pkt);
+                    }
+                }
+            }
+            core.advance_cycle();
+        }
+        assert_eq!(spin.probes, 0, "no suspicion at trivial load");
+        assert_eq!(spin.spins, 0);
+    }
+
+    #[test]
+    fn probe_latency_scales_with_size() {
+        let small = NetworkCore::new(cfg(2));
+        let big = NetworkCore::new(
+            SimConfig::builder().mesh(8, 8).vns(6).vcs_per_vn(2).build(),
+        );
+        assert!(Spin::probe_latency(&big) > Spin::probe_latency(&small));
+    }
+}

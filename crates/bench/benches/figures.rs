@@ -1,0 +1,58 @@
+//! Criterion-wrapped miniature versions of the paper's figure kernels,
+//! so `cargo bench` exercises every experiment path end-to-end with
+//! statistically tracked runtimes. Full-scale figure regeneration lives
+//! in the `fig*` binaries (`cargo run --release -p bench --bin fig7`).
+
+use bench::{runner::sweep, SchemeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_power::fig11_configs;
+use noc_sim::Simulation;
+use std::hint::black_box;
+use traffic::{AppModel, SyntheticPattern};
+
+fn fig7_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_kernel_one_point");
+    group.sample_size(10);
+    for id in [SchemeId::FastPass, SchemeId::EscapeVc, SchemeId::Spin] {
+        group.bench_function(id.name(), |b| {
+            b.iter(|| {
+                let r = sweep(
+                    id,
+                    SyntheticPattern::Transpose,
+                    &[0.10],
+                    4,
+                    4,
+                    300,
+                    700,
+                    41,
+                );
+                black_box(r.points[0].avg_latency)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig10_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_kernel_app_quota");
+    group.sample_size(10);
+    group.bench_function("fastpass_fft_4x4", |b| {
+        b.iter(|| {
+            let cfg = SchemeId::FastPass.sim_config(4, 2, 43);
+            let scheme = SchemeId::FastPass.build(&cfg, 43);
+            let wl = AppModel::Fft.workload(16, Some(5));
+            let mut sim = Simulation::new(cfg, scheme, Box::new(wl));
+            black_box(sim.run(50_000))
+        });
+    });
+    group.finish();
+}
+
+fn fig11_kernel(c: &mut Criterion) {
+    c.bench_function("fig11_power_model", |b| {
+        b.iter(|| black_box(fig11_configs().len()));
+    });
+}
+
+criterion_group!(benches, fig7_kernel, fig10_kernel, fig11_kernel);
+criterion_main!(benches);

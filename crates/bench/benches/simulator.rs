@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the simulator substrate: per-cycle cost
+//! of each scheme at a fixed moderate load (8×8 mesh). These quantify
+//! the simulation cost of each mechanism (FastPass's TDM bookkeeping,
+//! SPIN's scans, MinBD's flit sorting…), not the schemes' NoC
+//! performance — that is what the `fig*` binaries measure.
+
+use bench::{runner::make_sim, ALL_SCHEMES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traffic::SyntheticPattern;
+
+fn scheme_step_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_step_8x8_rate0.10");
+    group.sample_size(10);
+    for id in ALL_SCHEMES {
+        group.bench_function(id.name(), |b| {
+            // One warm simulation per scheme; measure batches of cycles.
+            let mut sim = make_sim(id, SyntheticPattern::Uniform, 0.10, 8, 4, 31);
+            sim.run(2_000); // warm up into steady state
+            b.iter(|| {
+                sim.run(100);
+                black_box(sim.core.cycle())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn substrate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpass_cycles_by_size");
+    group.sample_size(10);
+    for size in [4usize, 8, 16] {
+        group.bench_function(format!("{size}x{size}"), |b| {
+            let mut sim = make_sim(
+                bench::SchemeId::FastPass,
+                SyntheticPattern::Uniform,
+                0.05,
+                size,
+                2,
+                33,
+            );
+            sim.run(500);
+            b.iter(|| {
+                sim.run(50);
+                black_box(sim.core.cycle())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheme_step_cost, substrate_scaling);
+criterion_main!(benches);

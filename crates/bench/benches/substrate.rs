@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of substrate primitives: lane
+//! verification, wait-graph analysis, the structural audit and the TDM
+//! schedule arithmetic. These bound the bookkeeping costs a FastPass
+//! implementation adds on top of plain simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastpass::lane::{lane_footprint, verify_slot_disjoint};
+use fastpass::TdmSchedule;
+use noc_core::config::SimConfig;
+use noc_core::packet::{MessageClass, Packet};
+use noc_core::rng::DetRng;
+use noc_core::topology::{Mesh, NodeId};
+use noc_sim::network::NetworkCore;
+use noc_sim::regular::{advance, AdvanceCtx};
+use noc_sim::routing::FullyAdaptive;
+use noc_sim::waitgraph::WaitGraph;
+use std::hint::black_box;
+
+/// A congested 8×8 network for analysis benches.
+fn congested_core() -> (NetworkCore, FullyAdaptive) {
+    let mut core = NetworkCore::new(
+        SimConfig::builder().mesh(8, 8).vns(0).vcs_per_vn(2).seed(3).build(),
+    );
+    let mut policy = FullyAdaptive::new(5);
+    let mut rng = DetRng::new(9);
+    for cycle in 0..800u64 {
+        for src in 0..64 {
+            if rng.chance(0.25) {
+                let mut dst = rng.range(0, 63);
+                if dst >= src {
+                    dst += 1;
+                }
+                core.generate(Packet::new(
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    MessageClass::Request,
+                    1 + (cycle % 5) as u8,
+                    cycle,
+                ));
+            }
+        }
+        advance(&mut core, &mut policy, &AdvanceCtx::default());
+        core.advance_cycle();
+    }
+    (core, policy)
+}
+
+fn lane_verification(c: &mut Criterion) {
+    let mesh = Mesh::new(8, 8);
+    let sched = TdmSchedule::new(mesh, 4);
+    c.bench_function("verify_slot_disjoint_8x8", |b| {
+        b.iter(|| verify_slot_disjoint(mesh, sched, black_box(560)).is_ok())
+    });
+    c.bench_function("lane_footprint_8x8", |b| {
+        b.iter(|| black_box(lane_footprint(mesh, mesh.node(3, 1), 6).len()))
+    });
+}
+
+fn waitgraph_analysis(c: &mut Criterion) {
+    let (core, policy) = congested_core();
+    c.bench_function("waitgraph_build_congested_8x8", |b| {
+        b.iter(|| {
+            let g = WaitGraph::build(&core, &policy, 0);
+            black_box(g.len())
+        })
+    });
+    let g = WaitGraph::build(&core, &policy, 0);
+    if !g.is_empty() {
+        c.bench_function("waitgraph_cycle_search", |b| {
+            b.iter(|| black_box(g.find_cycle_from(0).is_some()))
+        });
+    }
+}
+
+fn structural_audit(c: &mut Criterion) {
+    let (core, _) = congested_core();
+    c.bench_function("audit_congested_8x8", |b| {
+        b.iter(|| black_box(noc_sim::audit::audit(&core).len()))
+    });
+}
+
+fn schedule_math(c: &mut Criterion) {
+    let sched = TdmSchedule::new(Mesh::new(16, 16), 4);
+    c.bench_function("tdm_slot_info", |b| {
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle = cycle.wrapping_add(17);
+            black_box(sched.slot_info(cycle).slot)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    lane_verification,
+    waitgraph_analysis,
+    structural_audit,
+    schedule_math
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablation study of FastPass design choices (beyond the paper's own
+//! figures):
+//!
+//! * **lane pipelining** — depth 1 is the paper's literal "one
+//!   FastPass-Packet per lane"; deeper pipelines are this
+//!   implementation's provably-collision-free generalization;
+//! * **slot length K** — the paper fixes `K = 2·hops·inputs·VCs` (Qn5);
+//!   shorter slots rotate lanes faster (fresher coverage) but waste more
+//!   budget tail, longer slots amortize better;
+//! * **VCs per input buffer** — the paper's own 1/2/4 knob (Fig. 10's
+//!   FastPass rows).
+
+use bench::{emit_json, env_u64, SchemeId};
+use fastpass::{FastPass, FastPassConfig, TdmSchedule};
+use noc_sim::Simulation;
+use serde::Serialize;
+use traffic::{SyntheticPattern, SyntheticWorkload};
+
+#[derive(Serialize)]
+struct AblationRow {
+    knob: String,
+    value: String,
+    avg_latency: f64,
+    throughput: f64,
+    fastpass_fraction: f64,
+    dropped_fraction: f64,
+}
+
+fn run(
+    vcs: usize,
+    fp_cfg: FastPassConfig,
+    rate: f64,
+    warmup: u64,
+    measure: u64,
+) -> (f64, f64, f64, f64) {
+    let cfg = SchemeId::FastPass.sim_config(8, vcs, 51);
+    let scheme = FastPass::new(&cfg, fp_cfg);
+    let wl = SyntheticWorkload::new(SyntheticPattern::Transpose, rate, 13);
+    let mut sim = Simulation::new(cfg, Box::new(scheme), Box::new(wl));
+    let stats = sim.run_windows(warmup, measure);
+    (
+        stats.avg_latency(),
+        stats.throughput_packets(),
+        stats.fastpass_fraction(),
+        stats.dropped_fraction(),
+    )
+}
+
+fn main() {
+    let warmup = env_u64("FP_WARMUP", 4_000);
+    let measure = env_u64("FP_MEASURE", 12_000);
+    let rate = 0.12; // near the knee: mechanisms differentiate here
+    let mut rows = Vec::new();
+    println!("== FastPass ablations (8x8, transpose @ {rate}) ==");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "knob", "value", "latency", "thpt", "fp frac", "dropped"
+    );
+
+    for depth in [1usize, 2, 4, 8] {
+        let (lat, thpt, fpf, drp) = run(
+            4,
+            FastPassConfig {
+                pipeline_depth: depth,
+                ..FastPassConfig::default()
+            },
+            rate,
+            warmup,
+            measure,
+        );
+        println!("{:<16} {:>8} {:>10.1} {:>10.4} {:>8.3} {:>8.4}", "pipeline", depth, lat, thpt, fpf, drp);
+        rows.push(AblationRow {
+            knob: "pipeline_depth".into(),
+            value: depth.to_string(),
+            avg_latency: lat,
+            throughput: thpt,
+            fastpass_fraction: fpf,
+            dropped_fraction: drp,
+        });
+    }
+
+    let mesh = noc_core::topology::Mesh::new(8, 8);
+    let paper_k = TdmSchedule::paper_slot_cycles(mesh, 4);
+    for k in [
+        TdmSchedule::min_slot_cycles(mesh) * 2,
+        paper_k / 2,
+        paper_k,
+        paper_k * 2,
+    ] {
+        let (lat, thpt, fpf, drp) = run(
+            4,
+            FastPassConfig {
+                slot_cycles: Some(k),
+                ..FastPassConfig::default()
+            },
+            rate,
+            warmup,
+            measure,
+        );
+        let label = if k == paper_k { format!("{k} (paper)") } else { k.to_string() };
+        println!("{:<16} {:>8} {:>10.1} {:>10.4} {:>8.3} {:>8.4}", "slot_cycles", label, lat, thpt, fpf, drp);
+        rows.push(AblationRow {
+            knob: "slot_cycles".into(),
+            value: label,
+            avg_latency: lat,
+            throughput: thpt,
+            fastpass_fraction: fpf,
+            dropped_fraction: drp,
+        });
+    }
+
+    for vcs in [1usize, 2, 4] {
+        let (lat, thpt, fpf, drp) = run(vcs, FastPassConfig::default(), rate, warmup, measure);
+        println!("{:<16} {:>8} {:>10.1} {:>10.4} {:>8.3} {:>8.4}", "vcs_per_port", vcs, lat, thpt, fpf, drp);
+        rows.push(AblationRow {
+            knob: "vcs_per_port".into(),
+            value: vcs.to_string(),
+            avg_latency: lat,
+            throughput: thpt,
+            fastpass_fraction: fpf,
+            dropped_fraction: drp,
+        });
+    }
+
+    let path = emit_json("ablation", &rows).expect("write results");
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! Fig. 12: 99th-percentile tail latency on application traffic
+//! (log scale in the paper), five schemes.
+//!
+//! Expected shape (paper): FastPass(0VN,2VC) has the lowest tail —
+//! multiple concurrent FastPass-Lanes bypass congested regions — and
+//! DRAIN the worst (wholesale misrouting during drains).
+
+use bench::{emit_json, env_u64, SchemeId};
+use noc_sim::Simulation;
+use serde::Serialize;
+use traffic::AppModel;
+
+#[derive(Serialize)]
+struct Fig12Cell {
+    app: String,
+    scheme: String,
+    p99_latency: u64,
+}
+
+fn main() {
+    let size = env_u64("FP_SIZE", 8) as usize;
+    let warmup = env_u64("FP_WARMUP", 10_000);
+    let measure = env_u64("FP_MEASURE", 40_000);
+    let schemes = [
+        SchemeId::Spin,
+        SchemeId::Swap,
+        SchemeId::Drain,
+        SchemeId::Pitstop,
+        SchemeId::FastPass,
+    ];
+    let mut cells = Vec::new();
+    println!("== Fig. 12 — 99th percentile packet latency (cycles) ==");
+    print!("{:<14}", "app");
+    for id in schemes {
+        print!("{:>10}", id.name());
+    }
+    println!();
+    for app in AppModel::FIG12 {
+        print!("{:<14}", app.name());
+        for id in schemes {
+            let cfg = id.sim_config(size, 2, 17);
+            let nodes = cfg.mesh.num_nodes();
+            let scheme = id.build(&cfg, 17);
+            let workload = app.workload(nodes, None);
+            let mut sim = Simulation::new(cfg, scheme, Box::new(workload));
+            let mut stats = sim.run_windows(warmup, measure);
+            let p99 = stats.latency.percentile(99.0).unwrap_or(0);
+            print!("{p99:>10}");
+            cells.push(Fig12Cell {
+                app: app.name().to_string(),
+                scheme: id.name().to_string(),
+                p99_latency: p99,
+            });
+        }
+        println!();
+    }
+    // Geometric-mean summary across apps per scheme.
+    println!("\ngeometric mean across apps:");
+    for id in schemes {
+        let vals: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.scheme == id.name() && c.p99_latency > 0)
+            .map(|c| (c.p99_latency as f64).ln())
+            .collect();
+        let gm = (vals.iter().sum::<f64>() / vals.len() as f64).exp();
+        println!("  {:<10} {gm:>10.1}", id.name());
+    }
+    let path = emit_json("fig12", &cells).expect("write results");
+    println!("JSON written to {}", path.display());
+}

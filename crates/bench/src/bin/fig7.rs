@@ -1,0 +1,72 @@
+//! Fig. 7: average packet latency vs. injection rate for synthetic
+//! traffic on an 8×8 mesh — Transpose, Shuffle and Bit-rotation panels
+//! plus the Uniform data series, all eight schemes.
+//!
+//! FastPass runs with 4 VCs per input buffer and 0 VNs; the VN-based
+//! baselines use 6 VNs × 2 VCs (Table II). Expected shape (paper):
+//! SPIN and TFC saturate first, then MinBD/EscapeVC, then the periodic
+//! schemes (SWAP/DRAIN/Pitstop), with FastPass sustaining ~1.8× SPIN/TFC
+//! and up to ~51% more than the periodic group.
+
+use bench::{emit_json, env_u64, runner::sweep, ALL_SCHEMES};
+use traffic::SyntheticPattern;
+
+fn main() {
+    let warmup = env_u64("FP_WARMUP", 5_000);
+    let measure = env_u64("FP_MEASURE", 15_000);
+    let size = env_u64("FP_SIZE", 8) as usize;
+    // The paper sweeps 0.02..0.46 with a mostly-1-flit mix; this
+    // substrate's 50/50 1-/5-flit mix shifts saturation to ~1/3 of those
+    // rates, so the sweep samples the same knee region proportionally.
+    let rates: Vec<f64> = (1..=12).map(|i| 0.015 * i as f64).collect();
+    let patterns = [
+        SyntheticPattern::Transpose,
+        SyntheticPattern::Shuffle,
+        SyntheticPattern::BitRotation,
+        SyntheticPattern::Uniform,
+    ];
+    let mut all = Vec::new();
+    for pattern in patterns {
+        println!("== Fig. 7 ({}) — avg latency vs injection rate ==", pattern.name());
+        print!("{:>6}", "rate");
+        for id in ALL_SCHEMES {
+            print!("{:>10}", id.name());
+        }
+        println!();
+        let results: Vec<_> = ALL_SCHEMES
+            .iter()
+            .map(|&id| sweep(id, pattern, &rates, size, 4, warmup, measure, 99))
+            .collect();
+        for (i, &rate) in rates.iter().enumerate() {
+            print!("{rate:>6.2}");
+            for r in &results {
+                let lat = r.points[i].avg_latency;
+                if lat.is_finite() && lat < 10_000.0 {
+                    print!("{lat:>10.1}");
+                } else {
+                    print!("{:>10}", "sat");
+                }
+            }
+            println!();
+        }
+        println!("saturation rates (first rate with latency > 3x zero-load):");
+        for r in &results {
+            println!("  {:<10} {:.2}", r.scheme, r.saturation_rate());
+        }
+        let fp = results.iter().find(|r| r.scheme == "FastPass").unwrap();
+        let spin = results.iter().find(|r| r.scheme == "SPIN").unwrap();
+        let swap = results.iter().find(|r| r.scheme == "SWAP").unwrap();
+        println!(
+            "  FastPass/SPIN saturation ratio: {:.2} (paper: ~1.8x)",
+            fp.saturation_rate() / spin.saturation_rate().max(1e-9)
+        );
+        println!(
+            "  FastPass/SWAP saturation ratio: {:.2} (paper: up to ~1.5x)",
+            fp.saturation_rate() / swap.saturation_rate().max(1e-9)
+        );
+        println!();
+        all.extend(results);
+    }
+    let path = emit_json("fig7", &all).expect("write results");
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,89 @@
+//! Fig. 8: saturation throughput as the network scales (4×4, 8×8,
+//! 16×16), Transpose traffic, 4 VCs for FastPass.
+//!
+//! Expected shape (paper): FastPass wins at every size and its margin
+//! *grows* with size (more partitions ⇒ more concurrent FastPass-Lanes):
+//! +17% over SWAP at 4×4, +67% at 8×8, +78% at 16×16. SPIN is lowest
+//! everywhere (detection latency scales with size).
+
+use bench::{emit_json, env_u64, runner::sweep, SchemeId};
+use serde::Serialize;
+use traffic::SyntheticPattern;
+
+#[derive(Serialize)]
+struct Fig8Row {
+    scheme: String,
+    size: usize,
+    saturation_throughput: f64,
+}
+
+fn main() {
+    let warmup = env_u64("FP_WARMUP", 4_000);
+    let measure = env_u64("FP_MEASURE", 10_000);
+    let schemes = [
+        SchemeId::Spin,
+        SchemeId::Swap,
+        SchemeId::Drain,
+        SchemeId::Pitstop,
+        SchemeId::FastPass,
+    ];
+    let sizes = [4usize, 8, 16];
+    let rates: Vec<f64> = (1..=12).map(|i| 0.02 * i as f64).collect();
+    let mut rows = Vec::new();
+    println!("== Fig. 8 — saturation throughput vs network size (transpose) ==");
+    print!("{:>6}", "size");
+    for id in schemes {
+        print!("{:>10}", id.name());
+    }
+    println!();
+    for size in sizes {
+        print!("{size:>4}x{size:<2}");
+        for id in schemes {
+            let r = sweep(
+                id,
+                SyntheticPattern::Transpose,
+                &rates,
+                size,
+                4,
+                warmup,
+                measure,
+                7,
+            );
+            // Accepted throughput at the saturation rate.
+            let sat = r.saturation_rate();
+            let thpt = r
+                .points
+                .iter()
+                .filter(|p| p.rate <= sat + 1e-9)
+                .map(|p| p.throughput)
+                .fold(0.0_f64, f64::max);
+            print!("{thpt:>10.3}");
+            rows.push(Fig8Row {
+                scheme: id.name().to_string(),
+                size,
+                saturation_throughput: thpt,
+            });
+        }
+        println!();
+    }
+    // Shape summary.
+    for size in sizes {
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.size == size && r.scheme == name)
+                .map(|r| r.saturation_throughput)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{size}x{size}: FastPass/SWAP = {:.2} (paper: {})",
+            get("FastPass") / get("SWAP"),
+            match size {
+                4 => "1.17",
+                8 => "1.67",
+                _ => "1.78",
+            }
+        );
+    }
+    let path = emit_json("fig8", &rows).expect("write results");
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! Diagnostic probe: accepted throughput and queue residency per scheme.
+//! Not part of the paper's figures; used to calibrate the substrate.
+
+use bench::{env_u64, runner::make_sim, ALL_SCHEMES};
+use traffic::SyntheticPattern;
+
+fn main() {
+    let warmup = env_u64("FP_WARMUP", 3_000);
+    let measure = env_u64("FP_MEASURE", 8_000);
+    let size = env_u64("FP_SIZE", 8) as usize;
+    let pattern = match std::env::var("FP_PATTERN").as_deref() {
+        Ok("uniform") => SyntheticPattern::Uniform,
+        Ok("shuffle") => SyntheticPattern::Shuffle,
+        _ => SyntheticPattern::Transpose,
+    };
+    println!("pattern={} size={size}", pattern.name());
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "scheme", "rate", "thpt", "lat", "gen", "sourceQ", "network", "fpfrac"
+    );
+    for id in ALL_SCHEMES {
+        for rate in [0.05, 0.10, 0.15, 0.20, 0.30] {
+            let mut sim = make_sim(id, pattern, rate, size, 4, 77);
+            let stats = sim.run_windows(warmup, measure);
+            let mesh = sim.core.mesh();
+            let source_q: usize = mesh.nodes().map(|n| sim.core.ni(n).source_depth()).sum();
+            let resident = sim.core.resident_packets() - source_q;
+            println!(
+                "{:<10} {:>6.2} {:>8.4} {:>8.1} {:>8} {:>9} {:>9} {:>8.3}",
+                id.name(),
+                rate,
+                stats.throughput_packets(),
+                stats.avg_latency(),
+                stats.generated,
+                source_q,
+                resident,
+                stats.fastpass_fraction(),
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Diagnostic: why does the 6-VN XY control wedge on the aggressive
+//! protocol workload? Dumps queue/buffer occupancy at the stall.
+
+use baselines::CreditVct;
+use noc_core::config::SimConfig;
+use noc_core::packet::CLASSES;
+use noc_core::topology::NUM_PORTS;
+use noc_sim::Simulation;
+use traffic::protocol::{ProtocolConfig, ProtocolWorkload};
+
+fn main() {
+    let cfg = SimConfig::builder()
+        .mesh(4, 4)
+        .vns(6)
+        .vcs_per_vn(1)
+        .ej_queue_packets(2)
+        .inj_queue_packets(2)
+        .seed(5)
+        .build();
+    let wl = ProtocolWorkload::new(
+        16,
+        ProtocolConfig {
+            mshrs: 12,
+            issue_prob: 0.8,
+            forward_fraction: 0.2,
+            writeback_fraction: 0.2,
+            locality: 0.0,
+            quota: Some(40),
+            home_backlog_limit: 2,
+            seed: 99,
+        },
+    );
+    let mut sim = Simulation::new(cfg, Box::new(CreditVct::xy(6)), Box::new(wl));
+    sim.run(20_000);
+    println!(
+        "cycle {} consumed {} starved {} in_flight {}",
+        sim.core.cycle(),
+        sim.total_consumed(),
+        sim.starvation_cycles(),
+        sim.in_flight()
+    );
+    let core = &sim.core;
+    for n in core.mesh().nodes() {
+        let ni = core.ni(n);
+        let mut row = format!("{n}: src {:>3} |", ni.source_depth());
+        for c in CLASSES {
+            row += &format!(" {}:inj{} ej{}", c, ni.inj_len(c), ni.ej_len(c));
+        }
+        let vcs = core.router(n).vcs_per_port();
+        let mut buf = 0;
+        let mut blocked = 0;
+        for p in 0..NUM_PORTS {
+            for vc in 0..vcs {
+                if let Some(occ) = core.router(n).inputs[p].vc(vc).occupant() {
+                    buf += 1;
+                    if occ.blocked_for(core.cycle()) > 1000 {
+                        blocked += 1;
+                    }
+                }
+            }
+        }
+        row += &format!(" | vcs {buf} blocked {blocked}");
+        println!("{row}");
+    }
+    // Per-class totals in VC buffers.
+    let mut per_class = [0usize; 6];
+    for n in core.mesh().nodes() {
+        let vcs = core.router(n).vcs_per_port();
+        for p in 0..NUM_PORTS {
+            for vc in 0..vcs {
+                if let Some(occ) = core.router(n).inputs[p].vc(vc).occupant() {
+                    per_class[core.store.get(occ.pkt).class.index()] += 1;
+                }
+            }
+        }
+    }
+    println!("buffered per class: {per_class:?}");
+}

@@ -1,0 +1,52 @@
+//! Table II: key simulation parameters, as configured in this
+//! reproduction (printed from the live defaults so drift is impossible).
+
+use bench::{SchemeId, ALL_SCHEMES};
+use fastpass::TdmSchedule;
+use noc_core::config::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::default();
+    println!("Table II: Key simulation parameters");
+    println!("{:<28} 4x4, 8x8, and 16x16 mesh", "Topology");
+    println!(
+        "{:<28} {}x{} (default)",
+        "Mesh",
+        cfg.mesh.width(),
+        cfg.mesh.height()
+    );
+    println!("{:<28} 1-cycle", "Router latency");
+    println!("{:<28} {} flits", "Buffer size per VC", cfg.buffer_flits);
+    println!("{:<28} 128 bits/cycle", "Link bandwidth");
+    let flow = "VCT, single packet per VC, 1- and 5-flit packets";
+    println!("{:<28} {flow}", "Flow control");
+    println!("{:<28} Uniform, Transpose, Shuffle, Bit-rotation", "Synthetic traffic");
+    println!();
+    println!("{:<10} {:>4} {:>10} {:>22}", "Scheme", "VNs", "VCs", "Routing");
+    for id in ALL_SCHEMES {
+        let (vcs, routing) = match id {
+            SchemeId::FastPass => ("1/2/4", "fully adaptive"),
+            SchemeId::EscapeVc => ("2", "escape: XY, rest adaptive"),
+            SchemeId::Tfc => ("2", "west-first + tokens"),
+            SchemeId::MinBd => ("-", "deflection"),
+            _ => ("2", "fully adaptive"),
+        };
+        println!("{:<10} {:>4} {:>10} {:>22}", id.name(), id.vns(), vcs, routing);
+    }
+    println!();
+    println!("FastPass TDM slot lengths (Qn5: 2 x hops x inputs x VCs):");
+    for (size, vcs) in [(4usize, 2usize), (8, 4), (16, 4)] {
+        let mesh = noc_core::topology::Mesh::new(size, size);
+        let k = TdmSchedule::paper_slot_cycles(mesh, vcs);
+        let sched = TdmSchedule::new(mesh, vcs);
+        println!(
+            "  {size:>2}x{size:<2} {vcs} VCs: K = {k} cycles, phase = {} cycles, full rotation = {} cycles",
+            sched.phase_cycles(),
+            sched.rotation_cycles()
+        );
+    }
+    println!();
+    println!("SPIN detection threshold: 128 cycles; SWAP duty: 1K cycles;");
+    println!("DRAIN period: 64K cycles (scaled to 8K in bench runs);");
+    println!("MOESI-Hammer-style protocol model: 6 message classes.");
+}

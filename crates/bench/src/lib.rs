@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `src/bin/figN.rs` / `tableN.rs` binary reproduces one artifact of
+//! the evaluation section; this library holds what they share — the
+//! scheme registry with Table II's per-scheme configurations, sweep
+//! runners, and plain-text/JSON emitters. Binaries honour these
+//! environment variables so quick runs and full runs use the same code:
+//!
+//! * `FP_WARMUP` / `FP_MEASURE` — cycles per window (defaults per binary);
+//! * `FP_OUT` — directory for JSON results (default `results/`).
+
+pub mod registry;
+pub mod runner;
+
+pub use registry::{SchemeId, ALL_SCHEMES};
+pub use runner::{emit_json, env_u64, LatencyPoint, SweepResult};

@@ -1,0 +1,172 @@
+//! Sweep runners and result emission.
+
+use crate::registry::SchemeId;
+use noc_sim::Simulation;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use traffic::{SyntheticPattern, SyntheticWorkload};
+
+/// Reads a `u64` knob from the environment with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One point of a latency-vs-injection-rate curve (Fig. 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Offered injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Average end-to-end packet latency (cycles).
+    pub avg_latency: f64,
+    /// Accepted throughput (packets/node/cycle).
+    pub throughput: f64,
+    /// Packets delivered in the measurement window.
+    pub delivered: u64,
+    /// Fraction delivered as FastPass-Packets (0 for baselines).
+    pub fastpass_fraction: f64,
+    /// Fraction of generated packets dropped (FastPass bubble).
+    pub dropped_fraction: f64,
+}
+
+/// A full sweep for one scheme on one pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Pattern name.
+    pub pattern: String,
+    /// Mesh edge length.
+    pub size: usize,
+    /// Points in rate order.
+    pub points: Vec<LatencyPoint>,
+}
+
+impl SweepResult {
+    /// The saturation rate: the first offered rate whose latency exceeds
+    /// `3 ×` the first point's latency (the standard definition used in
+    /// Figs. 7/8), or the last rate if it never saturates in range.
+    pub fn saturation_rate(&self) -> f64 {
+        let zero_load = self.points.first().map(|p| p.avg_latency).unwrap_or(0.0);
+        for w in self.points.windows(2) {
+            if w[1].avg_latency > 3.0 * zero_load || !w[1].avg_latency.is_finite() {
+                return w[0].rate;
+            }
+        }
+        self.points.last().map(|p| p.rate).unwrap_or(0.0)
+    }
+}
+
+/// Builds a fresh simulation for a scheme/pattern/rate triple at the
+/// Table II configuration.
+pub fn make_sim(
+    id: SchemeId,
+    pattern: SyntheticPattern,
+    rate: f64,
+    size: usize,
+    fp_vcs: usize,
+    seed: u64,
+) -> Simulation {
+    let cfg = id.sim_config(size, fp_vcs, seed);
+    let scheme = id.build(&cfg, seed);
+    let workload = SyntheticWorkload::new(pattern, rate, seed ^ 0x17AFF1C);
+    Simulation::new(cfg, scheme, Box::new(workload))
+}
+
+/// Runs a latency-vs-rate sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep(
+    id: SchemeId,
+    pattern: SyntheticPattern,
+    rates: &[f64],
+    size: usize,
+    fp_vcs: usize,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> SweepResult {
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let mut sim = make_sim(id, pattern, rate, size, fp_vcs, seed);
+        let stats = sim.run_windows(warmup, measure);
+        points.push(LatencyPoint {
+            rate,
+            avg_latency: stats.avg_latency(),
+            throughput: stats.throughput_packets(),
+            delivered: stats.delivered(),
+            fastpass_fraction: stats.fastpass_fraction(),
+            dropped_fraction: stats.dropped_fraction(),
+        });
+    }
+    SweepResult {
+        scheme: id.name().to_string(),
+        pattern: pattern.name().to_string(),
+        size,
+        points,
+    }
+}
+
+/// Writes a serializable result into `$FP_OUT/<name>.json` (default
+/// `results/`), creating the directory as needed. Returns the path.
+pub fn emit_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("FP_OUT").unwrap_or_else(|_| "results".to_string());
+    std::fs::create_dir_all(&dir)?;
+    let path = PathBuf::from(dir).join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_u64_parses_and_defaults() {
+        std::env::remove_var("FP_TEST_KNOB_XYZ");
+        assert_eq!(env_u64("FP_TEST_KNOB_XYZ", 7), 7);
+        std::env::set_var("FP_TEST_KNOB_XYZ", "42");
+        assert_eq!(env_u64("FP_TEST_KNOB_XYZ", 7), 42);
+        std::env::set_var("FP_TEST_KNOB_XYZ", "junk");
+        assert_eq!(env_u64("FP_TEST_KNOB_XYZ", 7), 7);
+        std::env::remove_var("FP_TEST_KNOB_XYZ");
+    }
+
+    #[test]
+    fn saturation_rate_detects_knee() {
+        let mk = |rate: f64, lat: f64| LatencyPoint {
+            rate,
+            avg_latency: lat,
+            throughput: rate,
+            delivered: 100,
+            fastpass_fraction: 0.0,
+            dropped_fraction: 0.0,
+        };
+        let r = SweepResult {
+            scheme: "x".into(),
+            pattern: "y".into(),
+            size: 8,
+            points: vec![mk(0.1, 10.0), mk(0.2, 12.0), mk(0.3, 50.0), mk(0.4, 500.0)],
+        };
+        assert_eq!(r.saturation_rate(), 0.2);
+    }
+
+    #[test]
+    fn small_sweep_runs_every_scheme() {
+        for id in crate::registry::ALL_SCHEMES {
+            let r = sweep(
+                id,
+                SyntheticPattern::Uniform,
+                &[0.02],
+                4,
+                2,
+                200,
+                500,
+                1,
+            );
+            assert_eq!(r.points.len(), 1, "{}", id.name());
+            assert!(r.points[0].delivered > 0, "{} delivered nothing", id.name());
+        }
+    }
+}

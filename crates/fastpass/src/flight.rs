@@ -1,0 +1,301 @@
+//! In-flight FastPass-Packets: bufferless traversal state (§III-B, C5).
+//!
+//! Once a prime upgrades a packet, the packet leaves the buffered world
+//! entirely and becomes a [`Flight`]: a pipelined train of `len` flits
+//! whose head advances one hop per cycle along the precomputed lane. A
+//! flight's flits occupy a sliding window of directed links; those links
+//! are reported through [`busy_links`](Flight::busy_links) and suppressed
+//! for regular traffic (the lookahead signal of §III-C5 made explicit).
+
+use crate::lane;
+use noc_core::packet::PacketId;
+use noc_core::topology::{LinkId, Mesh, NodeId};
+
+/// Where a flight is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightState {
+    /// Head is traversing the outbound lane.
+    Outbound,
+    /// Head reached the destination and flits are streaming into the
+    /// (admitted or reserved-for-us) ejection queue.
+    Ejecting {
+        /// First ejection cycle.
+        started: u64,
+    },
+    /// Rejected at a full ejection queue; heading back to the prime on
+    /// the YX returning path.
+    Returning {
+        /// Cycle the head entered the returning path.
+        started: u64,
+    },
+}
+
+/// One FastPass-Packet in bufferless transit.
+#[derive(Debug, Clone)]
+pub struct Flight {
+    /// The packet.
+    pub pkt: PacketId,
+    /// Prime router that launched it.
+    pub prime: NodeId,
+    /// Destination router.
+    pub dst: NodeId,
+    /// Packet length in flits.
+    pub len: u8,
+    /// Launch cycle (head enters the first outbound link).
+    pub launch: u64,
+    /// Current state.
+    pub state: FlightState,
+    out_links: Vec<LinkId>,
+    ret_links: Vec<LinkId>,
+}
+
+impl Flight {
+    /// Creates a flight launching at `launch` from `prime` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prime == dst` (such packets eject locally and are never
+    /// upgraded).
+    pub fn new(mesh: Mesh, pkt: PacketId, prime: NodeId, dst: NodeId, len: u8, launch: u64) -> Self {
+        assert_ne!(prime, dst, "flights must cross at least one link");
+        let out_links = lane::path_links(mesh, &lane::outbound_path(mesh, prime, dst));
+        let ret_links = lane::path_links(mesh, &lane::return_path(mesh, dst, prime));
+        Flight {
+            pkt,
+            prime,
+            dst,
+            len,
+            launch,
+            state: FlightState::Outbound,
+            out_links,
+            ret_links,
+        }
+    }
+
+    /// Outbound hop count.
+    pub fn hops_out(&self) -> usize {
+        self.out_links.len()
+    }
+
+    /// Return-path hop count.
+    pub fn hops_ret(&self) -> usize {
+        self.ret_links.len()
+    }
+
+    /// Cycle the head is fully at the destination (ejection/rejection
+    /// decision point).
+    pub fn head_arrival(&self) -> u64 {
+        self.launch + self.hops_out() as u64
+    }
+
+    /// Last cycle any flit of this flight occupies an outbound link
+    /// (flit `len-1` crossing link `hops-1`).
+    pub fn outbound_clear(&self) -> u64 {
+        self.launch + self.hops_out() as u64 - 1 + self.len as u64 - 1
+    }
+
+    /// Transitions to ejecting at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the flight is outbound and the head has arrived.
+    pub fn begin_eject(&mut self, cycle: u64) {
+        assert_eq!(self.state, FlightState::Outbound, "double transition");
+        assert!(cycle >= self.head_arrival(), "head has not arrived yet");
+        self.state = FlightState::Ejecting { started: cycle };
+    }
+
+    /// Cycle the tail flit commits into the ejection queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless ejecting.
+    pub fn eject_done(&self) -> u64 {
+        match self.state {
+            FlightState::Ejecting { started } => started + self.len as u64 - 1,
+            _ => panic!("eject_done on a non-ejecting flight"),
+        }
+    }
+
+    /// Transitions to the returning path. The head turns around only
+    /// after the tail has drained off the outbound lane, so the return
+    /// starts at `max(cycle, outbound_clear) + 1`.
+    ///
+    /// Returns the cycle the return leg starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the flight is outbound.
+    pub fn begin_return(&mut self, cycle: u64) -> u64 {
+        assert_eq!(self.state, FlightState::Outbound, "double transition");
+        let started = self.outbound_clear().max(cycle) + 1;
+        self.state = FlightState::Returning { started };
+        started
+    }
+
+    /// Cycle the tail flit is fully back at the prime (parking point).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless returning.
+    pub fn return_done(&self) -> u64 {
+        match self.state {
+            FlightState::Returning { started } => {
+                started + self.hops_ret() as u64 + self.len as u64 - 1
+            }
+            _ => panic!("return_done on a non-returning flight"),
+        }
+    }
+
+    /// Whether the flight is streaming flits into the destination NI at
+    /// `cycle` (the ejection port is preempted, §Qn3).
+    pub fn ejecting_at(&self, cycle: u64) -> bool {
+        match self.state {
+            FlightState::Ejecting { started } => {
+                cycle >= started && cycle <= self.eject_done()
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends every directed link one of this flight's flits traverses
+    /// during `cycle`. Flit `j` traverses link `i` of a leg starting at
+    /// `t0` during cycle `t0 + i + j`, so link `i` is busy during
+    /// `[t0 + i, t0 + i + len - 1]`.
+    pub fn busy_links(&self, cycle: u64, out: &mut Vec<LinkId>) {
+        self.leg_busy(self.launch, &self.out_links, cycle, out);
+        if let FlightState::Returning { started } = self.state {
+            self.leg_busy(started, &self.ret_links, cycle, out);
+        }
+    }
+
+    fn leg_busy(&self, t0: u64, links: &[LinkId], cycle: u64, out: &mut Vec<LinkId>) {
+        if cycle < t0 {
+            return;
+        }
+        let dt = cycle - t0;
+        let len = self.len as u64;
+        // Links i with t0+i <= cycle <= t0+i+len-1  ⇔  dt-len+1 <= i <= dt.
+        let lo = dt.saturating_sub(len - 1) as usize;
+        let hi = (dt as usize).min(links.len().saturating_sub(1));
+        if lo < links.len() {
+            out.extend_from_slice(&links[lo..=hi]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::packet::{MessageClass, Packet, PacketStore};
+
+    fn mk(len: u8, launch: u64) -> (Flight, Mesh) {
+        let mesh = Mesh::new(8, 8);
+        let mut store = PacketStore::new();
+        let prime = mesh.node(1, 2);
+        let dst = mesh.node(5, 6);
+        let pkt = store.insert(Packet::new(prime, dst, MessageClass::Request, len, 0));
+        (Flight::new(mesh, pkt, prime, dst, len, launch), mesh)
+    }
+
+    #[test]
+    fn geometry() {
+        let (f, _) = mk(5, 100);
+        assert_eq!(f.hops_out(), 8); // 4 east + 4 south
+        assert_eq!(f.hops_ret(), 8);
+        assert_eq!(f.head_arrival(), 108);
+        assert_eq!(f.outbound_clear(), 111);
+    }
+
+    #[test]
+    fn busy_window_slides() {
+        let (f, _) = mk(5, 100);
+        let mut busy = Vec::new();
+        // Before launch: nothing.
+        f.busy_links(99, &mut busy);
+        assert!(busy.is_empty());
+        // At launch: only link 0 (head).
+        f.busy_links(100, &mut busy);
+        assert_eq!(busy.len(), 1);
+        busy.clear();
+        // Mid-flight: a full window of min(len, remaining) links.
+        f.busy_links(105, &mut busy);
+        assert_eq!(busy.len(), 5);
+        busy.clear();
+        // Tail draining off the last links.
+        f.busy_links(111, &mut busy);
+        assert_eq!(busy.len(), 1, "only the last link carries the tail");
+        busy.clear();
+        f.busy_links(112, &mut busy);
+        assert!(busy.is_empty(), "lane clear after outbound_clear");
+    }
+
+    #[test]
+    fn single_flit_window_is_one_link() {
+        let (f, _) = mk(1, 10);
+        for c in 10..18 {
+            let mut busy = Vec::new();
+            f.busy_links(c, &mut busy);
+            assert_eq!(busy.len(), 1, "cycle {c}");
+        }
+        let mut busy = Vec::new();
+        f.busy_links(18, &mut busy);
+        assert!(busy.is_empty());
+    }
+
+    #[test]
+    fn eject_lifecycle() {
+        let (mut f, _) = mk(5, 100);
+        assert!(!f.ejecting_at(108));
+        f.begin_eject(108);
+        assert!(f.ejecting_at(108));
+        assert!(f.ejecting_at(112));
+        assert!(!f.ejecting_at(113));
+        assert_eq!(f.eject_done(), 112);
+    }
+
+    #[test]
+    fn return_lifecycle_and_links() {
+        let (mut f, _) = mk(5, 100);
+        let started = f.begin_return(108);
+        assert_eq!(started, 112, "return waits for the tail to drain");
+        assert_eq!(f.return_done(), 112 + 8 + 4);
+        // During the turnaround gap the outbound trailing flits still
+        // occupy links.
+        let mut busy = Vec::new();
+        f.busy_links(110, &mut busy);
+        assert!(!busy.is_empty());
+        busy.clear();
+        // Once returning, return links appear.
+        f.busy_links(112, &mut busy);
+        assert!(!busy.is_empty());
+    }
+
+    #[test]
+    fn outbound_and_return_windows_never_share_a_link() {
+        let (mut f, _) = mk(5, 100);
+        f.begin_return(108);
+        for c in 100..=f.return_done() {
+            let mut busy = Vec::new();
+            f.busy_links(c, &mut busy);
+            let set: std::collections::HashSet<_> = busy.iter().collect();
+            assert_eq!(set.len(), busy.len(), "cycle {c}: duplicate link");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn zero_hop_flight_rejected() {
+        let mesh = Mesh::new(4, 4);
+        let mut store = PacketStore::new();
+        let n = mesh.node(1, 1);
+        let pkt = store.insert(Packet::new(
+            mesh.node(0, 0),
+            n,
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        let _ = Flight::new(mesh, pkt, n, n, 1, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fundamental types for the FastPass NoC reproduction.
+//!
+//! This crate holds everything that both the simulator substrate
+//! (`noc-sim`) and the flow-control schemes (FastPass and the baselines)
+//! agree on: the [mesh topology](topology), [packets and message
+//! classes](packet), the [simulation configuration](config) mirroring
+//! Table II of the paper, deterministic [randomness](rng), and
+//! [statistics](stats) collection (latency distributions, throughput,
+//! packet-type breakdowns).
+//!
+//! # Example
+//!
+//! ```
+//! use noc_core::topology::{Mesh, Direction};
+//!
+//! let mesh = Mesh::new(8, 8);
+//! let a = mesh.node(3, 4);
+//! let b = mesh.neighbor(a, Direction::East).unwrap();
+//! assert_eq!(mesh.x(b), 4);
+//! assert_eq!(mesh.hops(a, b), 1);
+//! ```
+
+pub mod config;
+pub mod packet;
+pub mod rng;
+pub mod stats;
+pub mod topology;
+
+pub use config::SimConfig;
+pub use packet::{MessageClass, Packet, PacketId, PacketStore};
+pub use rng::DetRng;
+pub use stats::NetStats;
+pub use topology::{Direction, LinkId, Mesh, NodeId, Port};

@@ -1,0 +1,328 @@
+//! Statistics collection: latency distributions, throughput, breakdowns.
+//!
+//! These feed every figure in the evaluation: average packet latency and
+//! saturation throughput (Figs. 7 & 8), the regular/bufferless latency
+//! split (Fig. 9), application latency and execution time (Fig. 10),
+//! 99th-percentile tails (Fig. 12) and the packet-type breakdown
+//! (Fig. 13).
+
+use crate::packet::{DeliveryKind, Packet};
+use serde::{Deserialize, Serialize};
+
+/// An online distribution of `u64` samples with exact percentiles.
+///
+/// Stores all samples; simulations in this repository eject at most a few
+/// hundred thousand packets per run, so exact percentiles are affordable
+/// and avoid quantile-sketch error in the tail-latency figure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Distribution {
+    samples: Vec<u64>,
+    sum: u128,
+    sorted: bool,
+}
+
+impl Distribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sum += v as u128;
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Exact percentile (`p` in `[0, 100]`) with nearest-rank rounding,
+    /// or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.saturating_sub(1).min(n - 1)])
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &Distribution) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sorted = false;
+    }
+}
+
+/// Aggregate network statistics for one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// End-to-end latency (generation → tail ejected) of delivered packets.
+    pub latency: Distribution,
+    /// Network latency (injection → tail ejected).
+    pub network_latency: Distribution,
+    /// Latency of packets delivered purely by regular pass.
+    pub regular_latency: Distribution,
+    /// Latency of packets that were upgraded to FastPass-Packets.
+    pub fastpass_latency: Distribution,
+    /// Bufferless portion of FastPass-Packet latency (Fig. 9's
+    /// "FastPass time").
+    pub fastpass_bufferless: Distribution,
+    /// Buffered portion of FastPass-Packet latency (Fig. 9's
+    /// "regular time").
+    pub fastpass_buffered: Distribution,
+    /// Hop counts of delivered packets.
+    pub hops: Distribution,
+    /// Packets delivered via regular pass only.
+    pub delivered_regular: u64,
+    /// Packets delivered after a FastPass upgrade.
+    pub delivered_fastpass: u64,
+    /// Flits delivered (for throughput in flits/node/cycle).
+    pub flits_delivered: u64,
+    /// Packets generated (offered load accounting).
+    pub generated: u64,
+    /// Drop *events*: an injection-queue request was dropped to make a
+    /// bubble (§III-C4); each victim is regenerated from MSHR state and
+    /// may be dropped again later.
+    pub dropped: u64,
+    /// Unique delivered packets that were dropped at least once (the
+    /// paper's Fig. 13 "dropped packets" metric).
+    pub dropped_packets: u64,
+    /// FastPass-Packets that bounced off a full ejection queue.
+    pub rejections: u64,
+    /// Misroutes/deflections taken (MinBD, SWAP, DRAIN).
+    pub deflections: u64,
+    /// Cycles simulated in the measurement window.
+    pub cycles: u64,
+    /// Number of nodes (denominator of per-node rates).
+    pub nodes: u64,
+}
+
+impl NetStats {
+    /// Creates empty statistics for a network of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        NetStats {
+            nodes: nodes as u64,
+            ..Self::default()
+        }
+    }
+
+    /// Records a delivered packet. Call exactly once per packet, when its
+    /// tail flit is consumed at the destination.
+    pub fn record_delivered(&mut self, pkt: &Packet) {
+        let lat = pkt
+            .latency()
+            .expect("record_delivered called before eject_cycle set");
+        self.latency.record(lat);
+        if let Some(nl) = pkt.network_latency() {
+            self.network_latency.record(nl);
+        }
+        self.hops.record(pkt.hops as u64);
+        self.flits_delivered += pkt.len_flits as u64;
+        self.deflections += pkt.deflections as u64;
+        if pkt.drops > 0 {
+            self.dropped_packets += 1;
+        }
+        match pkt.delivery_kind() {
+            DeliveryKind::Regular => {
+                self.delivered_regular += 1;
+                self.regular_latency.record(lat);
+            }
+            DeliveryKind::FastPass => {
+                self.delivered_fastpass += 1;
+                self.fastpass_latency.record(lat);
+                let bufferless = pkt.bufferless_cycles.min(lat);
+                self.fastpass_bufferless.record(bufferless);
+                self.fastpass_buffered.record(lat - bufferless);
+            }
+        }
+    }
+
+    /// Total packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered_regular + self.delivered_fastpass
+    }
+
+    /// Average end-to-end packet latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        self.latency.mean().unwrap_or(f64::NAN)
+    }
+
+    /// Accepted throughput in packets/node/cycle.
+    pub fn throughput_packets(&self) -> f64 {
+        if self.cycles == 0 || self.nodes == 0 {
+            return 0.0;
+        }
+        self.delivered() as f64 / (self.cycles as f64 * self.nodes as f64)
+    }
+
+    /// Accepted throughput in flits/node/cycle.
+    pub fn throughput_flits(&self) -> f64 {
+        if self.cycles == 0 || self.nodes == 0 {
+            return 0.0;
+        }
+        self.flits_delivered as f64 / (self.cycles as f64 * self.nodes as f64)
+    }
+
+    /// Fraction of delivered packets that were FastPass-Packets.
+    pub fn fastpass_fraction(&self) -> f64 {
+        let d = self.delivered();
+        if d == 0 {
+            0.0
+        } else {
+            self.delivered_fastpass as f64 / d as f64
+        }
+    }
+
+    /// Fraction of delivered packets that were dropped (and regenerated)
+    /// at least once — the paper's Fig. 13 metric.
+    pub fn dropped_fraction(&self) -> f64 {
+        let d = self.delivered();
+        if d == 0 {
+            0.0
+        } else {
+            self.dropped_packets as f64 / d as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{MessageClass, Packet, PacketStore};
+    use crate::topology::NodeId;
+
+    #[test]
+    fn distribution_mean_and_percentiles() {
+        let mut d = Distribution::new();
+        for v in 1..=100u64 {
+            d.record(v);
+        }
+        assert_eq!(d.count(), 100);
+        assert_eq!(d.mean(), Some(50.5));
+        assert_eq!(d.percentile(50.0), Some(50));
+        assert_eq!(d.percentile(99.0), Some(99));
+        assert_eq!(d.percentile(100.0), Some(100));
+        assert_eq!(d.percentile(0.0), Some(1));
+        assert_eq!(d.min(), Some(1));
+        assert_eq!(d.max(), Some(100));
+    }
+
+    #[test]
+    fn distribution_empty() {
+        let mut d = Distribution::new();
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.percentile(99.0), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    fn distribution_merge() {
+        let mut a = Distribution::new();
+        let mut b = Distribution::new();
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn record_interleaved_with_percentile_queries() {
+        // percentile() sorts lazily; recording afterwards must re-sort.
+        let mut d = Distribution::new();
+        d.record(10);
+        d.record(5);
+        assert_eq!(d.percentile(100.0), Some(10));
+        d.record(1);
+        assert_eq!(d.percentile(0.0), Some(1));
+    }
+
+    fn delivered_packet(store: &mut PacketStore, fastpass: bool) -> Packet {
+        let id = store.insert(Packet::new(
+            NodeId::new(0),
+            NodeId::new(9),
+            MessageClass::Request,
+            5,
+            100,
+        ));
+        {
+            let p = store.get_mut(id);
+            p.inject_cycle = Some(104);
+            p.eject_cycle = Some(140);
+            p.hops = 6;
+            if fastpass {
+                p.upgrade_cycle = Some(120);
+                p.bufferless_cycles = 12;
+            }
+        }
+        store.remove(id)
+    }
+
+    #[test]
+    fn netstats_splits_regular_and_fastpass() {
+        let mut store = PacketStore::new();
+        let mut s = NetStats::new(64);
+        s.record_delivered(&delivered_packet(&mut store, false));
+        s.record_delivered(&delivered_packet(&mut store, true));
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.delivered_regular, 1);
+        assert_eq!(s.delivered_fastpass, 1);
+        assert_eq!(s.fastpass_fraction(), 0.5);
+        assert_eq!(s.fastpass_bufferless.mean(), Some(12.0));
+        assert_eq!(s.fastpass_buffered.mean(), Some(28.0));
+        assert_eq!(s.flits_delivered, 10);
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let mut store = PacketStore::new();
+        let mut s = NetStats::new(4);
+        s.cycles = 100;
+        for _ in 0..8 {
+            s.record_delivered(&delivered_packet(&mut store, false));
+        }
+        assert!((s.throughput_packets() - 8.0 / 400.0).abs() < 1e-12);
+        assert!((s.throughput_flits() - 40.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_yield_zero_throughput() {
+        let s = NetStats::new(16);
+        assert_eq!(s.throughput_packets(), 0.0);
+        assert_eq!(s.dropped_fraction(), 0.0);
+        assert_eq!(s.fastpass_fraction(), 0.0);
+    }
+}

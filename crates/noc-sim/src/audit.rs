@@ -1,0 +1,311 @@
+//! Deep structural audits of network state.
+//!
+//! [`audit`] walks every buffer, reservation and queue and checks the
+//! invariants the simulator's correctness rests on. The engine does not
+//! run it per cycle (it is O(network)); tests call it at checkpoints,
+//! and it is invaluable when developing a new scheme — a scheme that
+//! corrupts buffer state fails an audit long before it produces a wrong
+//! figure.
+
+use crate::network::NetworkCore;
+use noc_core::packet::PacketId;
+use noc_core::topology::{NodeId, Port, NUM_PORTS};
+use std::collections::HashMap;
+
+/// A violated invariant found by [`audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    /// Where the violation was found.
+    pub location: String,
+    /// What is wrong.
+    pub problem: String,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.location, self.problem)
+    }
+}
+
+/// Audits the network, returning every violation found (empty = clean).
+///
+/// Checks, for every VC occupant:
+/// * flit counters are ordered: `sent <= arrived <= len`;
+/// * the packet exists in the store and its cached length matches;
+/// * a downstream VC allocation points at a live reservation for the
+///   same packet;
+/// * no packet occupies more than one buffer *except* as a transfer
+///   chain (each extra occupancy must be the downstream reservation of
+///   another);
+///
+/// and for every router/NI:
+/// * the ejection lock points at an occupant routed `Local`;
+/// * every queued packet id is live in the store.
+pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    let mesh = core.mesh();
+    let vcs = core.cfg().vcs_per_port();
+    // packet -> list of (node, port, vc) occupancies.
+    let mut occupancies: HashMap<PacketId, Vec<(NodeId, usize, usize)>> = HashMap::new();
+
+    let mut err = |location: String, problem: String| {
+        errors.push(AuditError { location, problem });
+    };
+
+    for node in mesh.nodes() {
+        let router = core.router(node);
+        for p in 0..NUM_PORTS {
+            for vc in 0..vcs {
+                let Some(occ) = router.inputs[p].vc(vc).occupant() else {
+                    continue;
+                };
+                let loc = format!("{node} port {} vc {vc}", Port::from_index(p));
+                if occ.sent > occ.arrived {
+                    err(loc.clone(), format!("sent {} > arrived {}", occ.sent, occ.arrived));
+                }
+                if occ.arrived > occ.len {
+                    err(loc.clone(), format!("arrived {} > len {}", occ.arrived, occ.len));
+                }
+                if !core.store.contains(occ.pkt) {
+                    err(loc.clone(), format!("occupant {} not in store", occ.pkt));
+                    continue;
+                }
+                let pkt = core.store.get(occ.pkt);
+                if pkt.len_flits != occ.len {
+                    err(
+                        loc.clone(),
+                        format!("cached len {} != packet len {}", occ.len, pkt.len_flits),
+                    );
+                }
+                if let (Some(Port::Dir(d)), Some(out_vc)) = (occ.route, occ.out_vc) {
+                    match mesh.neighbor(node, d) {
+                        None => err(loc.clone(), "route leaves the mesh".into()),
+                        Some(nbr) => {
+                            let down = core.router(nbr).inputs[Port::Dir(d.opposite()).index()]
+                                .vc(out_vc)
+                                .occupant();
+                            match down {
+                                None => err(
+                                    loc.clone(),
+                                    format!("downstream reservation at {nbr} vc {out_vc} missing"),
+                                ),
+                                Some(res) if res.pkt != occ.pkt => err(
+                                    loc.clone(),
+                                    format!(
+                                        "downstream reservation held by {} not {}",
+                                        res.pkt, occ.pkt
+                                    ),
+                                ),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                occupancies.entry(occ.pkt).or_default().push((node, p, vc));
+            }
+        }
+        if let Some((p, vc)) = router.eject_lock {
+            let loc = format!("{node} eject lock");
+            match router.inputs[p].vc(vc).occupant() {
+                None => err(loc, "locked VC is empty".into()),
+                Some(occ) if occ.route != Some(Port::Local) => {
+                    err(loc, format!("locked occupant routed {:?}", occ.route))
+                }
+                _ => {}
+            }
+        }
+        // NI queues reference live packets only.
+        let ni = core.ni(node);
+        for class in noc_core::packet::CLASSES {
+            for pkt in ni.inj_iter(class) {
+                if !core.store.contains(pkt) {
+                    err(format!("{node} inj {class}"), format!("{pkt} not in store"));
+                }
+            }
+        }
+    }
+
+    // Multi-occupancy must form transfer chains: for k occupancies of one
+    // packet, exactly k-1 of them are downstream reservations of another.
+    for (pkt, locs) in &occupancies {
+        if locs.len() <= 1 {
+            continue;
+        }
+        let mut reserved_targets = 0;
+        for &(node, p, _vc) in locs {
+            let port = Port::from_index(p);
+            if let Port::Dir(d) = port {
+                // This occupancy is "pointed at" if the upstream neighbour
+                // through d holds this packet with a matching allocation.
+                let upstream = mesh.neighbor(node, d).expect("input port implies neighbor");
+                let any = (0..NUM_PORTS).any(|up| {
+                    (0..vcs).any(|uvc| {
+                        core.router(upstream).inputs[up]
+                            .vc(uvc)
+                            .occupant()
+                            .is_some_and(|o| o.pkt == *pkt && o.out_vc.is_some())
+                    })
+                });
+                if any {
+                    reserved_targets += 1;
+                }
+            }
+        }
+        if reserved_targets != locs.len() - 1 {
+            errors.push(AuditError {
+                location: format!("{pkt}"),
+                problem: format!(
+                    "occupies {} buffers but only {} are chained reservations",
+                    locs.len(),
+                    reserved_targets
+                ),
+            });
+        }
+    }
+    errors
+}
+
+/// Panics with a readable report if the network fails the audit.
+///
+/// # Panics
+///
+/// Panics when [`audit`] finds any violation.
+pub fn assert_clean(core: &NetworkCore) {
+    let errors = audit(core);
+    assert!(
+        errors.is_empty(),
+        "network audit failed with {} violations:\n{}",
+        errors.len(),
+        errors
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::{advance, AdvanceCtx};
+    use crate::routing::{DorXy, FullyAdaptive};
+    use crate::vc::VcOccupant;
+    use noc_core::config::SimConfig;
+    use noc_core::packet::{MessageClass, Packet};
+
+    fn core() -> NetworkCore {
+        NetworkCore::new(SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).build())
+    }
+
+    #[test]
+    fn fresh_network_is_clean() {
+        assert!(audit(&core()).is_empty());
+    }
+
+    #[test]
+    fn running_network_stays_clean() {
+        let mut c = core();
+        let mut rng = noc_core::rng::DetRng::new(3);
+        let mut policy = FullyAdaptive::new(5);
+        for cycle in 0..400u64 {
+            for src in 0..16 {
+                if rng.chance(0.3) {
+                    let mut dst = rng.range(0, 15);
+                    if dst >= src {
+                        dst += 1;
+                    }
+                    c.generate(Packet::new(
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        MessageClass::Request,
+                        1 + (cycle % 5) as u8,
+                        cycle,
+                    ));
+                }
+            }
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+            if cycle % 50 == 0 {
+                assert_clean(&c);
+            }
+        }
+        assert_clean(&c);
+    }
+
+    #[test]
+    fn detects_counter_corruption() {
+        let mut c = core();
+        let id = c.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(5),
+            MessageClass::Request,
+            2,
+            0,
+        ));
+        let mut occ = VcOccupant::reserved(id, 2, 0);
+        occ.arrived = 1;
+        occ.sent = 2; // corrupt: sent > arrived
+        c.router_mut(NodeId::new(1)).inputs[0].vc_mut(0).install(occ);
+        let errors = audit(&c);
+        assert!(errors.iter().any(|e| e.problem.contains("sent")));
+    }
+
+    #[test]
+    fn detects_dangling_reservation() {
+        let mut c = core();
+        let id = c.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(5),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        let mut occ = VcOccupant::reserved(id, 1, 0);
+        occ.arrived = 1;
+        occ.route = Some(Port::Dir(noc_core::topology::Direction::East));
+        occ.out_vc = Some(0); // claims a downstream VC that was never reserved
+        c.router_mut(NodeId::new(5)).inputs[Port::Local.index()]
+            .vc_mut(0)
+            .install(occ);
+        let errors = audit(&c);
+        assert!(
+            errors.iter().any(|e| e.problem.contains("reservation")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn detects_stale_eject_lock() {
+        let mut c = core();
+        c.router_mut(NodeId::new(2)).eject_lock = Some((0, 0));
+        let errors = audit(&c);
+        assert!(errors.iter().any(|e| e.problem.contains("empty")));
+    }
+
+    #[test]
+    fn xy_steady_state_clean_with_consumption() {
+        let mut c = core();
+        let mut policy = DorXy;
+        for i in 0..8 {
+            c.generate(Packet::new(
+                NodeId::new(i),
+                NodeId::new(15 - i),
+                MessageClass::Response,
+                5,
+                0,
+            ));
+        }
+        for _ in 0..200 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            let now = c.cycle();
+            for n in c.mesh().nodes() {
+                if c.ni(n).ej_consumable(MessageClass::Response, now).is_some() {
+                    let e = c.ni_mut(n).pop_ej(MessageClass::Response).unwrap();
+                    c.store.remove(e.pkt);
+                }
+            }
+            c.advance_cycle();
+        }
+        assert_clean(&c);
+    }
+}

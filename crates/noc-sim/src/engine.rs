@@ -1,0 +1,375 @@
+//! The simulation driver: workloads, measurement windows, sweeps.
+
+use crate::network::NetworkCore;
+use crate::scheme::Scheme;
+use noc_core::config::SimConfig;
+use noc_core::packet::{Packet, MessageClass, CLASSES};
+use noc_core::stats::NetStats;
+use noc_core::topology::NodeId;
+
+/// A traffic workload driving a simulation.
+///
+/// Workloads create packets via [`NetworkCore::generate`] in
+/// [`tick`](Workload::tick) and may react to deliveries in
+/// [`on_consumed`](Workload::on_consumed) (closed-loop protocols inject
+/// replies there). [`can_consume`](Workload::can_consume) models
+/// processor-side backpressure — a stalled core stops draining its
+/// request ejection queue, which is exactly the protocol-deadlock
+/// scenario of §II.
+pub trait Workload {
+    /// Called once per cycle before the scheme steps; generate new
+    /// packets here.
+    fn tick(&mut self, core: &mut NetworkCore);
+
+    /// Called when the NI consumer takes a delivered packet; closed-loop
+    /// workloads inject replies here.
+    fn on_consumed(&mut self, core: &mut NetworkCore, pkt: &Packet) {
+        let _ = (core, pkt);
+    }
+
+    /// Whether the node's consumer is currently willing to take packets
+    /// of this class (sink classes should always be consumable —
+    /// Lemma 3).
+    fn can_consume(&self, node: NodeId, class: MessageClass) -> bool {
+        let _ = (node, class);
+        true
+    }
+
+    /// Closed-loop completion signal; open-loop workloads never finish.
+    fn finished(&self, core: &NetworkCore) -> bool {
+        let _ = core;
+        false
+    }
+}
+
+/// One simulation: a network, a scheme and a workload.
+pub struct Simulation {
+    /// The simulated network (public for inspection in tests/benches).
+    pub core: NetworkCore,
+    scheme: Box<dyn Scheme>,
+    workload: Box<dyn Workload>,
+    last_consumption: u64,
+    consumed: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scheme", &self.scheme.name())
+            .field("cycle", &self.core.cycle())
+            .field("consumed", &self.consumed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Assembles a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's VN count does not match the scheme's
+    /// requirement (a 6-VN scheme run with 0 VNs would deadlock by
+    /// design, and vice versa wastes buffers silently).
+    pub fn new(cfg: SimConfig, scheme: Box<dyn Scheme>, workload: Box<dyn Workload>) -> Self {
+        assert_eq!(
+            cfg.vns,
+            scheme.required_vns(),
+            "scheme {} requires {} VNs, config has {}",
+            scheme.name(),
+            scheme.required_vns(),
+            cfg.vns
+        );
+        Simulation {
+            core: NetworkCore::new(cfg),
+            scheme,
+            workload,
+            last_consumption: 0,
+            consumed: 0,
+        }
+    }
+
+    /// The scheme's display name.
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    /// Simulates one cycle: workload tick → scheme step → NI consumption.
+    pub fn step(&mut self) {
+        self.workload.tick(&mut self.core);
+        self.scheme.step(&mut self.core);
+        self.consume();
+        self.core.stats.cycles += 1;
+        self.core.advance_cycle();
+    }
+
+    /// Runs `cycles` cycles (or until a closed-loop workload finishes).
+    /// Returns the cycles actually simulated.
+    pub fn run(&mut self, cycles: u64) -> u64 {
+        for i in 0..cycles {
+            if self.workload.finished(&self.core) {
+                return i;
+            }
+            self.step();
+        }
+        cycles
+    }
+
+    /// Standard open-loop methodology: run a warmup window with
+    /// statistics discarded, then a measurement window, and return the
+    /// measured statistics.
+    pub fn run_windows(&mut self, warmup: u64, measure: u64) -> NetStats {
+        self.run(warmup);
+        self.reset_stats();
+        self.run(measure);
+        self.core.stats.clone()
+    }
+
+    /// Clears statistics (start of a measurement window).
+    pub fn reset_stats(&mut self) {
+        let nodes = self.core.mesh().num_nodes();
+        self.core.stats = NetStats::new(nodes);
+    }
+
+    /// Cycles since an NI last consumed a packet — a large value while
+    /// packets are resident indicates a wedged network (deadlock or
+    /// livelock); used by tests and the deadlock experiments.
+    pub fn starvation_cycles(&self) -> u64 {
+        if self.core.resident_packets() + self.scheme.overlay_packets() == 0 {
+            0
+        } else {
+            self.core.cycle().saturating_sub(self.last_consumption)
+        }
+    }
+
+    /// Total packets consumed by NIs over the simulation's lifetime.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Packets still anywhere in the system (network + NIs + overlay).
+    pub fn in_flight(&self) -> usize {
+        self.core.resident_packets() + self.scheme.overlay_packets()
+    }
+
+    fn consume(&mut self) {
+        let now = self.core.cycle();
+        for node in self.core.mesh().nodes() {
+            for class in CLASSES {
+                if !self.workload.can_consume(node, class) {
+                    continue;
+                }
+                let Some(_) = self.core.ni(node).ej_consumable(class, now) else {
+                    continue;
+                };
+                let entry = self.core.ni_mut(node).pop_ej(class).unwrap();
+                let pkt = self.core.store.remove(entry.pkt);
+                self.core.stats.record_delivered(&pkt);
+                self.workload.on_consumed(&mut self.core, &pkt);
+                self.last_consumption = now;
+                self.consumed += 1;
+            }
+        }
+    }
+}
+
+/// Binary-searches the saturation throughput of a scheme (Fig. 8).
+///
+/// `make_sim` builds a fresh simulation for an injection rate in
+/// packets/node/cycle; `zero_load_latency` is measured at the lowest rate
+/// probed. Saturation is the highest rate whose average latency stays
+/// below `3 × zero-load`, the standard NoC definition. The returned value
+/// is the *accepted* throughput (packets/node/cycle) at that rate.
+pub struct SaturationSearch {
+    /// Warmup cycles per probe.
+    pub warmup: u64,
+    /// Measurement cycles per probe.
+    pub measure: u64,
+    /// Lower bound of the probed rate range.
+    pub lo: f64,
+    /// Upper bound of the probed rate range.
+    pub hi: f64,
+    /// Bisection steps (each step is one full simulation).
+    pub steps: usize,
+}
+
+impl Default for SaturationSearch {
+    fn default() -> Self {
+        SaturationSearch {
+            warmup: 10_000,
+            measure: 20_000,
+            lo: 0.005,
+            hi: 1.0,
+            steps: 8,
+        }
+    }
+}
+
+impl SaturationSearch {
+    /// Runs the search. Returns `(saturation_rate, accepted_throughput)`.
+    pub fn run(&self, mut make_sim: impl FnMut(f64) -> Simulation) -> (f64, f64) {
+        let zero_load = {
+            let mut sim = make_sim(self.lo);
+            let stats = sim.run_windows(self.warmup, self.measure);
+            stats.avg_latency()
+        };
+        let threshold = zero_load * 3.0;
+        let (mut lo, mut hi) = (self.lo, self.hi);
+        let mut best = (self.lo, 0.0);
+        for _ in 0..self.steps {
+            let mid = (lo + hi) / 2.0;
+            let mut sim = make_sim(mid);
+            let stats = sim.run_windows(self.warmup, self.measure);
+            let lat = stats.avg_latency();
+            if lat.is_finite() && lat <= threshold {
+                best = (mid, stats.throughput_packets());
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::{advance, AdvanceCtx};
+    use crate::routing::DorXy;
+    use crate::scheme::SchemeProperties;
+    use noc_core::packet::Packet;
+    use noc_core::rng::DetRng;
+
+    struct PlainXy;
+    impl Scheme for PlainXy {
+        fn name(&self) -> &'static str {
+            "plain-xy"
+        }
+        fn properties(&self) -> SchemeProperties {
+            SchemeProperties {
+                no_detection: true,
+                protocol_deadlock_freedom: false,
+                network_deadlock_freedom: true,
+                full_path_diversity: false,
+                high_throughput: false,
+                low_power: false,
+                scalable: true,
+                no_misrouting: true,
+            }
+        }
+        fn required_vns(&self) -> usize {
+            0
+        }
+        fn step(&mut self, core: &mut NetworkCore) {
+            advance(core, &mut DorXy, &AdvanceCtx::default());
+        }
+    }
+
+    /// Uniform-random single-class open-loop traffic for engine tests.
+    struct UniformReq {
+        rate: f64,
+        rng: DetRng,
+    }
+    impl Workload for UniformReq {
+        fn tick(&mut self, core: &mut NetworkCore) {
+            let n = core.mesh().num_nodes();
+            let cycle = core.cycle();
+            for src in 0..n {
+                if self.rng.chance(self.rate) {
+                    let mut dst = self.rng.range(0, n - 1);
+                    if dst >= src {
+                        dst += 1;
+                    }
+                    core.generate(Packet::new(
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        MessageClass::Request,
+                        1,
+                        cycle,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn sim(rate: f64) -> Simulation {
+        Simulation::new(
+            SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).seed(3).build(),
+            Box::new(PlainXy),
+            Box::new(UniformReq {
+                rate,
+                rng: DetRng::new(11),
+            }),
+        )
+    }
+
+    #[test]
+    fn low_load_delivers_everything_quickly() {
+        let mut s = sim(0.02);
+        let stats = s.run_windows(2_000, 5_000);
+        assert!(stats.delivered() > 0, "packets flowed");
+        let lat = stats.avg_latency();
+        assert!(lat < 30.0, "low-load latency should be near zero-load: {lat}");
+        assert!(s.starvation_cycles() < 100);
+    }
+
+    #[test]
+    fn overload_saturates_gracefully() {
+        let mut s = sim(0.9);
+        let stats = s.run_windows(2_000, 4_000);
+        // Accepted throughput far below offered; latency blows up.
+        assert!(stats.throughput_packets() < 0.6);
+        assert!(stats.avg_latency() > 50.0);
+        // But the network keeps moving (XY is deadlock-free).
+        assert!(s.starvation_cycles() < 100);
+    }
+
+    #[test]
+    fn measurement_window_resets_stats() {
+        let mut s = sim(0.05);
+        s.run(1_000);
+        let before = s.core.stats.delivered();
+        assert!(before > 0);
+        s.reset_stats();
+        assert_eq!(s.core.stats.delivered(), 0);
+        assert_eq!(s.core.stats.cycles, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut s = sim(0.1);
+            let st = s.run_windows(1_000, 2_000);
+            (st.delivered(), st.avg_latency())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires")]
+    fn vn_mismatch_rejected() {
+        let _ = Simulation::new(
+            SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).build(),
+            Box::new(PlainXy),
+            Box::new(UniformReq {
+                rate: 0.0,
+                rng: DetRng::new(0),
+            }),
+        );
+    }
+
+    #[test]
+    fn saturation_search_orders_correctly() {
+        let search = SaturationSearch {
+            warmup: 1_000,
+            measure: 2_000,
+            lo: 0.01,
+            hi: 0.8,
+            steps: 5,
+        };
+        let (rate, thpt) = search.run(sim);
+        assert!(rate > 0.01, "XY on 4×4 saturates above the floor probe");
+        assert!(rate < 0.8, "and below the ceiling");
+        assert!(thpt > 0.0);
+    }
+}

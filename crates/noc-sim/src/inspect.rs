@@ -1,0 +1,213 @@
+//! Network introspection: link-utilization heatmaps, buffer occupancy
+//! and hotspot reports.
+//!
+//! These are operator tools, not statistics for the paper's figures:
+//! they answer "where is the congestion right now / where did the
+//! flit-hops go" when debugging a scheme or a workload. All rendering is
+//! plain ASCII so it works in test logs and terminals.
+
+use crate::network::NetworkCore;
+use noc_core::topology::{LinkId, NodeId, DIRECTIONS, NUM_PORTS};
+
+/// Per-link utilization: flits carried divided by elapsed cycles.
+///
+/// Returns `(link, flits, utilization)` for every physical link, sorted
+/// by flits descending.
+pub fn link_utilization(core: &NetworkCore) -> Vec<(LinkId, u64, f64)> {
+    let cycles = core.cycle().max(1) as f64;
+    let mesh = core.mesh();
+    let mut rows = Vec::new();
+    for n in mesh.nodes() {
+        for d in DIRECTIONS {
+            if let Some(l) = mesh.link(n, d) {
+                let flits = core.link_flits()[l.index()];
+                rows.push((l, flits, flits as f64 / cycles));
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows
+}
+
+/// The `k` busiest links with endpoints, for congestion reports.
+pub fn hottest_links(core: &NetworkCore, k: usize) -> Vec<String> {
+    let mesh = core.mesh();
+    link_utilization(core)
+        .into_iter()
+        .take(k)
+        .map(|(l, flits, util)| {
+            let (from, d) = mesh.link_endpoints(l);
+            let to = mesh.neighbor(from, d).expect("valid link");
+            format!("{from}->{to} ({d}): {flits} flits, {util:.3} flits/cycle")
+        })
+        .collect()
+}
+
+/// Buffer occupancy per router: `(node, occupied VCs, total VCs)`.
+pub fn occupancy(core: &NetworkCore) -> Vec<(NodeId, usize, usize)> {
+    let vcs = core.cfg().vcs_per_port() * NUM_PORTS;
+    core.mesh()
+        .nodes()
+        .map(|n| (n, core.router(n).occupied_vcs(), vcs))
+        .collect()
+}
+
+const SHADES: [char; 5] = ['.', ':', '+', '#', '@'];
+
+fn shade(frac: f64) -> char {
+    let idx = (frac * SHADES.len() as f64).floor() as usize;
+    SHADES[idx.min(SHADES.len() - 1)]
+}
+
+/// ASCII heatmap of per-node link utilization: each cell shows the mean
+/// utilization of the node's outgoing links, `.` (idle) to `@` (hot).
+pub fn link_heatmap(core: &NetworkCore) -> String {
+    let mesh = core.mesh();
+    let cycles = core.cycle().max(1) as f64;
+    let mut out = String::new();
+    for y in 0..mesh.height() {
+        for x in 0..mesh.width() {
+            let n = mesh.node(x, y);
+            let (mut flits, mut links) = (0u64, 0u64);
+            for d in DIRECTIONS {
+                if let Some(l) = mesh.link(n, d) {
+                    flits += core.link_flits()[l.index()];
+                    links += 1;
+                }
+            }
+            let util = flits as f64 / (links.max(1) as f64 * cycles);
+            out.push(shade(util));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// ASCII heatmap of buffer occupancy: each cell shows the fraction of
+/// the router's VCs currently holding packets.
+pub fn occupancy_heatmap(core: &NetworkCore) -> String {
+    let mesh = core.mesh();
+    let total = (core.cfg().vcs_per_port() * NUM_PORTS).max(1);
+    let mut out = String::new();
+    for y in 0..mesh.height() {
+        for x in 0..mesh.width() {
+            let n = mesh.node(x, y);
+            let occ = core.router(n).occupied_vcs();
+            out.push(shade(occ as f64 / total as f64));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-paragraph congestion report: totals, the hottest links and both
+/// heatmaps. Useful from examples and ad-hoc debugging.
+pub fn congestion_report(core: &NetworkCore) -> String {
+    let total_flits: u64 = core.link_flits().iter().sum();
+    let mut s = format!(
+        "cycle {}: {} flit-hops total, {} packets resident\n",
+        core.cycle(),
+        total_flits,
+        core.resident_packets()
+    );
+    s.push_str("hottest links:\n");
+    for line in hottest_links(core, 5) {
+        s.push_str("  ");
+        s.push_str(&line);
+        s.push('\n');
+    }
+    s.push_str("link utilization:\n");
+    s.push_str(&link_heatmap(core));
+    s.push_str("buffer occupancy:\n");
+    s.push_str(&occupancy_heatmap(core));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::{advance, AdvanceCtx};
+    use crate::routing::DorXy;
+    use noc_core::config::SimConfig;
+    use noc_core::packet::{MessageClass, Packet};
+
+    fn loaded_core() -> NetworkCore {
+        let mut core = NetworkCore::new(
+            SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).build(),
+        );
+        for i in 0..8 {
+            core.generate(Packet::new(
+                NodeId::new(i),
+                NodeId::new(15 - i),
+                MessageClass::Request,
+                5,
+                0,
+            ));
+        }
+        let mut policy = DorXy;
+        for _ in 0..30 {
+            advance(&mut core, &mut policy, &AdvanceCtx::default());
+            core.advance_cycle();
+        }
+        core
+    }
+
+    #[test]
+    fn utilization_counts_flits() {
+        let core = loaded_core();
+        let rows = link_utilization(&core);
+        let total: u64 = rows.iter().map(|r| r.1).sum();
+        assert!(total > 0, "traffic must have crossed links");
+        // Sorted descending.
+        for w in rows.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Utilization bounded by 1 flit/cycle.
+        for (_, _, util) in rows {
+            assert!((0.0..=1.0).contains(&util));
+        }
+    }
+
+    #[test]
+    fn heatmaps_have_mesh_shape() {
+        let core = loaded_core();
+        let hm = link_heatmap(&core);
+        let lines: Vec<&str> = hm.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.chars().count() == 4));
+        for c in hm.chars().filter(|c| *c != '\n') {
+            assert!(SHADES.contains(&c));
+        }
+        let om = occupancy_heatmap(&core);
+        assert_eq!(om.lines().count(), 4);
+    }
+
+    #[test]
+    fn idle_network_renders_cold() {
+        let core = NetworkCore::new(
+            SimConfig::builder().mesh(3, 3).vns(0).vcs_per_vn(1).build(),
+        );
+        let hm = link_heatmap(&core);
+        assert!(hm.chars().filter(|c| *c != '\n').all(|c| c == '.'));
+        assert!(hottest_links(&core, 3)[0].contains("0 flits"));
+    }
+
+    #[test]
+    fn occupancy_tracks_buffers() {
+        let core = loaded_core();
+        let occ = occupancy(&core);
+        assert_eq!(occ.len(), 16);
+        for (_, used, total) in &occ {
+            assert!(used <= total);
+        }
+    }
+
+    #[test]
+    fn report_is_complete() {
+        let core = loaded_core();
+        let r = congestion_report(&core);
+        assert!(r.contains("flit-hops"));
+        assert!(r.contains("hottest links"));
+        assert!(r.contains("buffer occupancy"));
+    }
+}

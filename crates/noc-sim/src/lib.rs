@@ -1,0 +1,55 @@
+//! Cycle-accurate NoC simulator substrate.
+//!
+//! This crate is the reproduction's stand-in for gem5's Garnet 2.0: a
+//! cycle-driven mesh network with 1-cycle routers, credit-based virtual
+//! cut-through flow control, a single packet per VC and 5-flit buffers
+//! (Table II of the FastPass paper). Flow-control *schemes* — FastPass
+//! itself and the seven baselines — plug in through the [`Scheme`] trait
+//! and drive the shared per-cycle machinery in [`regular`].
+//!
+//! # Architecture
+//!
+//! * [`vc`] — virtual-channel input units. Because at most one packet
+//!   occupies a VC, flit positions are tracked with counters rather than
+//!   per-flit objects, while remaining flit-accurate in time.
+//! * [`router`] — per-router state: input units, arbitration pointers and
+//!   the ejection stream.
+//! * [`ni`] — network interfaces: per-class injection/ejection queues,
+//!   the open-loop source queue, and MSHR-based regeneration of dropped
+//!   requests.
+//! * [`network`] — [`NetworkCore`], owning routers, NIs and the packet
+//!   store, plus the staged flit-move machinery that keeps movement to
+//!   one hop per cycle.
+//! * [`routing`] — routing policies: XY, YX, west-first, fully adaptive,
+//!   and Duato-style escape-VC routing.
+//! * [`regular`] — the shared credit-based pipeline: ejection, switch
+//!   allocation, injection, and staged-arrival application.
+//! * [`waitgraph`] — wait-for-graph construction and cycle detection
+//!   (used by SPIN and by deadlock instrumentation in tests).
+//! * [`engine`] — the [`engine::Simulation`] driver,
+//!   workloads, warmup/measurement windows and saturation sweeps.
+//! * [`inspect`] — link-utilization heatmaps and congestion reports.
+//! * [`audit`] — deep structural invariant checks over the whole
+//!   network state (used at test checkpoints and when developing new
+//!   schemes).
+//!
+//! Schemes in downstream crates (FastPass, the baselines) are built
+//! exclusively on the public API of this crate — they are clients of the
+//! substrate exactly as a gem5 scheme is a client of Garnet.
+
+pub mod arbiter;
+pub mod audit;
+pub mod engine;
+pub mod inspect;
+pub mod network;
+pub mod ni;
+pub mod regular;
+pub mod router;
+pub mod routing;
+pub mod scheme;
+pub mod vc;
+pub mod waitgraph;
+
+pub use engine::{Simulation, Workload};
+pub use network::{LinkSet, NetworkCore};
+pub use scheme::{Scheme, SchemeProperties};

@@ -1,0 +1,527 @@
+//! The network core: routers, NIs, packet store and staged flit movement.
+//!
+//! [`NetworkCore`] is the shared substrate every scheme operates on. It
+//! enforces the physical constraints that keep the simulation honest:
+//! flits move at most one hop per cycle (arrivals are *staged* during a
+//! cycle and applied at its end), a VC is never double-booked, and
+//! buffers are freed only when the tail flit has left.
+
+use crate::ni::NiState;
+use crate::router::RouterState;
+use noc_core::config::SimConfig;
+use noc_core::packet::{PacketId, PacketSeed, PacketStore};
+use noc_core::rng::DetRng;
+use noc_core::stats::NetStats;
+use noc_core::topology::{LinkId, Mesh, NodeId, Port};
+
+/// A set of directed links, used for FastPass lane suppression and for
+/// collision assertions.
+#[derive(Debug, Clone)]
+pub struct LinkSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl LinkSet {
+    /// Creates an empty set sized for `mesh`.
+    pub fn new(mesh: Mesh) -> Self {
+        let len = mesh.num_links();
+        LinkSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Inserts a link. Returns whether it was newly inserted (`false`
+    /// means the link was already present — a collision).
+    pub fn insert(&mut self, l: LinkId) -> bool {
+        let (w, b) = (l.index() / 64, l.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Whether the set contains `l`.
+    pub fn contains(&self, l: LinkId) -> bool {
+        let (w, b) = (l.index() / 64, l.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Removes all links.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of links in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Capacity (number of addressable links).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+}
+
+/// A flit arrival to apply at the end of the current cycle.
+#[derive(Debug, Clone, Copy)]
+struct StagedArrival {
+    node: usize,
+    port: usize,
+    vc: usize,
+}
+
+/// The simulated network: all routers, NIs, links and packets.
+#[derive(Debug)]
+pub struct NetworkCore {
+    cfg: SimConfig,
+    mesh: Mesh,
+    routers: Vec<RouterState>,
+    nis: Vec<NiState>,
+    /// Central packet storage. Public: schemes and workloads read and
+    /// annotate packets directly.
+    pub store: PacketStore,
+    /// Aggregate statistics. Public: the engine and schemes update
+    /// counters as events occur.
+    pub stats: NetStats,
+    cycle: u64,
+    staged: Vec<StagedArrival>,
+    drained: Vec<StagedArrival>,
+    rng: DetRng,
+    link_flits: Vec<u64>,
+}
+
+impl NetworkCore {
+    /// Builds an idle network from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]).
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid configuration");
+        let mesh = cfg.mesh;
+        let n = mesh.num_nodes();
+        let vcs = cfg.vcs_per_port();
+        NetworkCore {
+            routers: (0..n).map(|_| RouterState::new(vcs)).collect(),
+            nis: (0..n)
+                .map(|_| NiState::new(cfg.inj_queue_packets, cfg.ej_queue_packets))
+                .collect(),
+            store: PacketStore::new(),
+            stats: NetStats::new(n),
+            cycle: 0,
+            staged: Vec::new(),
+            drained: Vec::new(),
+            rng: DetRng::new(cfg.seed),
+            link_flits: vec![0; mesh.num_links()],
+            mesh,
+            cfg,
+        }
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    /// The simulation configuration.
+    pub fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The topology.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the clock by one cycle (called by the engine once per
+    /// simulated cycle, after the scheme has stepped).
+    pub fn advance_cycle(&mut self) {
+        assert!(
+            self.staged.is_empty() && self.drained.is_empty(),
+            "advance_cycle called with staged moves pending; call apply_staged first"
+        );
+        self.cycle += 1;
+    }
+
+    /// Shared access to a router.
+    pub fn router(&self, n: NodeId) -> &RouterState {
+        &self.routers[n.index()]
+    }
+
+    /// Mutable access to a router.
+    pub fn router_mut(&mut self, n: NodeId) -> &mut RouterState {
+        &mut self.routers[n.index()]
+    }
+
+    /// Shared access to an NI.
+    pub fn ni(&self, n: NodeId) -> &NiState {
+        &self.nis[n.index()]
+    }
+
+    /// Mutable access to an NI.
+    pub fn ni_mut(&mut self, n: NodeId) -> &mut NiState {
+        &mut self.nis[n.index()]
+    }
+
+    /// Deterministic RNG for tie-breaking.
+    pub fn rng_mut(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Simultaneous mutable access to a router and the packet store
+    /// (common pattern in scheme code).
+    pub fn router_and_store_mut(&mut self, n: NodeId) -> (&mut RouterState, &mut PacketStore) {
+        (&mut self.routers[n.index()], &mut self.store)
+    }
+
+    // ---- packet generation ----------------------------------------------
+
+    /// Creates a packet and enqueues it at its source NI. This is the
+    /// single entry point for workloads (open- and closed-loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed's source equals its destination or the packet
+    /// exceeds the configured maximum length.
+    pub fn generate(&mut self, seed: PacketSeed) -> PacketId {
+        assert_ne!(seed.src, seed.dst, "self-traffic is not modelled");
+        assert!(
+            (1..=self.cfg.max_packet_flits as u8).contains(&seed.len_flits),
+            "packet length {} outside 1..={}",
+            seed.len_flits,
+            self.cfg.max_packet_flits
+        );
+        let class = seed.class;
+        let src = seed.src;
+        let id = self.store.insert(seed);
+        self.nis[src.index()].push_source(class, id);
+        self.stats.generated += 1;
+        id
+    }
+
+    // ---- staged flit movement --------------------------------------------
+
+    /// Stages the arrival of one flit into `(node, port, vc)` at the end
+    /// of this cycle. The occupant must already exist there (reserved at
+    /// VC allocation).
+    pub fn stage_flit(&mut self, node: NodeId, port: Port, vc: usize) {
+        self.staged.push(StagedArrival {
+            node: node.index(),
+            port: port.index(),
+            vc,
+        });
+    }
+
+    /// Marks `(node, port, vc)` as fully drained (tail flit sent); the VC
+    /// is freed when staged moves are applied, making the credit visible
+    /// next cycle.
+    pub fn mark_drained(&mut self, node: NodeId, port: Port, vc: usize) {
+        self.drained.push(StagedArrival {
+            node: node.index(),
+            port: port.index(),
+            vc,
+        });
+    }
+
+    /// Applies all staged arrivals and VC frees. Called exactly once per
+    /// cycle by the regular pipeline (after switch allocation).
+    pub fn apply_staged(&mut self) {
+        let cycle = self.cycle;
+        let staged = std::mem::take(&mut self.staged);
+        for s in staged {
+            let occ = self.routers[s.node].inputs[s.port]
+                .vc_mut(s.vc)
+                .occupant_mut()
+                .expect("staged arrival into an unreserved VC");
+            assert!(occ.arrived < occ.len, "more flits arrived than packet length");
+            occ.arrived += 1;
+            if occ.arrived == 1 {
+                occ.head_arrival = cycle;
+                occ.last_progress = cycle;
+            }
+        }
+        let drained = std::mem::take(&mut self.drained);
+        for d in drained {
+            let vc = self.routers[d.node].inputs[d.port].vc_mut(d.vc);
+            let occ = vc.take().expect("drained VC already empty");
+            assert!(occ.drained(), "VC freed before tail departed");
+        }
+    }
+
+    // ---- scheme helpers ---------------------------------------------------
+
+    /// Atomically removes a quiescent packet from a VC, freeing the
+    /// buffer immediately (the FastPass upgrade path: credit is returned
+    /// as soon as the FastPass-Packet departs, §III-C4; also used by
+    /// SPIN/SWAP/Pitstop relocations).
+    ///
+    /// If the packet had already been allocated a downstream VC (route
+    /// computed, no flit sent yet), the reservation is released — the
+    /// downstream buffer never saw a flit of this packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is empty or its occupant is not quiescent.
+    pub fn take_vc_packet(&mut self, node: NodeId, port: Port, vc: usize) -> PacketId {
+        let slot = self.routers[node.index()].inputs[port.index()].vc_mut(vc);
+        let occ = slot.take().expect("taking packet from empty VC");
+        assert!(
+            occ.quiescent(),
+            "only quiescent (fully buffered, unsent) packets can be relocated"
+        );
+        if let Some(out_vc) = occ.out_vc {
+            let Some(Port::Dir(d)) = occ.route else {
+                panic!("downstream VC allocated without a direction route");
+            };
+            let nbr = self
+                .mesh
+                .neighbor(node, d)
+                .expect("allocated route leaves the mesh");
+            let reserved = self.routers[nbr.index()].inputs[Port::Dir(d.opposite()).index()]
+                .vc_mut(out_vc)
+                .take()
+                .expect("downstream reservation vanished");
+            assert_eq!(reserved.pkt, occ.pkt, "reservation held by another packet");
+            assert_eq!(reserved.arrived, 0, "reservation already received flits");
+        }
+        occ.pkt
+    }
+
+    /// Total packets resident in routers and NIs (conservation checks;
+    /// excludes scheme-held overlay packets such as FastPass flights).
+    ///
+    /// A packet in cut-through transfer spans a chain of buffers; it is
+    /// counted exactly once, at the frontmost buffer that has received
+    /// any of its flits (a downstream reservation that has seen no flit
+    /// yet does not own the packet).
+    pub fn resident_packets(&self) -> usize {
+        let mut count = 0;
+        for node in self.mesh.nodes() {
+            let router = &self.routers[node.index()];
+            for p in 0..noc_core::topology::NUM_PORTS {
+                let iu = &router.inputs[p];
+                for (_, occ) in iu.occupied() {
+                    if occ.arrived == 0 {
+                        continue; // reservation only; owned upstream
+                    }
+                    let owned = match (occ.route, occ.out_vc) {
+                        (Some(Port::Dir(d)), Some(v)) => {
+                            let nbr = self.mesh.neighbor(node, d).expect("route on-mesh");
+                            let down = &self.routers[nbr.index()].inputs
+                                [Port::Dir(d.opposite()).index()];
+                            down.vc(v)
+                                .occupant()
+                                .map(|o| o.arrived == 0)
+                                .unwrap_or(true)
+                        }
+                        _ => true,
+                    };
+                    if owned {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count + self.nis.iter().map(|ni| ni.resident_packets()).sum::<usize>()
+    }
+
+    /// Records one flit crossing a directed link (utilization
+    /// accounting for [`inspect`](crate::inspect)). The regular pipeline
+    /// and FastPass flights both report through this.
+    pub fn count_link_flit(&mut self, l: LinkId) {
+        self.link_flits[l.index()] += 1;
+    }
+
+    /// Flits that have crossed each directed link since construction,
+    /// indexed by [`LinkId::index`].
+    pub fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
+    /// Iterates node ids in a rotating order that changes every cycle,
+    /// removing systematic bias from fixed processing order.
+    pub fn nodes_rotating(&self) -> impl Iterator<Item = NodeId> {
+        let n = self.mesh.num_nodes();
+        let off = (self.cycle as usize) % n.max(1);
+        (0..n).map(move |i| NodeId::new((i + off) % n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vc::VcOccupant;
+    use noc_core::packet::{MessageClass, Packet};
+
+    fn small_core() -> NetworkCore {
+        NetworkCore::new(SimConfig::builder().mesh(3, 3).vns(0).vcs_per_vn(2).build())
+    }
+
+    #[test]
+    fn construction() {
+        let core = small_core();
+        assert_eq!(core.mesh().num_nodes(), 9);
+        assert_eq!(core.router(NodeId::new(0)).vcs_per_port(), 2);
+        assert_eq!(core.resident_packets(), 0);
+        assert_eq!(core.cycle(), 0);
+    }
+
+    #[test]
+    fn generate_places_packet_at_source() {
+        let mut core = small_core();
+        let id = core.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(8),
+            MessageClass::Request,
+            5,
+            0,
+        ));
+        assert_eq!(core.stats.generated, 1);
+        assert_eq!(core.ni(NodeId::new(0)).source_depth(), 1);
+        assert_eq!(core.store.get(id).dst, NodeId::new(8));
+        assert_eq!(core.resident_packets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn self_traffic_rejected() {
+        let mut core = small_core();
+        core.generate(Packet::new(
+            NodeId::new(3),
+            NodeId::new(3),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_packet_rejected() {
+        let mut core = small_core();
+        core.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            6,
+            0,
+        ));
+    }
+
+    #[test]
+    fn staged_arrival_lifecycle() {
+        let mut core = small_core();
+        let id = core.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(8),
+            MessageClass::Request,
+            2,
+            0,
+        ));
+        let node = NodeId::new(4);
+        let port = Port::Dir(noc_core::topology::Direction::North);
+        core.router_mut(node).inputs[port.index()]
+            .vc_mut(0)
+            .install(VcOccupant::reserved(id, 2, 0));
+        core.stage_flit(node, port, 0);
+        // Not yet visible.
+        assert_eq!(
+            core.router(node).inputs[port.index()]
+                .vc(0)
+                .occupant()
+                .unwrap()
+                .arrived,
+            0
+        );
+        core.apply_staged();
+        let occ = core.router(node).inputs[port.index()].vc(0).occupant().unwrap();
+        assert_eq!(occ.arrived, 1);
+        assert!(occ.head_present());
+    }
+
+    #[test]
+    fn drain_frees_vc_at_apply() {
+        let mut core = small_core();
+        let id = core.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(8),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        let node = NodeId::new(4);
+        let port = Port::Local;
+        let mut occ = VcOccupant::reserved(id, 1, 0);
+        occ.arrived = 1;
+        occ.sent = 1;
+        core.router_mut(node).inputs[port.index()].vc_mut(0).install(occ);
+        core.mark_drained(node, port, 0);
+        assert!(!core.router(node).inputs[port.index()].vc(0).is_free());
+        core.apply_staged();
+        assert!(core.router(node).inputs[port.index()].vc(0).is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "staged moves pending")]
+    fn advance_cycle_with_pending_moves_panics() {
+        let mut core = small_core();
+        let id = core.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(8),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        core.router_mut(NodeId::new(0)).inputs[0]
+            .vc_mut(0)
+            .install(VcOccupant::reserved(id, 1, 0));
+        core.stage_flit(NodeId::new(0), Port::from_index(0), 0);
+        core.advance_cycle();
+    }
+
+    #[test]
+    fn take_vc_packet_frees_immediately() {
+        let mut core = small_core();
+        let id = core.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(8),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        let node = NodeId::new(2);
+        let mut occ = VcOccupant::reserved(id, 1, 0);
+        occ.arrived = 1;
+        core.router_mut(node).inputs[0].vc_mut(0).install(occ);
+        let got = core.take_vc_packet(node, Port::from_index(0), 0);
+        assert_eq!(got, id);
+        assert!(core.router(node).inputs[0].vc(0).is_free());
+    }
+
+    #[test]
+    fn linkset_insert_and_collision() {
+        let mesh = Mesh::new(4, 4);
+        let mut set = LinkSet::new(mesh);
+        let l = mesh
+            .link(NodeId::new(0), noc_core::topology::Direction::East)
+            .unwrap();
+        assert!(set.insert(l), "first insert is new");
+        assert!(!set.insert(l), "second insert reports collision");
+        assert!(set.contains(l));
+        assert_eq!(set.count(), 1);
+        set.clear();
+        assert_eq!(set.count(), 0);
+        assert!(!set.contains(l));
+    }
+
+    #[test]
+    fn rotating_order_visits_all_nodes() {
+        let core = small_core();
+        let visited: std::collections::HashSet<_> = core.nodes_rotating().collect();
+        assert_eq!(visited.len(), 9);
+    }
+}

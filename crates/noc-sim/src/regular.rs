@@ -1,0 +1,686 @@
+//! The regular pass: shared credit-based virtual cut-through pipeline.
+//!
+//! Every scheme's per-cycle step ultimately calls [`advance`], which
+//! performs one cycle of the paper's "regular pass" (§III-A): route
+//! computation + VC allocation for new head flits, switch allocation and
+//! traversal (one flit per input and output port per cycle), ejection
+//! into per-class NI queues, and injection from NI queues — all under the
+//! single-packet-per-VC VCT discipline of Table II.
+//!
+//! Schemes influence the pipeline through [`AdvanceCtx`]: FastPass
+//! suppresses the links its lanes occupy this cycle (the lookahead signal
+//! of §III-C5) and preempts ejection ports; DRAIN freezes regular
+//! movement during drain epochs.
+
+use crate::network::{LinkSet, NetworkCore};
+use crate::ni::{EjectEntry, InjStream};
+use crate::routing::{RouteReq, RoutingPolicy};
+use crate::vc::VcOccupant;
+use noc_core::packet::MessageClass;
+use noc_core::topology::{NodeId, Port, DIRECTIONS, NUM_PORTS};
+
+/// Per-cycle context handed to [`advance`] by the owning scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvanceCtx<'a> {
+    /// Links a FastPass flight (or similar overlay) occupies this cycle;
+    /// regular flits are not granted these links.
+    pub suppressed: Option<&'a LinkSet>,
+    /// Per-node flags: the ejection port is preempted by an overlay
+    /// packet this cycle (ongoing regular ejections stall, §Qn3).
+    pub eject_blocked: Option<&'a [bool]>,
+    /// Freeze all regular movement (used by DRAIN during drain epochs).
+    pub freeze: bool,
+}
+
+impl AdvanceCtx<'_> {
+    fn link_suppressed(&self, core: &NetworkCore, node: NodeId, d: noc_core::topology::Direction) -> bool {
+        match (self.suppressed, core.mesh().link(node, d)) {
+            (Some(set), Some(l)) => set.contains(l),
+            _ => false,
+        }
+    }
+
+    fn eject_blocked_at(&self, node: NodeId) -> bool {
+        self.eject_blocked.is_some_and(|v| v[node.index()])
+    }
+}
+
+/// Advances the regular pass by one cycle.
+///
+/// Call exactly once per simulated cycle (schemes wrap it); it ends by
+/// applying all staged flit arrivals, so the network is in a consistent
+/// end-of-cycle state afterwards.
+pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &AdvanceCtx<'_>) {
+    if !ctx.freeze {
+        let nodes: Vec<NodeId> = core.nodes_rotating().collect();
+        for &n in &nodes {
+            route_and_allocate(core, policy, n);
+        }
+        for &n in &nodes {
+            switch_traversal(core, ctx, n);
+        }
+        for &n in &nodes {
+            injection(core, n);
+        }
+    }
+    core.apply_staged();
+}
+
+/// Route computation + downstream VC allocation for head packets that do
+/// not yet hold a route.
+fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, node: NodeId) {
+    let vcs = core.router(node).vcs_per_port();
+    for p in 0..NUM_PORTS {
+        for vc in 0..vcs {
+            let Some(occ) = core.router(node).inputs[p].vc(vc).occupant() else {
+                continue;
+            };
+            if !occ.head_present() || occ.route.is_some() {
+                continue;
+            }
+            let pkt = core.store.get(occ.pkt).clone();
+            let req = RouteReq {
+                at: node,
+                in_port: Port::from_index(p),
+                vc,
+                pkt: &pkt,
+            };
+            let Some(dec) = policy.route(core, &req) else {
+                continue;
+            };
+            match dec.out_port {
+                Port::Local => {
+                    debug_assert_eq!(pkt.dst, node, "local route for a non-arrived packet");
+                    let occ = core.router_mut(node).inputs[p]
+                        .vc_mut(vc)
+                        .occupant_mut()
+                        .unwrap();
+                    occ.route = Some(Port::Local);
+                }
+                Port::Dir(d) => {
+                    let nbr = core
+                        .mesh()
+                        .neighbor(node, d)
+                        .expect("policy routed off the mesh edge");
+                    let in_port = Port::Dir(d.opposite()).index();
+                    let cycle = core.cycle();
+                    let len = pkt.len_flits;
+                    let pkt_id = occ.pkt;
+                    // Reserve the downstream VC immediately so no other
+                    // head can double-book it this cycle.
+                    core.router_mut(nbr).inputs[in_port]
+                        .vc_mut(dec.out_vc)
+                        .install(VcOccupant::reserved(pkt_id, len, cycle));
+                    let occ = core.router_mut(node).inputs[p]
+                        .vc_mut(vc)
+                        .occupant_mut()
+                        .unwrap();
+                    occ.route = Some(Port::Dir(d));
+                    occ.out_vc = Some(dec.out_vc);
+                }
+            }
+        }
+    }
+}
+
+/// Switch allocation + traversal for one router: ejection first (Local
+/// output), then the four direction outputs, at most one flit per input
+/// and per output port.
+fn switch_traversal(core: &mut NetworkCore, ctx: &AdvanceCtx<'_>, node: NodeId) {
+    let vcs = core.router(node).vcs_per_port();
+    let mut input_used = [false; NUM_PORTS];
+
+    eject_stage(core, ctx, node, &mut input_used);
+
+    for d in DIRECTIONS {
+        let Some(nbr) = core.mesh().neighbor(node, d) else {
+            continue;
+        };
+        if ctx.link_suppressed(core, node, d) {
+            continue;
+        }
+        // Gather requests: flits with an allocated route through `d`.
+        let router = core.router(node);
+        let mut reqs = vec![false; NUM_PORTS * vcs];
+        for (p, used) in input_used.iter().enumerate() {
+            if *used {
+                continue;
+            }
+            for vc in 0..vcs {
+                if let Some(occ) = router.inputs[p].vc(vc).occupant() {
+                    if occ.route == Some(Port::Dir(d)) && occ.flit_ready() {
+                        reqs[router.sa_index(p, vc)] = true;
+                    }
+                }
+            }
+        }
+        let out_idx = Port::Dir(d).index();
+        let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(&reqs) else {
+            continue;
+        };
+        let (p, vc) = core.router(node).sa_decode(winner);
+        input_used[p] = true;
+        send_flit(core, node, p, vc, nbr, d);
+    }
+}
+
+/// Moves one flit of `(node, p, vc)`'s occupant across link `d` to `nbr`.
+fn send_flit(
+    core: &mut NetworkCore,
+    node: NodeId,
+    p: usize,
+    vc: usize,
+    nbr: NodeId,
+    d: noc_core::topology::Direction,
+) {
+    let cycle = core.cycle();
+    let (pkt_id, out_vc, first, drained) = {
+        let occ = core.router_mut(node).inputs[p]
+            .vc_mut(vc)
+            .occupant_mut()
+            .expect("granted flit from empty VC");
+        occ.sent += 1;
+        occ.last_progress = cycle;
+        (
+            occ.pkt,
+            occ.out_vc.expect("direction route without VC allocation"),
+            occ.sent == 1,
+            occ.drained(),
+        )
+    };
+    if first {
+        core.store.get_mut(pkt_id).hops += 1;
+    }
+    if let Some(l) = core.mesh().link(node, d) {
+        core.count_link_flit(l);
+    }
+    core.stage_flit(nbr, Port::Dir(d.opposite()), out_vc);
+    if drained {
+        core.mark_drained(node, Port::from_index(p), vc);
+    }
+}
+
+/// Ejection: continue the locked stream or grant a new one.
+fn eject_stage(
+    core: &mut NetworkCore,
+    ctx: &AdvanceCtx<'_>,
+    node: NodeId,
+    input_used: &mut [bool; NUM_PORTS],
+) {
+    if ctx.eject_blocked_at(node) {
+        return; // Preempted by an overlay packet; the lock (if any) stalls.
+    }
+    if let Some((p, vc)) = core.router(node).eject_lock {
+        let ready = core.router(node).inputs[p]
+            .vc(vc)
+            .occupant()
+            .expect("eject lock on empty VC")
+            .flit_ready();
+        if ready {
+            eject_flit(core, node, p, vc);
+            input_used[p] = true;
+        }
+        return; // Port held until the tail leaves.
+    }
+    // New grant.
+    let vcs = core.router(node).vcs_per_port();
+    let router = core.router(node);
+    let mut reqs = vec![false; NUM_PORTS * vcs];
+    for p in 0..NUM_PORTS {
+        for vc in 0..vcs {
+            if let Some(occ) = router.inputs[p].vc(vc).occupant() {
+                if occ.route == Some(Port::Local) && occ.flit_ready() {
+                    let class = core.store.get(occ.pkt).class;
+                    if core.ni(node).ej_can_accept(class, occ.pkt) {
+                        reqs[router.sa_index(p, vc)] = true;
+                    }
+                }
+            }
+        }
+    }
+    let out_idx = Port::Local.index();
+    let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(&reqs) else {
+        return;
+    };
+    let (p, vc) = core.router(node).sa_decode(winner);
+    let pkt_id = core.router(node).inputs[p].vc(vc).occupant().unwrap().pkt;
+    let class = core.store.get(pkt_id).class;
+    core.ni_mut(node).ej_begin(class, pkt_id);
+    core.router_mut(node).eject_lock = Some((p, vc));
+    eject_flit(core, node, p, vc);
+    input_used[p] = true;
+}
+
+/// Streams one flit into the NI; finishes the delivery on the tail.
+fn eject_flit(core: &mut NetworkCore, node: NodeId, p: usize, vc: usize) {
+    let cycle = core.cycle();
+    let (pkt_id, drained) = {
+        let occ = core.router_mut(node).inputs[p]
+            .vc_mut(vc)
+            .occupant_mut()
+            .unwrap();
+        occ.sent += 1;
+        occ.last_progress = cycle;
+        (occ.pkt, occ.drained())
+    };
+    if drained {
+        core.mark_drained(node, Port::from_index(p), vc);
+        let ready = cycle + core.cfg().ni_consume_cycles;
+        let class = {
+            let pkt = core.store.get_mut(pkt_id);
+            pkt.eject_cycle = Some(cycle);
+            pkt.class
+        };
+        core.ni_mut(node).ej_commit(
+            class,
+            EjectEntry {
+                pkt: pkt_id,
+                ready,
+            },
+        );
+        core.router_mut(node).eject_lock = None;
+    }
+}
+
+/// NI-side injection: regeneration, source→queue refill, and streaming
+/// one flit per cycle over the injection link into a Local input VC.
+fn injection(core: &mut NetworkCore, node: NodeId) {
+    let cycle = core.cycle();
+    // MSHR regeneration of dropped requests.
+    let regenerated = core.ni_mut(node).take_regenerated(cycle);
+    for pkt in regenerated {
+        let class = core.store.get(pkt).class;
+        core.ni_mut(node).push_source_front(class, pkt);
+    }
+    core.ni_mut(node).refill_inj();
+
+    // Continue an active injection stream: one flit per cycle.
+    if let Some(stream) = core.ni(node).inj_stream {
+        core.stage_flit(node, Port::Local, stream.vc);
+        let ni = core.ni_mut(node);
+        let s = ni.inj_stream.as_mut().unwrap();
+        s.flits_sent += 1;
+        if s.flits_sent == s.len {
+            ni.inj_stream = None;
+        }
+        return;
+    }
+
+    // Start a new stream: round-robin over classes with a waiting head
+    // packet and a free Local-port VC in the class's range.
+    let mut reqs = [false; noc_core::packet::NUM_CLASSES];
+    for (c, req) in reqs.iter_mut().enumerate() {
+        let class = MessageClass::from_index(c);
+        if core.ni(node).inj_head(class).is_some() {
+            let range = core.cfg().vc_range_for_class(c);
+            *req = core.router(node).inputs[Port::Local.index()]
+                .free_vc_in(range)
+                .is_some();
+        }
+    }
+    let Some(c) = core.router_mut(node).inj_class_rr.grant(&reqs) else {
+        return;
+    };
+    let class = MessageClass::from_index(c);
+    let range = core.cfg().vc_range_for_class(c);
+    let vc = core.router(node).inputs[Port::Local.index()]
+        .free_vc_in(range)
+        .expect("request vector promised a free VC");
+    let pkt_id = core.ni_mut(node).pop_inj(class).expect("queue head vanished");
+    let len = {
+        let pkt = core.store.get_mut(pkt_id);
+        pkt.inject_cycle = Some(cycle);
+        pkt.len_flits
+    };
+    core.router_mut(node).inputs[Port::Local.index()]
+        .vc_mut(vc)
+        .install(VcOccupant::reserved(pkt_id, len, cycle));
+    core.stage_flit(node, Port::Local, vc);
+    core.ni_mut(node).inj_stream = if len > 1 {
+        Some(InjStream {
+            pkt: pkt_id,
+            vc,
+            flits_sent: 1,
+            len,
+        })
+    } else {
+        None
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::DorXy;
+    use noc_core::config::SimConfig;
+    use noc_core::packet::{MessageClass, Packet, PacketId};
+    use noc_core::topology::Direction;
+
+    fn core(w: usize, h: usize) -> NetworkCore {
+        NetworkCore::new(
+            SimConfig::builder()
+                .mesh(w, h)
+                .vns(0)
+                .vcs_per_vn(2)
+                .seed(1)
+                .build(),
+        )
+    }
+
+    fn run_until_consumable(
+        core: &mut NetworkCore,
+        dst: NodeId,
+        class: MessageClass,
+        max_cycles: u64,
+    ) -> Option<(PacketId, u64)> {
+        let mut policy = DorXy;
+        for _ in 0..max_cycles {
+            advance(core, &mut policy, &AdvanceCtx::default());
+            core.advance_cycle();
+            let now = core.cycle();
+            if let Some(p) = core.ni(dst).ej_consumable(class, now) {
+                return Some((p, now));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn single_packet_end_to_end() {
+        let mut c = core(4, 4);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(15); // 6 hops away
+        let id = c.generate(Packet::new(src, dst, MessageClass::Request, 1, 0));
+        let (got, _) = run_until_consumable(&mut c, dst, MessageClass::Request, 100)
+            .expect("packet never delivered");
+        assert_eq!(got, id);
+        let pkt = c.store.get(id);
+        assert_eq!(pkt.hops, 6);
+        assert!(pkt.inject_cycle.is_some());
+        let lat = pkt.latency().unwrap();
+        // 1-cycle routers: one cycle per hop plus injection/ejection
+        // overhead; single flit.
+        assert!((6..=12).contains(&lat), "unexpected latency {lat}");
+    }
+
+    #[test]
+    fn five_flit_packet_serializes() {
+        let mut c1 = core(4, 4);
+        let mut c5 = core(4, 4);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(3);
+        let a = c1.generate(Packet::new(src, dst, MessageClass::Request, 1, 0));
+        let b = c5.generate(Packet::new(src, dst, MessageClass::Request, 5, 0));
+        run_until_consumable(&mut c1, dst, MessageClass::Request, 100).unwrap();
+        run_until_consumable(&mut c5, dst, MessageClass::Request, 100).unwrap();
+        let l1 = c1.store.get(a).latency().unwrap();
+        let l5 = c5.store.get(b).latency().unwrap();
+        assert_eq!(
+            l5 - l1,
+            4,
+            "a 5-flit packet pays exactly 4 extra serialization cycles"
+        );
+    }
+
+    #[test]
+    fn conservation_and_delivery_of_many_packets() {
+        let mut c = core(4, 4);
+        let mut expected = Vec::new();
+        for i in 0..8 {
+            let src = NodeId::new(i);
+            let dst = NodeId::new(15 - i);
+            expected.push(c.generate(Packet::new(
+                src,
+                dst,
+                MessageClass::Request,
+                1 + (i as u8 % 5),
+                0,
+            )));
+        }
+        let mut policy = DorXy;
+        let mut delivered = std::collections::HashSet::new();
+        for _ in 0..500 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+            let now = c.cycle();
+            for n in c.mesh().nodes() {
+                if let Some(p) = c.ni(n).ej_consumable(MessageClass::Request, now) {
+                    c.ni_mut(n).pop_ej(MessageClass::Request);
+                    delivered.insert(p);
+                }
+            }
+            if delivered.len() == expected.len() {
+                break;
+            }
+        }
+        assert_eq!(delivered.len(), expected.len(), "all packets delivered");
+        for id in expected {
+            assert!(delivered.contains(&id));
+        }
+    }
+
+    #[test]
+    fn suppressed_link_blocks_movement() {
+        let mut c = core(2, 1);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(1);
+        c.generate(Packet::new(src, dst, MessageClass::Request, 1, 0));
+        let mut suppressed = LinkSet::new(c.mesh());
+        suppressed.insert(c.mesh().link(src, Direction::East).unwrap());
+        let mut policy = DorXy;
+        for _ in 0..50 {
+            let ctx = AdvanceCtx {
+                suppressed: Some(&suppressed),
+                ..Default::default()
+            };
+            advance(&mut c, &mut policy, &ctx);
+            c.advance_cycle();
+        }
+        assert_eq!(
+            c.ni(dst).ej_consumable(MessageClass::Request, c.cycle()),
+            None,
+            "suppressed link must carry no flits"
+        );
+        // Unsuppress: delivery completes.
+        assert!(run_until_consumable(&mut c, dst, MessageClass::Request, 50).is_some());
+    }
+
+    #[test]
+    fn freeze_stops_everything() {
+        let mut c = core(2, 1);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(1);
+        c.generate(Packet::new(src, dst, MessageClass::Request, 1, 0));
+        let mut policy = DorXy;
+        for _ in 0..50 {
+            let ctx = AdvanceCtx {
+                freeze: true,
+                ..Default::default()
+            };
+            advance(&mut c, &mut policy, &ctx);
+            c.advance_cycle();
+        }
+        assert_eq!(c.ni(src).source_depth() + c.ni(src).inj_len(MessageClass::Request), 1);
+    }
+
+    #[test]
+    fn ejection_queue_backpressure_stalls_packets() {
+        let mut c = NetworkCore::new(
+            SimConfig::builder()
+                .mesh(2, 1)
+                .vns(0)
+                .vcs_per_vn(2)
+                .ej_queue_packets(1)
+                .ni_consume_cycles(1)
+                .build(),
+        );
+        let src = NodeId::new(0);
+        let dst = NodeId::new(1);
+        for _ in 0..3 {
+            c.generate(Packet::new(src, dst, MessageClass::Request, 1, 0));
+        }
+        let mut policy = DorXy;
+        // Never consume: at most one packet can sit in the ejection queue.
+        for _ in 0..200 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+        }
+        assert_eq!(c.ni(dst).ej_len(MessageClass::Request), 1);
+        // The others are stalled in the network / at the source, not lost.
+        assert_eq!(c.resident_packets(), 3);
+    }
+
+    #[test]
+    fn vc_contention_two_senders_one_receiver() {
+        let mut c = core(3, 1);
+        let a = c.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(2),
+            MessageClass::Request,
+            5,
+            0,
+        ));
+        let b = c.generate(Packet::new(
+            NodeId::new(1),
+            NodeId::new(2),
+            MessageClass::Request,
+            5,
+            0,
+        ));
+        let mut policy = DorXy;
+        let mut got = Vec::new();
+        for _ in 0..300 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+            let now = c.cycle();
+            let dst = NodeId::new(2);
+            if let Some(p) = c.ni(dst).ej_consumable(MessageClass::Request, now) {
+                c.ni_mut(dst).pop_ej(MessageClass::Request);
+                got.push(p);
+            }
+            if got.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&a) && got.contains(&b));
+    }
+
+    #[test]
+    fn per_class_injection_round_robins() {
+        let mut c = core(2, 1);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(1);
+        c.generate(Packet::new(src, dst, MessageClass::Request, 1, 0));
+        c.generate(Packet::new(src, dst, MessageClass::Response, 1, 0));
+        let mut policy = DorXy;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+            let now = c.cycle();
+            for class in [MessageClass::Request, MessageClass::Response] {
+                if let Some(p) = c.ni(dst).ej_consumable(class, now) {
+                    c.ni_mut(dst).pop_ej(class);
+                    seen.insert(p);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2, "both classes make it through");
+    }
+
+    #[test]
+    fn eject_preemption_stalls_and_resumes() {
+        // A 5-flit packet starts ejecting; the overlay preempts the port
+        // mid-stream; the stream must stall (not abort) and finish after.
+        let mut c = core(2, 1);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(1);
+        let id = c.generate(Packet::new(src, dst, MessageClass::Request, 5, 0));
+        let mut policy = DorXy;
+        // Run until the ejection lock engages at the destination.
+        let mut engaged_at = None;
+        for _ in 0..60 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+            if c.router(dst).eject_lock.is_some() {
+                engaged_at = Some(c.cycle());
+                break;
+            }
+        }
+        let engaged_at = engaged_at.expect("ejection must start");
+        // Preempt for 10 cycles: no progress, lock persists.
+        let blocked = vec![false, true];
+        for _ in 0..10 {
+            let ctx = AdvanceCtx {
+                eject_blocked: Some(&blocked),
+                ..Default::default()
+            };
+            advance(&mut c, &mut policy, &ctx);
+            c.advance_cycle();
+        }
+        assert!(c.router(dst).eject_lock.is_some(), "lock held through stall");
+        assert_eq!(
+            c.ni(dst).ej_len(MessageClass::Request),
+            0,
+            "nothing committed during preemption"
+        );
+        // Release: the stream completes.
+        for _ in 0..20 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+        }
+        assert!(c.router(dst).eject_lock.is_none());
+        assert_eq!(c.ni(dst).ej_len(MessageClass::Request), 1);
+        let done = c.store.get(id).eject_cycle.unwrap();
+        assert!(
+            done > engaged_at + 10,
+            "completion must reflect the stall ({done} vs engaged {engaged_at})"
+        );
+    }
+
+    #[test]
+    fn source_queue_latency_counts() {
+        // With a tiny injection queue and a burst, later packets wait at
+        // the source; their end-to-end latency must include that wait.
+        let mut c = NetworkCore::new(
+            SimConfig::builder()
+                .mesh(2, 1)
+                .vns(0)
+                .vcs_per_vn(1)
+                .inj_queue_packets(1)
+                .build(),
+        );
+        let ids: Vec<_> = (0..6)
+            .map(|_| {
+                c.generate(Packet::new(
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    MessageClass::Request,
+                    5,
+                    0,
+                ))
+            })
+            .collect();
+        let mut policy = DorXy;
+        let mut lats = Vec::new();
+        for _ in 0..400 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+            let now = c.cycle();
+            let dst = NodeId::new(1);
+            if c.ni(dst).ej_consumable(MessageClass::Request, now).is_some() {
+                let e = c.ni_mut(dst).pop_ej(MessageClass::Request).unwrap();
+                lats.push(c.store.get(e.pkt).latency().unwrap());
+                c.store.remove(e.pkt);
+            }
+            if lats.len() == ids.len() {
+                break;
+            }
+        }
+        assert_eq!(lats.len(), 6);
+        // Serialization: each subsequent packet waits ~5 more cycles.
+        assert!(lats.windows(2).all(|w| w[1] > w[0]), "{lats:?}");
+        assert!(lats[5] >= lats[0] + 5 * 4, "{lats:?}");
+    }
+}

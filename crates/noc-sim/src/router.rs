@@ -1,0 +1,112 @@
+//! Per-router state: input units, arbitration pointers, ejection lock.
+
+use crate::arbiter::RoundRobin;
+use crate::vc::InputUnit;
+use noc_core::packet::NUM_CLASSES;
+use noc_core::topology::NUM_PORTS;
+
+/// State of one router.
+///
+/// The paper's router (Fig. 6) has five input ports (N/S/E/W + injection)
+/// and five output ports (N/S/E/W + ejection), each input port carrying
+/// the configured VCs. Switch allocation is per-output-port round-robin
+/// over `(input port, VC)` requesters.
+#[derive(Debug, Clone)]
+pub struct RouterState {
+    /// Input units indexed by [`Port::index`](noc_core::topology::Port::index).
+    pub inputs: Vec<InputUnit>,
+    /// Per-output-port switch-allocation arbiters over
+    /// `NUM_PORTS × vcs_per_port` requesters.
+    pub sa_rr: Vec<RoundRobin>,
+    /// Round-robin over classes for starting NI injection transfers.
+    pub inj_class_rr: RoundRobin,
+    /// While a packet is being ejected, the `(input port, vc)` it streams
+    /// from. The ejection port is held until the tail flit leaves
+    /// (FastPass flights may stall, but never steal, the stream — Qn3).
+    pub eject_lock: Option<(usize, usize)>,
+}
+
+impl RouterState {
+    /// Creates a router whose input ports each have `vcs_per_port` VCs.
+    pub fn new(vcs_per_port: usize) -> Self {
+        RouterState {
+            inputs: (0..NUM_PORTS).map(|_| InputUnit::new(vcs_per_port)).collect(),
+            sa_rr: (0..NUM_PORTS)
+                .map(|_| RoundRobin::new(NUM_PORTS * vcs_per_port))
+                .collect(),
+            inj_class_rr: RoundRobin::new(NUM_CLASSES),
+            eject_lock: None,
+        }
+    }
+
+    /// VCs per input port.
+    pub fn vcs_per_port(&self) -> usize {
+        self.inputs[0].num_vcs()
+    }
+
+    /// Total occupied VCs in this router's input units. Note that a
+    /// packet mid-transfer occupies buffers at several routers; use
+    /// [`NetworkCore::resident_packets`] for an exactly-once packet
+    /// count.
+    ///
+    /// [`NetworkCore::resident_packets`]: crate::network::NetworkCore::resident_packets
+    pub fn occupied_vcs(&self) -> usize {
+        self.inputs.iter().map(|iu| iu.occupied().count()).sum()
+    }
+
+    /// Encodes an `(input port, vc)` pair as a switch-allocation
+    /// requester index.
+    pub fn sa_index(&self, in_port: usize, vc: usize) -> usize {
+        in_port * self.vcs_per_port() + vc
+    }
+
+    /// Decodes a switch-allocation requester index back to
+    /// `(input port, vc)`.
+    pub fn sa_decode(&self, idx: usize) -> (usize, usize) {
+        (idx / self.vcs_per_port(), idx % self.vcs_per_port())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vc::VcOccupant;
+    use noc_core::packet::{MessageClass, Packet, PacketStore};
+    use noc_core::topology::NodeId;
+
+    #[test]
+    fn construction_shapes() {
+        let r = RouterState::new(12);
+        assert_eq!(r.inputs.len(), NUM_PORTS);
+        assert_eq!(r.sa_rr.len(), NUM_PORTS);
+        assert_eq!(r.vcs_per_port(), 12);
+        assert_eq!(r.sa_rr[0].len(), NUM_PORTS * 12);
+        assert_eq!(r.occupied_vcs(), 0);
+    }
+
+    #[test]
+    fn sa_index_roundtrip() {
+        let r = RouterState::new(4);
+        for port in 0..NUM_PORTS {
+            for vc in 0..4 {
+                let idx = r.sa_index(port, vc);
+                assert_eq!(r.sa_decode(idx), (port, vc));
+            }
+        }
+    }
+
+    #[test]
+    fn resident_packet_count() {
+        let mut store = PacketStore::new();
+        let mut r = RouterState::new(2);
+        let p = store.insert(Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        r.inputs[0].vc_mut(1).install(VcOccupant::reserved(p, 1, 0));
+        assert_eq!(r.occupied_vcs(), 1);
+    }
+}

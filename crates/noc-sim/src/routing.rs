@@ -1,0 +1,876 @@
+//! Routing policies: XY, YX, west-first, fully adaptive, escape-VC.
+//!
+//! A policy performs route computation *and* downstream VC selection for
+//! a head packet (RC + VA of the 1-cycle router). Table II assigns:
+//! fully-adaptive routing to SWAP, SPIN, DRAIN, Pitstop and FastPass's
+//! regular pass; west-first to TFC; and a Duato escape-VC arrangement to
+//! EscapeVC (deterministic escape VC + fully-adaptive elsewhere).
+
+use crate::network::NetworkCore;
+use noc_core::packet::Packet;
+use noc_core::rng::DetRng;
+use noc_core::topology::{Direction, NodeId, Port};
+
+/// A head packet asking for a route at a router.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteReq<'a> {
+    /// Router the packet is buffered at.
+    pub at: NodeId,
+    /// Input port it occupies.
+    pub in_port: Port,
+    /// VC it occupies.
+    pub vc: usize,
+    /// The packet.
+    pub pkt: &'a Packet,
+}
+
+/// A granted route: output port plus the downstream VC that was selected
+/// (`out_vc` is meaningless for `Port::Local`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Output port to traverse.
+    pub out_port: Port,
+    /// Downstream VC index (already verified free by the policy).
+    pub out_vc: usize,
+}
+
+/// Route computation + VC selection.
+///
+/// Implementations must only return decisions whose downstream VC is
+/// currently free; the regular pipeline reserves it immediately.
+pub trait RoutingPolicy {
+    /// Short name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes a route for `req`, or `None` if no admissible output/VC
+    /// is available this cycle (the packet stays blocked).
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision>;
+
+    /// Output ports the packet *could* legally use (for wait-for-graph
+    /// construction). The default is all minimal productive directions.
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+        if req.pkt.dst == req.at {
+            return vec![Port::Local];
+        }
+        core.mesh()
+            .productive_dirs(req.at, req.pkt.dst)
+            .iter()
+            .map(Port::Dir)
+            .collect()
+    }
+}
+
+/// Returns the first free VC for `class` at the input port of the
+/// neighbour reached via `d` from `at`, if any.
+pub fn free_downstream_vc(
+    core: &NetworkCore,
+    at: NodeId,
+    d: Direction,
+    class_index: usize,
+) -> Option<usize> {
+    let nbr = core.mesh().neighbor(at, d)?;
+    let range = core.cfg().vc_range_for_class(class_index);
+    core.router(nbr).inputs[Port::Dir(d.opposite()).index()].free_vc_in(range)
+}
+
+/// Counts free VCs for `class` at the downstream input port via `d`
+/// (the congestion/credit signal used by adaptive selection and TFC
+/// tokens).
+pub fn downstream_credits(
+    core: &NetworkCore,
+    at: NodeId,
+    d: Direction,
+    class_index: usize,
+) -> usize {
+    match core.mesh().neighbor(at, d) {
+        Some(nbr) => {
+            let range = core.cfg().vc_range_for_class(class_index);
+            core.router(nbr).inputs[Port::Dir(d.opposite()).index()].free_vcs_in(range)
+        }
+        None => 0,
+    }
+}
+
+fn local_if_arrived(req: &RouteReq<'_>) -> Option<RouteDecision> {
+    (req.pkt.dst == req.at).then_some(RouteDecision {
+        out_port: Port::Local,
+        out_vc: 0,
+    })
+}
+
+/// Dimension-ordered routing, X then Y (deterministic, deadlock-free).
+#[derive(Debug, Clone)]
+pub struct DorXy;
+
+impl RoutingPolicy for DorXy {
+    fn name(&self) -> &'static str {
+        "xy"
+    }
+
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+        if let Some(d) = local_if_arrived(req) {
+            return Some(d);
+        }
+        let dir = core.mesh().xy_next(req.at, req.pkt.dst)?;
+        let out_vc = free_downstream_vc(core, req.at, dir, req.pkt.class.index())?;
+        Some(RouteDecision {
+            out_port: Port::Dir(dir),
+            out_vc,
+        })
+    }
+
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+        if req.pkt.dst == req.at {
+            vec![Port::Local]
+        } else {
+            vec![Port::Dir(core.mesh().xy_next(req.at, req.pkt.dst).unwrap())]
+        }
+    }
+}
+
+/// Dimension-ordered routing, Y then X.
+#[derive(Debug, Clone)]
+pub struct DorYx;
+
+impl RoutingPolicy for DorYx {
+    fn name(&self) -> &'static str {
+        "yx"
+    }
+
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+        if let Some(d) = local_if_arrived(req) {
+            return Some(d);
+        }
+        let dir = core.mesh().yx_next(req.at, req.pkt.dst)?;
+        let out_vc = free_downstream_vc(core, req.at, dir, req.pkt.class.index())?;
+        Some(RouteDecision {
+            out_port: Port::Dir(dir),
+            out_vc,
+        })
+    }
+
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+        if req.pkt.dst == req.at {
+            vec![Port::Local]
+        } else {
+            vec![Port::Dir(core.mesh().yx_next(req.at, req.pkt.dst).unwrap())]
+        }
+    }
+}
+
+/// Minimal fully-adaptive routing: any productive direction, preferring
+/// the one with the most free downstream VCs (credit-based congestion
+/// estimate), random tie-break.
+///
+/// Fully-adaptive routing admits network-level deadlock; schemes using it
+/// must provide a resolution mechanism (SPIN, SWAP, DRAIN, Pitstop,
+/// FastPass all do).
+#[derive(Debug, Clone)]
+pub struct FullyAdaptive {
+    rng: DetRng,
+}
+
+impl FullyAdaptive {
+    /// Creates the policy with a deterministic tie-break stream.
+    pub fn new(seed: u64) -> Self {
+        FullyAdaptive {
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl RoutingPolicy for FullyAdaptive {
+    fn name(&self) -> &'static str {
+        "fully-adaptive"
+    }
+
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+        if let Some(d) = local_if_arrived(req) {
+            return Some(d);
+        }
+        let class = req.pkt.class.index();
+        let mut best: Option<(usize, Direction, usize)> = None;
+        let mut ties = 0usize;
+        for dir in core.mesh().productive_dirs(req.at, req.pkt.dst).iter() {
+            if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
+                let credits = downstream_credits(core, req.at, dir, class);
+                match best {
+                    Some((b, _, _)) if credits < b => {}
+                    Some((b, _, _)) if credits == b => {
+                        // Reservoir-style uniform tie-break.
+                        ties += 1;
+                        if self.rng.range(0, ties + 1) == 0 {
+                            best = Some((credits, dir, vc));
+                        }
+                    }
+                    _ => {
+                        best = Some((credits, dir, vc));
+                        ties = 0;
+                    }
+                }
+            }
+        }
+        best.map(|(_, dir, vc)| RouteDecision {
+            out_port: Port::Dir(dir),
+            out_vc: vc,
+        })
+    }
+}
+
+/// West-first partially-adaptive routing (used by TFC and as the escape
+/// discipline). All westward correction happens first; once the packet no
+/// longer needs to go west, it may adaptively pick among the remaining
+/// productive directions. West-first forbids every turn into West, which
+/// breaks all cycles: deadlock-free.
+#[derive(Debug, Clone)]
+pub struct WestFirst {
+    rng: DetRng,
+}
+
+impl WestFirst {
+    /// Creates the policy with a deterministic tie-break stream.
+    pub fn new(seed: u64) -> Self {
+        WestFirst {
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Directions admissible under west-first from `at` toward `dst`.
+    pub fn admissible(core: &NetworkCore, at: NodeId, dst: NodeId) -> Vec<Direction> {
+        let prod = core.mesh().productive_dirs(at, dst);
+        if prod.contains(Direction::West) {
+            vec![Direction::West]
+        } else {
+            prod.iter().collect()
+        }
+    }
+}
+
+impl RoutingPolicy for WestFirst {
+    fn name(&self) -> &'static str {
+        "west-first"
+    }
+
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+        if let Some(d) = local_if_arrived(req) {
+            return Some(d);
+        }
+        let class = req.pkt.class.index();
+        let mut best: Option<(usize, Direction, usize)> = None;
+        for dir in Self::admissible(core, req.at, req.pkt.dst) {
+            if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
+                let credits = downstream_credits(core, req.at, dir, class);
+                let better = match best {
+                    Some((b, _, _)) => {
+                        credits > b || (credits == b && self.rng.chance(0.5))
+                    }
+                    None => true,
+                };
+                if better {
+                    best = Some((credits, dir, vc));
+                }
+            }
+        }
+        best.map(|(_, dir, vc)| RouteDecision {
+            out_port: Port::Dir(dir),
+            out_vc: vc,
+        })
+    }
+
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+        if req.pkt.dst == req.at {
+            vec![Port::Local]
+        } else {
+            Self::admissible(core, req.at, req.pkt.dst)
+                .into_iter()
+                .map(Port::Dir)
+                .collect()
+        }
+    }
+}
+
+/// Duato escape-VC routing: within each VN, VC 0 is the escape channel
+/// routed deterministically (XY, a subset of west-first as configured in
+/// the paper); the remaining VCs are fully adaptive. A packet may always
+/// fall back into the escape channel, which guarantees network-level
+/// deadlock freedom.
+#[derive(Debug, Clone)]
+pub struct EscapeVcRouting {
+    adaptive: FullyAdaptive,
+}
+
+impl EscapeVcRouting {
+    /// Creates the policy with a deterministic tie-break stream.
+    pub fn new(seed: u64) -> Self {
+        EscapeVcRouting {
+            adaptive: FullyAdaptive::new(seed),
+        }
+    }
+
+    /// The escape VC index for a class at the current configuration.
+    pub fn escape_vc(core: &NetworkCore, class_index: usize) -> usize {
+        core.cfg().vc_range_for_class(class_index).start
+    }
+}
+
+impl RoutingPolicy for EscapeVcRouting {
+    fn name(&self) -> &'static str {
+        "escape-vc"
+    }
+
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+        if let Some(d) = local_if_arrived(req) {
+            return Some(d);
+        }
+        let class = req.pkt.class.index();
+        let range = core.cfg().vc_range_for_class(class);
+        let escape = range.start;
+        // Adaptive attempt: any productive direction, non-escape VCs only.
+        let mesh = core.mesh();
+        let mut best: Option<(usize, Direction, usize)> = None;
+        for dir in mesh.productive_dirs(req.at, req.pkt.dst).iter() {
+            if let Some(nbr) = mesh.neighbor(req.at, dir) {
+                let iu = &core.router(nbr).inputs[Port::Dir(dir.opposite()).index()];
+                let adaptive_range = (escape + 1)..range.end;
+                if let Some(vc) = iu.free_vc_in(adaptive_range.clone()) {
+                    let credits = iu.free_vcs_in(adaptive_range);
+                    if best.map(|(b, _, _)| credits > b).unwrap_or(true) {
+                        best = Some((credits, dir, vc));
+                    }
+                }
+            }
+        }
+        if let Some((_, dir, vc)) = best {
+            return Some(RouteDecision {
+                out_port: Port::Dir(dir),
+                out_vc: vc,
+            });
+        }
+        // Escape fallback: deterministic XY into the escape VC.
+        let dir = mesh.xy_next(req.at, req.pkt.dst)?;
+        let nbr = mesh.neighbor(req.at, dir)?;
+        let iu = &core.router(nbr).inputs[Port::Dir(dir.opposite()).index()];
+        iu.vc(escape).is_free().then_some(RouteDecision {
+            out_port: Port::Dir(dir),
+            out_vc: escape,
+        })
+    }
+
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+        self.adaptive.desired_ports(core, req)
+    }
+}
+
+
+/// North-last partially-adaptive routing: a packet may adaptively use
+/// East/West/South, but may only head North once no other productive
+/// direction remains (with minimal routing: once it is in the
+/// destination column). All turns out of North are thereby eliminated,
+/// which breaks every cycle: deadlock-free without VCs or detection.
+#[derive(Debug, Clone)]
+pub struct NorthLast {
+    rng: DetRng,
+}
+
+impl NorthLast {
+    /// Creates the policy with a deterministic tie-break stream.
+    pub fn new(seed: u64) -> Self {
+        NorthLast {
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Directions admissible under north-last from `at` toward `dst`.
+    pub fn admissible(core: &NetworkCore, at: NodeId, dst: NodeId) -> Vec<Direction> {
+        let prod: Vec<Direction> = core.mesh().productive_dirs(at, dst).iter().collect();
+        let non_north: Vec<Direction> = prod
+            .iter()
+            .copied()
+            .filter(|&d| d != Direction::North)
+            .collect();
+        if non_north.is_empty() {
+            prod
+        } else {
+            non_north
+        }
+    }
+}
+
+impl RoutingPolicy for NorthLast {
+    fn name(&self) -> &'static str {
+        "north-last"
+    }
+
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+        if req.pkt.dst == req.at {
+            return Some(RouteDecision {
+                out_port: Port::Local,
+                out_vc: 0,
+            });
+        }
+        let class = req.pkt.class.index();
+        let mut best: Option<(usize, Direction, usize)> = None;
+        for dir in Self::admissible(core, req.at, req.pkt.dst) {
+            if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
+                let credits = downstream_credits(core, req.at, dir, class);
+                let better = match best {
+                    Some((b, _, _)) => credits > b || (credits == b && self.rng.chance(0.5)),
+                    None => true,
+                };
+                if better {
+                    best = Some((credits, dir, vc));
+                }
+            }
+        }
+        best.map(|(_, dir, vc)| RouteDecision {
+            out_port: Port::Dir(dir),
+            out_vc: vc,
+        })
+    }
+
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+        if req.pkt.dst == req.at {
+            vec![Port::Local]
+        } else {
+            Self::admissible(core, req.at, req.pkt.dst)
+                .into_iter()
+                .map(Port::Dir)
+                .collect()
+        }
+    }
+}
+
+/// Odd-even turn-model routing (Chiu): partially adaptive and
+/// deadlock-free by restricting *where* turns may occur instead of
+/// *which* turns exist —
+///
+/// * EN and ES turns are forbidden at nodes in even columns;
+/// * NW and SW turns are forbidden at nodes in odd columns.
+///
+/// Minimal-routing corollaries implemented here: an eastbound packet
+/// with remaining vertical offset must not enter an even destination
+/// column from the west (it could never turn there), and a packet that
+/// still needs to travel west may only move vertically in even columns
+/// (the later N/S→W turn must be legal).
+#[derive(Debug, Clone)]
+pub struct OddEven {
+    rng: DetRng,
+}
+
+impl OddEven {
+    /// Creates the policy with a deterministic tie-break stream.
+    pub fn new(seed: u64) -> Self {
+        OddEven {
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// The direction the packet travelled to arrive at `in_port`
+    /// (`None` for freshly injected packets).
+    fn travel_dir(in_port: Port) -> Option<Direction> {
+        match in_port {
+            Port::Dir(d) => Some(d.opposite()),
+            Port::Local => None,
+        }
+    }
+
+    /// Directions admissible under the odd-even rules.
+    pub fn admissible(
+        core: &NetworkCore,
+        at: NodeId,
+        dst: NodeId,
+        in_port: Port,
+    ) -> Vec<Direction> {
+        let mesh = core.mesh();
+        let x = mesh.x(at);
+        let even = x % 2 == 0;
+        let (tx, ty) = (mesh.x(dst), mesh.y(dst));
+        let dy = ty as isize - mesh.y(at) as isize;
+        let dx = tx as isize - x as isize;
+        let prev = Self::travel_dir(in_port);
+        mesh.productive_dirs(at, dst)
+            .iter()
+            .filter(|&d| match d {
+                Direction::North | Direction::South => {
+                    // EN/ES forbidden at even columns.
+                    if prev == Some(Direction::East) && even {
+                        return false;
+                    }
+                    // A packet still heading west must keep its future
+                    // N/S->W turn legal (even columns only).
+                    !(dx < 0 && !even)
+                }
+                Direction::West => {
+                    // NW/SW forbidden at odd columns.
+                    !(matches!(prev, Some(Direction::North) | Some(Direction::South)) && !even)
+                }
+                Direction::East => {
+                    // Never enter an even destination column eastbound
+                    // with vertical offset left: no legal turn there.
+                    let _ = dx;
+                    !(dy != 0 && tx % 2 == 0 && tx == x + 1)
+                }
+            })
+            .collect()
+    }
+}
+
+impl RoutingPolicy for OddEven {
+    fn name(&self) -> &'static str {
+        "odd-even"
+    }
+
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+        if req.pkt.dst == req.at {
+            return Some(RouteDecision {
+                out_port: Port::Local,
+                out_vc: 0,
+            });
+        }
+        let class = req.pkt.class.index();
+        let mut best: Option<(usize, Direction, usize)> = None;
+        for dir in Self::admissible(core, req.at, req.pkt.dst, req.in_port) {
+            if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
+                let credits = downstream_credits(core, req.at, dir, class);
+                let better = match best {
+                    Some((b, _, _)) => credits > b || (credits == b && self.rng.chance(0.5)),
+                    None => true,
+                };
+                if better {
+                    best = Some((credits, dir, vc));
+                }
+            }
+        }
+        best.map(|(_, dir, vc)| RouteDecision {
+            out_port: Port::Dir(dir),
+            out_vc: vc,
+        })
+    }
+
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+        if req.pkt.dst == req.at {
+            vec![Port::Local]
+        } else {
+            Self::admissible(core, req.at, req.pkt.dst, req.in_port)
+                .into_iter()
+                .map(Port::Dir)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::config::SimConfig;
+    use noc_core::packet::{MessageClass, Packet};
+    use noc_core::topology::Mesh;
+
+    fn core(vns: usize, vcs: usize) -> NetworkCore {
+        NetworkCore::new(
+            SimConfig::builder()
+                .mesh(4, 4)
+                .vns(vns)
+                .vcs_per_vn(vcs)
+                .build(),
+        )
+    }
+
+    fn req_between(core: &mut NetworkCore, src: usize, dst: usize) -> noc_core::PacketId {
+        core.generate(Packet::new(
+            NodeId::new(src),
+            NodeId::new(dst),
+            MessageClass::Request,
+            1,
+            0,
+        ))
+    }
+
+    fn route_of(
+        core: &NetworkCore,
+        policy: &mut dyn RoutingPolicy,
+        pkt: noc_core::PacketId,
+        at: usize,
+    ) -> Option<RouteDecision> {
+        let p = core.store.get(pkt).clone();
+        policy.route(
+            core,
+            &RouteReq {
+                at: NodeId::new(at),
+                in_port: Port::Local,
+                vc: 0,
+                pkt: &p,
+            },
+        )
+    }
+
+    #[test]
+    fn xy_routes_x_first() {
+        let mut c = core(0, 2);
+        let m = Mesh::new(4, 4);
+        let pkt = req_between(&mut c, 0, 15); // (0,0) -> (3,3)
+        let dec = route_of(&c, &mut DorXy, pkt, 0).unwrap();
+        assert_eq!(dec.out_port, Port::Dir(Direction::East));
+        // From a node in the right column, Y correction.
+        let at = m.node(3, 0).index();
+        let dec = route_of(&c, &mut DorXy, pkt, at).unwrap();
+        assert_eq!(dec.out_port, Port::Dir(Direction::South));
+    }
+
+    #[test]
+    fn yx_routes_y_first() {
+        let mut c = core(0, 2);
+        let pkt = req_between(&mut c, 0, 15);
+        let dec = route_of(&c, &mut DorYx, pkt, 0).unwrap();
+        assert_eq!(dec.out_port, Port::Dir(Direction::South));
+    }
+
+    #[test]
+    fn arrived_packet_routes_local() {
+        let mut c = core(0, 2);
+        let pkt = req_between(&mut c, 0, 5);
+        for policy in [
+            &mut DorXy as &mut dyn RoutingPolicy,
+            &mut DorYx,
+            &mut FullyAdaptive::new(1),
+            &mut WestFirst::new(1),
+            &mut EscapeVcRouting::new(1),
+        ] {
+            let dec = route_of(&c, policy, pkt, 5).unwrap();
+            assert_eq!(dec.out_port, Port::Local, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_only_picks_productive() {
+        let mut c = core(0, 2);
+        let pkt = req_between(&mut c, 5, 10); // (1,1) -> (2,2): E or S
+        let mut pol = FullyAdaptive::new(3);
+        for _ in 0..20 {
+            let dec = route_of(&c, &mut pol, pkt, 5).unwrap();
+            assert!(
+                dec.out_port == Port::Dir(Direction::East)
+                    || dec.out_port == Port::Dir(Direction::South)
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_prefers_more_credits() {
+        let mut c = core(0, 2);
+        let pkt = req_between(&mut c, 5, 10);
+        // Fill every VC at the East neighbour's West input port.
+        let east_nbr = NodeId::new(6);
+        for vc in 0..2 {
+            let filler = req_between(&mut c, 0, 15);
+            c.router_mut(east_nbr).inputs[Port::Dir(Direction::West).index()]
+                .vc_mut(vc)
+                .install(crate::vc::VcOccupant::reserved(filler, 1, 0));
+        }
+        let mut pol = FullyAdaptive::new(3);
+        let dec = route_of(&c, &mut pol, pkt, 5).unwrap();
+        assert_eq!(dec.out_port, Port::Dir(Direction::South));
+    }
+
+    #[test]
+    fn adaptive_blocks_when_all_full() {
+        let mut c = core(0, 1);
+        let pkt = req_between(&mut c, 5, 10);
+        for (nbr, dir) in [(6usize, Direction::West), (9, Direction::North)] {
+            let filler = req_between(&mut c, 0, 15);
+            c.router_mut(NodeId::new(nbr)).inputs[Port::Dir(dir).index()]
+                .vc_mut(0)
+                .install(crate::vc::VcOccupant::reserved(filler, 1, 0));
+        }
+        let mut pol = FullyAdaptive::new(3);
+        assert_eq!(route_of(&c, &mut pol, pkt, 5), None);
+    }
+
+    #[test]
+    fn west_first_forces_west() {
+        let mut c = core(0, 2);
+        let pkt = req_between(&mut c, 10, 0); // (2,2) -> (0,0): W and N productive
+        let mut pol = WestFirst::new(7);
+        for _ in 0..10 {
+            let dec = route_of(&c, &mut pol, pkt, 10).unwrap();
+            assert_eq!(dec.out_port, Port::Dir(Direction::West), "west first");
+        }
+        // Eastbound traffic is adaptive between E and S.
+        let pkt2 = req_between(&mut c, 0, 15);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let dec = route_of(&c, &mut pol, pkt2, 0).unwrap();
+            seen.insert(dec.out_port);
+        }
+        assert!(seen.contains(&Port::Dir(Direction::East)));
+        assert!(seen.contains(&Port::Dir(Direction::South)));
+    }
+
+    #[test]
+    fn escape_prefers_adaptive_vcs_then_falls_back() {
+        let mut c = core(6, 2);
+        let pkt = req_between(&mut c, 0, 15);
+        let mut pol = EscapeVcRouting::new(9);
+        let dec = route_of(&c, &mut pol, pkt, 0).unwrap();
+        let range = c.cfg().vc_range_for_class(MessageClass::Request.index());
+        assert_eq!(dec.out_vc, range.start + 1, "adaptive VC chosen first");
+        // Fill all adaptive VCs of both productive neighbours.
+        for (nbr, dir) in [(1usize, Direction::West), (4, Direction::North)] {
+            let filler = req_between(&mut c, 5, 15);
+            c.router_mut(NodeId::new(nbr)).inputs[Port::Dir(dir).index()]
+                .vc_mut(range.start + 1)
+                .install(crate::vc::VcOccupant::reserved(filler, 1, 0));
+        }
+        let dec = route_of(&c, &mut pol, pkt, 0).unwrap();
+        assert_eq!(dec.out_vc, range.start, "falls back to escape VC");
+        assert_eq!(
+            dec.out_port,
+            Port::Dir(Direction::East),
+            "escape uses deterministic XY"
+        );
+    }
+
+    #[test]
+    fn vn_isolation_respected() {
+        // A Response packet must only be offered Response-VN VCs.
+        let mut c = core(6, 2);
+        let pkt = c.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(3),
+            MessageClass::Response,
+            5,
+            0,
+        ));
+        let dec = route_of(&c, &mut DorXy, pkt, 0).unwrap();
+        let range = c.cfg().vc_range_for_class(MessageClass::Response.index());
+        assert!(range.contains(&dec.out_vc));
+    }
+
+    #[test]
+    fn desired_ports_default_is_productive() {
+        let mut c = core(0, 2);
+        let pkt = req_between(&mut c, 5, 10);
+        let pol = FullyAdaptive::new(1);
+        let p = c.store.get(pkt).clone();
+        let ports = pol.desired_ports(
+            &c,
+            &RouteReq {
+                at: NodeId::new(5),
+                in_port: Port::Local,
+                vc: 0,
+                pkt: &p,
+            },
+        );
+        assert_eq!(ports.len(), 2);
+    }
+
+    #[test]
+    fn north_last_defers_north() {
+        let mut c = core(0, 2);
+        // (2,2) -> (3,0): productive {E, N}; north-last must pick E.
+        let pkt = req_between(&mut c, 10, 3);
+        let mut pol = NorthLast::new(3);
+        for _ in 0..10 {
+            let dec = route_of(&c, &mut pol, pkt, 10).unwrap();
+            assert_eq!(dec.out_port, Port::Dir(Direction::East));
+        }
+        // Column-aligned: North is the only productive and is allowed.
+        let pkt2 = req_between(&mut c, 14, 2); // (2,3) -> (2,0)
+        let dec = route_of(&c, &mut pol, pkt2, 14).unwrap();
+        assert_eq!(dec.out_port, Port::Dir(Direction::North));
+    }
+
+    #[test]
+    fn odd_even_turn_rules() {
+        let c = core(0, 2);
+        let mesh = c.mesh();
+        // Travelling east (arrived on the West input port) at an even
+        // column: EN/ES forbidden.
+        let at_even = mesh.node(2, 2);
+        let dst = mesh.node(2, 0); // due north of at_even... use dst with vertical offset
+        let dirs = OddEven::admissible(&c, at_even, dst, Port::Dir(Direction::West));
+        assert!(
+            !dirs.contains(&Direction::North),
+            "EN turn must be forbidden at even column: {dirs:?}"
+        );
+        // Same situation at an odd column: EN allowed.
+        let at_odd = mesh.node(1, 2);
+        let dst2 = mesh.node(1, 0);
+        let dirs = OddEven::admissible(&c, at_odd, dst2, Port::Dir(Direction::West));
+        assert!(dirs.contains(&Direction::North));
+        // Travelling north at an odd column: NW forbidden.
+        let dst3 = mesh.node(0, 2);
+        let dirs = OddEven::admissible(&c, at_odd, dst3, Port::Dir(Direction::South));
+        assert!(
+            !dirs.contains(&Direction::West),
+            "NW turn must be forbidden at odd column: {dirs:?}"
+        );
+        // Injected packets are unrestricted by turn history.
+        let dirs = OddEven::admissible(&c, at_odd, dst3, Port::Local);
+        assert!(dirs.contains(&Direction::West));
+    }
+
+    /// Empirical deadlock-freedom soak for the turn-model policies: heavy
+    /// adversarial traffic, a single VC, no resolution scheme — if the
+    /// turn rules were wrong, the network would wedge.
+    #[test]
+    fn turn_models_never_wedge() {
+        use crate::regular::{advance, AdvanceCtx};
+        for which in ["north-last", "odd-even", "west-first"] {
+            let mut c = NetworkCore::new(
+                noc_core::config::SimConfig::builder()
+                    .mesh(4, 4)
+                    .vns(0)
+                    .vcs_per_vn(1)
+                    .seed(7)
+                    .build(),
+            );
+            let mut nl = NorthLast::new(5);
+            let mut oe = OddEven::new(5);
+            let mut wf = WestFirst::new(5);
+            let mut wl_rng = noc_core::rng::DetRng::new(11);
+            let mut last_consumed = 0u64;
+            let mut consumed = 0u64;
+            for cycle in 0..8_000u64 {
+                // Saturating random traffic.
+                for src in 0..16 {
+                    if wl_rng.chance(0.4) {
+                        let mut dst = wl_rng.range(0, 15);
+                        if dst >= src {
+                            dst += 1;
+                        }
+                        c.generate(Packet::new(
+                            NodeId::new(src),
+                            NodeId::new(dst),
+                            MessageClass::Request,
+                            1 + 4 * (wl_rng.chance(0.5) as u8),
+                            cycle,
+                        ));
+                    }
+                }
+                let pol: &mut dyn RoutingPolicy = match which {
+                    "north-last" => &mut nl,
+                    "odd-even" => &mut oe,
+                    _ => &mut wf,
+                };
+                advance(&mut c, pol, &AdvanceCtx::default());
+                let now = c.cycle();
+                for n in c.mesh().nodes() {
+                    if c.ni(n).ej_consumable(MessageClass::Request, now).is_some() {
+                        let e = c.ni_mut(n).pop_ej(MessageClass::Request).unwrap();
+                        c.store.remove(e.pkt);
+                        consumed += 1;
+                        last_consumed = now;
+                    }
+                }
+                c.advance_cycle();
+            }
+            assert!(consumed > 1_000, "{which}: too little delivered");
+            assert!(
+                c.cycle() - last_consumed < 500,
+                "{which} wedged: no consumption for {} cycles",
+                c.cycle() - last_consumed
+            );
+        }
+    }
+}

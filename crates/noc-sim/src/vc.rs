@@ -1,0 +1,282 @@
+//! Virtual-channel input units.
+//!
+//! Table II: virtual cut-through with a **single packet per VC** and
+//! 5-flit buffers. A VC is therefore fully described by its occupant
+//! packet plus two flit counters: how many of its flits have arrived into
+//! this buffer and how many have been forwarded downstream. Cut-through
+//! means a flit may be forwarded the cycle after it arrives, so the
+//! counters never violate `sent <= arrived <= len`.
+
+use noc_core::packet::PacketId;
+use noc_core::topology::Port;
+
+/// The packet currently holding a VC, with its flit progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcOccupant {
+    /// The resident packet.
+    pub pkt: PacketId,
+    /// Packet length in flits (cached to avoid store lookups in hot code).
+    pub len: u8,
+    /// Flits that have fully arrived into this buffer.
+    pub arrived: u8,
+    /// Flits forwarded out of this buffer (`sent <= arrived`).
+    pub sent: u8,
+    /// Output port allocated by route computation, once computed.
+    pub route: Option<Port>,
+    /// Downstream VC allocated to this packet, once allocated.
+    pub out_vc: Option<usize>,
+    /// Cycle the head flit arrived here (blocked-time bookkeeping for
+    /// SPIN detection, SWAP duty and Pitstop absorption).
+    pub head_arrival: u64,
+    /// Cycle of the last forward progress (flit sent) from this buffer.
+    pub last_progress: u64,
+}
+
+impl VcOccupant {
+    /// A freshly reserved occupant: the downstream allocation exists but
+    /// no flit has arrived yet.
+    pub fn reserved(pkt: PacketId, len: u8, cycle: u64) -> Self {
+        VcOccupant {
+            pkt,
+            len,
+            arrived: 0,
+            sent: 0,
+            route: None,
+            out_vc: None,
+            head_arrival: cycle,
+            last_progress: cycle,
+        }
+    }
+
+    /// Whether at least the head flit is present and unsent (route can be
+    /// computed / the packet is "at the head of the input buffer").
+    pub fn head_present(&self) -> bool {
+        self.arrived >= 1 && self.sent == 0
+    }
+
+    /// Whether every flit of the packet has arrived (needed before a
+    /// FastPass upgrade or a SWAP/SPIN relocation can move the packet
+    /// atomically).
+    pub fn complete(&self) -> bool {
+        self.arrived == self.len
+    }
+
+    /// Whether the packet is quiescent: fully here and none of it sent.
+    /// Only quiescent packets can be relocated by SPIN/SWAP/Pitstop or
+    /// upgraded by a FastPass prime.
+    pub fn quiescent(&self) -> bool {
+        self.complete() && self.sent == 0
+    }
+
+    /// Whether a flit is available to forward this cycle.
+    pub fn flit_ready(&self) -> bool {
+        self.sent < self.arrived
+    }
+
+    /// Whether the entire packet has been forwarded (VC can be freed).
+    pub fn drained(&self) -> bool {
+        self.sent == self.len
+    }
+
+    /// Cycles since the last forward progress.
+    pub fn blocked_for(&self, now: u64) -> u64 {
+        now.saturating_sub(self.last_progress)
+    }
+}
+
+/// One virtual channel.
+#[derive(Debug, Clone, Default)]
+pub struct Vc {
+    occupant: Option<VcOccupant>,
+}
+
+impl Vc {
+    /// Whether the VC is free for a new packet (VCT admission: the whole
+    /// buffer must be available).
+    pub fn is_free(&self) -> bool {
+        self.occupant.is_none()
+    }
+
+    /// Shared view of the occupant.
+    pub fn occupant(&self) -> Option<&VcOccupant> {
+        self.occupant.as_ref()
+    }
+
+    /// Mutable view of the occupant.
+    pub fn occupant_mut(&mut self) -> Option<&mut VcOccupant> {
+        self.occupant.as_mut()
+    }
+
+    /// Installs a new occupant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already occupied — upstream VC allocation must
+    /// never double-book a buffer.
+    pub fn install(&mut self, occ: VcOccupant) {
+        assert!(self.occupant.is_none(), "VC double-booked");
+        self.occupant = Some(occ);
+    }
+
+    /// Removes and returns the occupant (freeing the VC).
+    pub fn take(&mut self) -> Option<VcOccupant> {
+        self.occupant.take()
+    }
+}
+
+/// The input unit of one router port: its VCs.
+#[derive(Debug, Clone)]
+pub struct InputUnit {
+    vcs: Vec<Vc>,
+}
+
+impl InputUnit {
+    /// Creates an input unit with `num_vcs` empty VCs.
+    pub fn new(num_vcs: usize) -> Self {
+        InputUnit {
+            vcs: vec![Vc::default(); num_vcs],
+        }
+    }
+
+    /// Number of VCs.
+    pub fn num_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Access one VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn vc(&self, vc: usize) -> &Vc {
+        &self.vcs[vc]
+    }
+
+    /// Mutable access to one VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn vc_mut(&mut self, vc: usize) -> &mut Vc {
+        &mut self.vcs[vc]
+    }
+
+    /// Index of a free VC within `range`, if any.
+    pub fn free_vc_in(&self, range: std::ops::Range<usize>) -> Option<usize> {
+        range.clone().find(|&i| self.vcs[i].is_free())
+    }
+
+    /// Number of free VCs within `range` (the "credit count" congestion
+    /// metric used by adaptive routing and TFC tokens).
+    pub fn free_vcs_in(&self, range: std::ops::Range<usize>) -> usize {
+        range.clone().filter(|&i| self.vcs[i].is_free()).count()
+    }
+
+    /// Iterator over `(vc_index, occupant)` pairs for occupied VCs.
+    pub fn occupied(&self) -> impl Iterator<Item = (usize, &VcOccupant)> {
+        self.vcs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, vc)| vc.occupant().map(|o| (i, o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::packet::{MessageClass, Packet, PacketStore};
+    use noc_core::topology::NodeId;
+
+    fn pid(store: &mut PacketStore) -> PacketId {
+        store.insert(Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            5,
+            0,
+        ))
+    }
+
+    #[test]
+    fn occupant_lifecycle() {
+        let mut store = PacketStore::new();
+        let p = pid(&mut store);
+        let mut occ = VcOccupant::reserved(p, 5, 10);
+        assert!(!occ.head_present());
+        assert!(!occ.flit_ready());
+        occ.arrived = 1;
+        assert!(occ.head_present());
+        assert!(occ.flit_ready());
+        assert!(!occ.complete());
+        occ.arrived = 5;
+        assert!(occ.complete());
+        assert!(occ.quiescent());
+        occ.sent = 1;
+        assert!(!occ.quiescent());
+        assert!(!occ.head_present());
+        occ.sent = 5;
+        assert!(occ.drained());
+        assert!(!occ.flit_ready());
+    }
+
+    #[test]
+    fn blocked_time() {
+        let mut store = PacketStore::new();
+        let occ = VcOccupant::reserved(pid(&mut store), 1, 100);
+        assert_eq!(occ.blocked_for(100), 0);
+        assert_eq!(occ.blocked_for(150), 50);
+        assert_eq!(occ.blocked_for(50), 0, "saturating, never negative");
+    }
+
+    #[test]
+    fn vc_install_take() {
+        let mut store = PacketStore::new();
+        let mut vc = Vc::default();
+        assert!(vc.is_free());
+        vc.install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        assert!(!vc.is_free());
+        assert!(vc.occupant().is_some());
+        let occ = vc.take().unwrap();
+        assert_eq!(occ.len, 1);
+        assert!(vc.is_free());
+        assert!(vc.take().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn vc_double_install_panics() {
+        let mut store = PacketStore::new();
+        let mut vc = Vc::default();
+        vc.install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        let p2 = pid(&mut store);
+        vc.install(VcOccupant::reserved(p2, 1, 0));
+    }
+
+    #[test]
+    fn input_unit_free_vc_search() {
+        let mut store = PacketStore::new();
+        let mut iu = InputUnit::new(4);
+        assert_eq!(iu.free_vc_in(0..4), Some(0));
+        assert_eq!(iu.free_vcs_in(0..4), 4);
+        iu.vc_mut(0)
+            .install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        iu.vc_mut(1)
+            .install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        assert_eq!(iu.free_vc_in(0..2), None);
+        assert_eq!(iu.free_vc_in(0..4), Some(2));
+        assert_eq!(iu.free_vcs_in(0..4), 2);
+        assert_eq!(iu.free_vcs_in(2..4), 2);
+        assert_eq!(iu.occupied().count(), 2);
+    }
+
+    #[test]
+    fn free_vc_respects_subrange() {
+        let mut iu = InputUnit::new(6);
+        // VN 1 owns VCs 2..4 — a search there must not return VC 0.
+        assert_eq!(iu.free_vc_in(2..4), Some(2));
+        let mut store = PacketStore::new();
+        iu.vc_mut(2)
+            .install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        assert_eq!(iu.free_vc_in(2..4), Some(3));
+    }
+}

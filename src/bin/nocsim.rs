@@ -1,0 +1,247 @@
+//! `nocsim` — command-line front-end for the FastPass NoC simulator.
+//!
+//! Runs any scheme/pattern/size combination and prints a statistics
+//! report, without writing any Rust:
+//!
+//! ```sh
+//! nocsim --scheme fastpass --pattern transpose --rate 0.10 --size 8
+//! nocsim --scheme escapevc --pattern uniform --rate 0.05 --cycles 50000
+//! nocsim --scheme fastpass --app canneal --quota 50
+//! nocsim --list
+//! ```
+//!
+//! Arguments (all optional):
+//!
+//! * `--scheme <name>` — `fastpass` (default), `escapevc`, `spin`,
+//!   `swap`, `drain`, `pitstop`, `minbd`, `tfc`, `vct-xy`;
+//! * `--pattern <name>` — `uniform` (default), `transpose`, `shuffle`,
+//!   `bit-rotation`, `bit-complement`, `tornado`, `neighbor`, `hotspot`;
+//! * `--app <name>` — run a closed-loop application model instead of a
+//!   synthetic pattern (`radix`, `canneal`, `fft`, `fmm`, `lu_cb`,
+//!   `streamcluster`, `volrend`, `barnes`);
+//! * `--rate <f64>` — injection rate in packets/node/cycle (default 0.05);
+//! * `--size <n>` — mesh edge (default 8); `--vcs <n>` — FastPass VCs;
+//! * `--warmup/--cycles <n>` — window lengths; `--quota <n>` — closed-loop
+//!   transactions per core; `--seed <n>`; `--json` for machine output.
+
+use fastpass_noc::baselines::{
+    drain::DrainConfig, pitstop::PitstopConfig, spin::SpinConfig, swap::SwapConfig, CreditVct,
+    Drain, EscapeVc, MinBd, Pitstop, Spin, Swap, Tfc,
+};
+use fastpass_noc::core::config::SimConfig;
+use fastpass_noc::core::stats::NetStats;
+use fastpass_noc::fastpass::{FastPass, FastPassConfig};
+use fastpass_noc::sim::{Scheme, Simulation, Workload};
+use fastpass_noc::traffic::{AppModel, SyntheticPattern, SyntheticWorkload};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(k) = it.next() {
+            let Some(key) = k.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{k}` (expected --key value)"));
+            };
+            if key == "list" || key == "json" || key == "help" {
+                map.insert(key.to_string(), "true".to_string());
+                continue;
+            }
+            let Some(v) = it.next() else {
+                return Err(format!("missing value for --{key}"));
+            };
+            map.insert(key.to_string(), v);
+        }
+        Ok(Args(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{key} `{v}`")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+}
+
+fn pattern_by_name(name: &str) -> Option<SyntheticPattern> {
+    SyntheticPattern::ALL.into_iter().find(|p| p.name() == name)
+}
+
+fn app_by_name(name: &str) -> Option<AppModel> {
+    [
+        AppModel::Radix,
+        AppModel::Canneal,
+        AppModel::Fft,
+        AppModel::Fmm,
+        AppModel::LuCb,
+        AppModel::Streamcluster,
+        AppModel::Volrend,
+        AppModel::Barnes,
+    ]
+    .into_iter()
+    .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+fn scheme_by_name(
+    name: &str,
+    cfg: &SimConfig,
+    seed: u64,
+) -> Option<(Box<dyn Scheme>, usize)> {
+    let nodes = cfg.mesh.num_nodes();
+    Some(match name {
+        "fastpass" => (
+            Box::new(FastPass::new(cfg, FastPassConfig::default())) as Box<dyn Scheme>,
+            0,
+        ),
+        "escapevc" => (Box::new(EscapeVc::new(seed)), 6),
+        "spin" => (Box::new(Spin::new(seed, SpinConfig::default())), 6),
+        "swap" => (Box::new(Swap::new(seed, SwapConfig::default())), 6),
+        "drain" => (
+            Box::new(Drain::new(
+                cfg.mesh,
+                seed,
+                DrainConfig {
+                    period: 8_000,
+                    step_cycles: 5,
+                },
+            )),
+            6,
+        ),
+        "pitstop" => (Box::new(Pitstop::new(nodes, seed, PitstopConfig::default())), 0),
+        "minbd" => (Box::new(MinBd::new(nodes, seed, Default::default())), 0),
+        "tfc" => (Box::new(Tfc::new(seed)), 6),
+        "vct-xy" => (Box::new(CreditVct::xy(6)), 6),
+        _ => return None,
+    })
+}
+
+fn print_listing() {
+    println!("schemes : fastpass escapevc spin swap drain pitstop minbd tfc vct-xy");
+    print!("patterns:");
+    for p in SyntheticPattern::ALL {
+        print!(" {}", p.name());
+    }
+    println!();
+    println!("apps    : radix canneal fft fmm lu_cb streamcluster volrend barnes");
+}
+
+fn report(stats: &NetStats, cycles_run: u64, json: bool) {
+    if json {
+        println!(
+            "{{\"delivered\":{},\"avg_latency\":{:.3},\"throughput\":{:.6},\
+             \"fastpass_fraction\":{:.4},\"dropped\":{},\"rejections\":{},\
+             \"deflections\":{},\"cycles\":{}}}",
+            stats.delivered(),
+            stats.avg_latency(),
+            stats.throughput_packets(),
+            stats.fastpass_fraction(),
+            stats.dropped,
+            stats.rejections,
+            stats.deflections,
+            cycles_run,
+        );
+        return;
+    }
+    println!("cycles simulated   : {cycles_run}");
+    println!("packets delivered  : {}", stats.delivered());
+    println!("avg latency        : {:.1} cycles", stats.avg_latency());
+    println!(
+        "throughput         : {:.4} packets/node/cycle ({:.4} flits/node/cycle)",
+        stats.throughput_packets(),
+        stats.throughput_flits()
+    );
+    println!(
+        "avg hops           : {:.2}",
+        stats.hops.mean().unwrap_or(f64::NAN)
+    );
+    println!(
+        "FastPass-Packets   : {} ({:.1}%)",
+        stats.delivered_fastpass,
+        100.0 * stats.fastpass_fraction()
+    );
+    println!(
+        "rejections/drops   : {} / {}",
+        stats.rejections, stats.dropped
+    );
+    println!("misroutes          : {}", stats.deflections);
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    if args.flag("help") {
+        println!("see the module docs: nocsim --scheme <s> --pattern <p> --rate <r> [--size N] [--json]");
+        print_listing();
+        return Ok(());
+    }
+    if args.flag("list") {
+        print_listing();
+        return Ok(());
+    }
+    let scheme_name = args.get("scheme").unwrap_or("fastpass").to_lowercase();
+    let size: usize = args.num("size", 8)?;
+    let vcs: usize = args.num("vcs", 4)?;
+    let seed: u64 = args.num("seed", 0xCAFE)?;
+    let warmup: u64 = args.num("warmup", 5_000)?;
+    let cycles: u64 = args.num("cycles", 20_000)?;
+    let rate: f64 = args.num("rate", 0.05)?;
+
+    // Build the configuration first (scheme VN requirements differ).
+    let probe = scheme_by_name(&scheme_name, &SimConfig::default(), seed)
+        .ok_or_else(|| format!("unknown scheme `{scheme_name}` (try --list)"))?;
+    let vns = probe.1;
+    let cfg = SimConfig::builder()
+        .mesh(size, size)
+        .vns(vns)
+        .vcs_per_vn(if vns == 0 { vcs } else { 2 })
+        .seed(seed)
+        .build();
+    let (scheme, _) = scheme_by_name(&scheme_name, &cfg, seed).expect("validated above");
+
+    let workload: Box<dyn Workload> = if let Some(app_name) = args.get("app") {
+        let app = app_by_name(app_name)
+            .ok_or_else(|| format!("unknown app `{app_name}` (try --list)"))?;
+        let quota: u64 = args.num("quota", 0)?;
+        Box::new(app.workload(cfg.mesh.num_nodes(), (quota > 0).then_some(quota)))
+    } else {
+        let pname = args.get("pattern").unwrap_or("uniform");
+        let pattern =
+            pattern_by_name(pname).ok_or_else(|| format!("unknown pattern `{pname}`"))?;
+        Box::new(SyntheticWorkload::new(pattern, rate, seed ^ 0x5EED))
+    };
+
+    let mut sim = Simulation::new(cfg, scheme, workload);
+    let stats = if args.get("app").is_some() && args.num::<u64>("quota", 0)? > 0 {
+        // Closed loop: run to completion (bounded by --cycles as a cap
+        // only if it is larger than the default).
+        let cap = cycles.max(1_000_000);
+        let ran = sim.run(cap);
+        let mut s = sim.core.stats.clone();
+        s.cycles = ran;
+        s
+    } else {
+        sim.run_windows(warmup, cycles)
+    };
+    report(&stats, stats.cycles, args.flag("json"));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nocsim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

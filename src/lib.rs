@@ -1,0 +1,22 @@
+//! Facade crate for the FastPass NoC reproduction.
+//!
+//! Re-exports the public API of every workspace crate so that examples,
+//! integration tests and downstream users need a single dependency:
+//!
+//! * [`core`] — topology, packets, configuration, statistics.
+//! * [`sim`] — the cycle-accurate simulator substrate and engine.
+//! * [`fastpass`] — the paper's contribution: TDM bufferless bypass lanes.
+//! * [`baselines`] — EscapeVC, SPIN, SWAP, DRAIN, Pitstop, MinBD, TFC.
+//! * [`traffic`] — synthetic patterns, protocol closed loop, app models.
+//! * [`power`] — the analytical area/power model behind Fig. 11.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete, runnable walk-through.
+
+pub use baselines;
+pub use fastpass;
+pub use noc_core as core;
+pub use noc_power as power;
+pub use noc_sim as sim;
+pub use traffic;

@@ -1,0 +1,186 @@
+//! Integration tests for the paper's correctness claims (§II, §III-D):
+//! protocol- and network-level deadlocks are constructed for real, and
+//! FastPass (0 VNs) resolves both; the broken configuration provably
+//! wedges; the conventional fixes behave as advertised.
+
+use fastpass_noc::baselines::{
+    pitstop::PitstopConfig, spin::SpinConfig, CreditVct, Pitstop, Spin,
+};
+use fastpass_noc::core::config::SimConfig;
+use fastpass_noc::fastpass::{FastPass, FastPassConfig, TdmSchedule};
+use fastpass_noc::sim::{Simulation, Workload};
+use fastpass_noc::traffic::protocol::{ProtocolConfig, ProtocolWorkload};
+
+fn deadlock_prone_protocol(seed: u64) -> ProtocolWorkload {
+    ProtocolWorkload::new(
+        16,
+        ProtocolConfig {
+            mshrs: 12,
+            issue_prob: 0.8,
+            forward_fraction: 0.2,
+            writeback_fraction: 0.2,
+            locality: 0.0,
+            quota: Some(15),
+            home_backlog_limit: 2,
+            seed,
+        },
+    )
+}
+
+fn tight_cfg(vns: usize) -> SimConfig {
+    SimConfig::builder()
+        .mesh(4, 4)
+        .vns(vns)
+        .vcs_per_vn(1)
+        .ej_queue_packets(2)
+        .inj_queue_packets(2)
+        .seed(5)
+        .build()
+}
+
+fn fp_fast() -> FastPassConfig {
+    // 3× the minimum slot: short enough that full prime rotations happen
+    // quickly in tests, long enough that the round-trip budget does not
+    // confine far-destination launches to the first cycles of a slot.
+    FastPassConfig {
+        slot_cycles: Some(3 * TdmSchedule::min_slot_cycles(
+            fastpass_noc::core::topology::Mesh::new(4, 4),
+        )),
+        ..FastPassConfig::default()
+    }
+}
+
+/// The broken configuration: shared buffers, no VNs, no resolution
+/// mechanism. The coherence workload must wedge (protocol-level
+/// deadlock), demonstrating the problem actually exists in this
+/// substrate — otherwise the positive results below would be vacuous.
+#[test]
+fn zero_vn_plain_vct_wedges_on_protocol_traffic() {
+    let mut sim = Simulation::new(
+        tight_cfg(0),
+        Box::new(CreditVct::xy(0)),
+        Box::new(deadlock_prone_protocol(99)),
+    );
+    let ran = sim.run(60_000);
+    assert_eq!(ran, 60_000, "must not complete");
+    assert!(
+        sim.starvation_cycles() > 30_000,
+        "expected a wedge, got starvation of only {}",
+        sim.starvation_cycles()
+    );
+    assert!(sim.in_flight() > 0, "packets are stuck inside");
+}
+
+/// The conventional fix: 6 VNs isolate the classes; everything completes.
+#[test]
+fn six_vns_complete_the_same_workload() {
+    let mut sim = Simulation::new(
+        tight_cfg(6),
+        Box::new(CreditVct::xy(6)),
+        Box::new(deadlock_prone_protocol(99)),
+    );
+    let ran = sim.run(60_000);
+    assert!(ran < 60_000, "6-VN run should finish, ran {ran}");
+    assert_eq!(sim.in_flight(), 0);
+}
+
+/// The paper's contribution: FastPass with the *same zero-VN buffers* as
+/// the wedging configuration completes every transaction (Lemmas 1–4).
+#[test]
+fn fastpass_resolves_protocol_deadlock_with_zero_vns() {
+    let cfg = tight_cfg(0);
+    let scheme = FastPass::new(&cfg, fp_fast());
+    let mut sim = Simulation::new(cfg, Box::new(scheme), Box::new(deadlock_prone_protocol(99)));
+    let ran = sim.run(200_000);
+    assert!(ran < 200_000, "FastPass must resolve the deadlock, ran {ran}");
+    assert_eq!(sim.in_flight(), 0, "everything drained");
+}
+
+/// Pitstop also completes at 0 VNs (Table I), though serialized by its
+/// one-class-at-a-time pit lanes.
+#[test]
+fn pitstop_resolves_protocol_deadlock_with_zero_vns() {
+    let cfg = tight_cfg(0);
+    let scheme = Pitstop::new(16, 1, PitstopConfig::default());
+    let mut sim = Simulation::new(cfg, Box::new(scheme), Box::new(deadlock_prone_protocol(99)));
+    let ran = sim.run(300_000);
+    assert!(ran < 300_000, "Pitstop must resolve the deadlock, ran {ran}");
+}
+
+/// Network-level deadlock: fully-adaptive routing with one VC per VN and
+/// saturating adversarial traffic creates cyclic buffer waits; SPIN's
+/// probes + spins must keep the network live, and so must FastPass.
+#[test]
+fn adaptive_routing_deadlocks_are_resolved() {
+    use fastpass_noc::traffic::{SyntheticPattern, SyntheticWorkload};
+    // SPIN (6 VNs, adaptive).
+    let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(1).seed(7).build();
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(Spin::new(3, SpinConfig::default())),
+        Box::new(SyntheticWorkload::new(SyntheticPattern::Transpose, 0.6, 4)),
+    );
+    sim.run(25_000);
+    assert!(
+        sim.starvation_cycles() < 3_000,
+        "SPIN starved {}",
+        sim.starvation_cycles()
+    );
+    // FastPass (0 VNs, adaptive).
+    let cfg = SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).seed(7).build();
+    let scheme = FastPass::new(&cfg, fp_fast());
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(scheme),
+        Box::new(SyntheticWorkload::new(SyntheticPattern::Transpose, 0.6, 4)),
+    );
+    sim.run(25_000);
+    assert!(
+        sim.starvation_cycles() < 3_000,
+        "FastPass starved {}",
+        sim.starvation_cycles()
+    );
+}
+
+/// A workload stalling one class's consumers entirely must not stop the
+/// sink classes (Lemma 3's premise, enforced end to end).
+#[test]
+fn stalled_request_consumers_do_not_block_sinks() {
+    use fastpass_noc::core::packet::MessageClass;
+    use fastpass_noc::core::topology::NodeId;
+    use fastpass_noc::core::packet::Packet;
+    use fastpass_noc::sim::NetworkCore;
+
+    struct StalledRequests;
+    impl Workload for StalledRequests {
+        fn tick(&mut self, core: &mut NetworkCore) {
+            let cycle = core.cycle();
+            if cycle < 400 && cycle.is_multiple_of(2) {
+                for i in 0..8 {
+                    let src = NodeId::new(i);
+                    let dst = NodeId::new(15 - i);
+                    core.generate(Packet::new(src, dst, MessageClass::Request, 1, cycle));
+                    core.generate(Packet::new(dst, src, MessageClass::Response, 5, cycle));
+                }
+            }
+        }
+        fn can_consume(
+            &self,
+            _node: NodeId,
+            class: MessageClass,
+        ) -> bool {
+            class.is_sink() // requests pile up forever
+        }
+    }
+
+    let cfg = tight_cfg(0);
+    let scheme = FastPass::new(&cfg, fp_fast());
+    let mut sim = Simulation::new(cfg, Box::new(scheme), Box::new(StalledRequests));
+    sim.run(40_000);
+    let delivered = sim.core.stats.delivered();
+    // 200 generation ticks × 8 responses each.
+    assert!(
+        delivered >= 1_550,
+        "responses must be consumed despite stalled requests: {delivered}/1600"
+    );
+}

@@ -1,0 +1,149 @@
+//! Qualitative "shape" assertions from the paper's evaluation, with
+//! generous margins so they are robust to substrate details. These are
+//! the regression net for EXPERIMENTS.md: if one of these fails, a
+//! reported reproduction claim has silently changed.
+
+use bench::{runner::make_sim, SchemeId};
+use fastpass_noc::power::{router_area, router_power, RouterParams, SchemeKind};
+use fastpass_noc::sim::Simulation;
+use traffic::{AppModel, SyntheticPattern};
+
+fn latency_at(id: SchemeId, rate: f64) -> f64 {
+    let mut sim = make_sim(id, SyntheticPattern::Transpose, rate, 8, 4, 77);
+    sim.run_windows(3_000, 8_000).avg_latency()
+}
+
+/// Pre-saturation latency: FastPass is the best or tied-best scheme
+/// (the paper's "46% average packet latency improvement" direction).
+#[test]
+fn fastpass_lowest_presaturation_latency() {
+    let fp = latency_at(SchemeId::FastPass, 0.08);
+    for other in [SchemeId::EscapeVc, SchemeId::Tfc, SchemeId::Drain] {
+        let l = latency_at(other, 0.08);
+        assert!(
+            fp <= l * 1.05,
+            "FastPass {fp:.1} should beat {} ({l:.1}) before saturation",
+            other.name()
+        );
+    }
+}
+
+/// TFC's west-first restriction hurts badly on transpose (Fig. 7: TFC
+/// saturates first together with SPIN).
+#[test]
+fn tfc_saturates_early_on_transpose() {
+    let tfc = latency_at(SchemeId::Tfc, 0.08);
+    let fp = latency_at(SchemeId::FastPass, 0.08);
+    assert!(
+        tfc > 2.0 * fp,
+        "TFC ({tfc:.1}) should be deep in trouble where FastPass ({fp:.1}) is fine"
+    );
+}
+
+/// Misrouting: MinBD deflects under load; FastPass never does (Table I).
+#[test]
+fn misrouting_profile() {
+    let mut sim = make_sim(SchemeId::MinBd, SyntheticPattern::Transpose, 0.15, 4, 1, 7);
+    let stats = sim.run_windows(2_000, 6_000);
+    assert!(stats.deflections > 0, "MinBD must deflect under load");
+
+    let mut sim = make_sim(SchemeId::FastPass, SyntheticPattern::Transpose, 0.3, 4, 4, 7);
+    let stats = sim.run_windows(2_000, 6_000);
+    assert_eq!(stats.deflections, 0, "FastPass never misroutes");
+}
+
+/// Fig. 9's shape: the bufferless component of FastPass-Packet latency
+/// stays small — below the network diameter plus serialization — even
+/// past saturation, because flights progress every cycle.
+#[test]
+fn fastpass_bufferless_time_stays_small() {
+    for rate in [0.05, 0.25] {
+        let mut sim = make_sim(SchemeId::FastPass, SyntheticPattern::Uniform, rate, 8, 1, 3);
+        let stats = sim.run_windows(3_000, 8_000);
+        if stats.delivered_fastpass == 0 {
+            continue; // low load may upgrade nothing
+        }
+        let bufferless = stats.fastpass_bufferless.mean().unwrap();
+        // Worst case: round trip (2×14) + 2×5 flits + slack.
+        assert!(
+            bufferless <= 48.0,
+            "bufferless time {bufferless:.1} at rate {rate} exceeds a round trip"
+        );
+    }
+}
+
+/// Fig. 13's headline: dropped packets stay a small fraction even past
+/// saturation (paper: ≤5.9%; SCARAB drops up to 9%).
+#[test]
+fn drops_stay_rare_past_saturation() {
+    let mut sim = make_sim(SchemeId::FastPass, SyntheticPattern::Uniform, 0.3, 4, 1, 3);
+    let stats = sim.run_windows(2_000, 8_000);
+    assert!(
+        stats.dropped_fraction() < 0.10,
+        "drop fraction {:.3} exceeds the paper's ceiling",
+        stats.dropped_fraction()
+    );
+}
+
+/// Fig. 12's extremes: DRAIN's wholesale misrouting gives it a worse
+/// tail than FastPass on application traffic. Compared below saturation
+/// — a light app on a 4×4 mesh — so the tails reflect each mechanism
+/// (drain epochs vs. lanes), not raw buffer-budget congestion.
+#[test]
+fn drain_tail_worse_than_fastpass() {
+    let p99 = |id: SchemeId| {
+        let cfg = id.sim_config(4, 2, 9);
+        let scheme = id.build(&cfg, 9);
+        let wl = AppModel::Volrend.workload(16, None);
+        let mut sim = Simulation::new(cfg, scheme, Box::new(wl));
+        let mut stats = sim.run_windows(4_000, 12_000);
+        stats.latency.percentile(99.0).unwrap_or(0)
+    };
+    let drain = p99(SchemeId::Drain);
+    let fp = p99(SchemeId::FastPass);
+    assert!(
+        drain > fp,
+        "DRAIN p99 ({drain}) should exceed FastPass p99 ({fp})"
+    );
+}
+
+/// Fig. 11's headline claims, through the public power API.
+#[test]
+fn power_area_claims() {
+    let vn6 = RouterParams::default();
+    let vn0 = RouterParams {
+        vns: 0,
+        vcs_per_vn: 2,
+        ..RouterParams::default()
+    };
+    let escape_a = router_area(SchemeKind::EscapeVc, &vn6).total();
+    let fp_a = router_area(SchemeKind::FastPass, &vn0).total();
+    let reduction = 1.0 - fp_a / escape_a;
+    assert!(
+        reduction >= 0.35,
+        "area reduction {reduction:.2} below the paper's ~0.40 claim"
+    );
+    let escape_p = router_power(SchemeKind::EscapeVc, &vn6).total();
+    let fp_p = router_power(SchemeKind::FastPass, &vn0).total();
+    assert!(1.0 - fp_p / escape_p >= 0.35);
+    // Pitstop ≈ FastPass.
+    let pit_a = router_area(SchemeKind::Pitstop, &vn0).total();
+    assert!((fp_a - pit_a).abs() / fp_a < 0.10);
+}
+
+/// Low load is regular-dominated; load raises the FastPass-Packet share
+/// (Fig. 13a's trend, §Qn1).
+#[test]
+fn fastflow_kicks_in_with_load() {
+    let frac = |rate: f64| {
+        let mut sim = make_sim(SchemeId::FastPass, SyntheticPattern::Uniform, rate, 4, 1, 5);
+        sim.run_windows(2_000, 6_000).fastpass_fraction()
+    };
+    let low = frac(0.02);
+    let high = frac(0.30);
+    assert!(
+        high > low,
+        "FastPass share must grow with load: {low:.3} -> {high:.3}"
+    );
+    assert!(low < 0.5, "low load must stay regular-dominated ({low:.3})");
+}
