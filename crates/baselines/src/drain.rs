@@ -92,7 +92,9 @@ enum Mode {
     Normal,
     /// Draining: `steps_left` ring steps remain; next step fires when
     /// `cycle % step_cycles == 0`.
-    Draining { steps_left: usize },
+    Draining {
+        steps_left: usize,
+    },
 }
 
 /// The DRAIN baseline (implements [`Scheme`]).
@@ -195,7 +197,8 @@ impl Drain {
                         let ready = now + core.cfg().ni_consume_cycles;
                         core.ni_mut(node).ej_begin(class, pkt);
                         core.store.get_mut(pkt).eject_cycle = Some(now);
-                        core.ni_mut(node).ej_commit(class, EjectEntry { pkt, ready });
+                        core.ni_mut(node)
+                            .ej_commit(class, EjectEntry { pkt, ready });
                         continue;
                     }
                     let mut occ = VcOccupant::reserved(pkt, len, now);
@@ -280,7 +283,11 @@ mod tests {
             for i in 0..ring.len() {
                 let a = ring[i];
                 let b = ring[(i + 1) % ring.len()];
-                assert_eq!(mesh.hops(a, b), 1, "{w}x{h}: ring step {a}->{b} not adjacent");
+                assert_eq!(
+                    mesh.hops(a, b),
+                    1,
+                    "{w}x{h}: ring step {a}->{b} not adjacent"
+                );
             }
         }
     }
@@ -293,7 +300,12 @@ mod tests {
 
     #[test]
     fn survives_saturation() {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(1).seed(5).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(1)
+            .seed(5)
+            .build();
         let mesh = cfg.mesh;
         let mut sim = Simulation::new(
             cfg,
@@ -318,7 +330,12 @@ mod tests {
 
     #[test]
     fn drains_misroute_packets() {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(1).seed(5).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(1)
+            .seed(5)
+            .build();
         let mesh = cfg.mesh;
         let mut sim = Simulation::new(
             cfg,
@@ -341,7 +358,12 @@ mod tests {
 
     #[test]
     fn no_epoch_before_period() {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).seed(5).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(2)
+            .seed(5)
+            .build();
         let mesh = cfg.mesh;
         let mut core = NetworkCore::new(cfg);
         let mut drain = Drain::new(mesh, 1, DrainConfig::default());

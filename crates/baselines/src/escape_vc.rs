@@ -64,7 +64,12 @@ mod tests {
     use traffic::{SyntheticPattern, SyntheticWorkload};
 
     fn sim(rate: f64, pattern: SyntheticPattern) -> Simulation {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).seed(2).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(2)
+            .seed(2)
+            .build();
         Simulation::new(
             cfg,
             Box::new(EscapeVc::new(7)),
@@ -89,7 +94,12 @@ mod tests {
         // The adaptive VCs give EscapeVC more throughput than plain XY on
         // an adversarial pattern.
         let measure = |scheme: Box<dyn noc_sim::Scheme>| {
-            let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).seed(2).build();
+            let cfg = SimConfig::builder()
+                .mesh(4, 4)
+                .vns(6)
+                .vcs_per_vn(2)
+                .seed(2)
+                .build();
             let mut s = Simulation::new(
                 cfg,
                 scheme,

@@ -108,7 +108,8 @@ impl MinBd {
                 core.ni_mut(node).ej_begin(class, pkt);
                 let ready = now + core.cfg().ni_consume_cycles;
                 core.store.get_mut(pkt).eject_cycle = Some(now);
-                core.ni_mut(node).ej_commit(class, EjectEntry { pkt, ready });
+                core.ni_mut(node)
+                    .ej_commit(class, EjectEntry { pkt, ready });
                 self.in_air -= 1;
             }
         }
@@ -244,11 +245,8 @@ impl Scheme for MinBd {
                     None
                 } else {
                     // Deflect to any free valid port.
-                    let free: Vec<Direction> = dirs
-                        .iter()
-                        .copied()
-                        .filter(|d| !taken[d.index()])
-                        .collect();
+                    let free: Vec<Direction> =
+                        dirs.iter().copied().filter(|d| !taken[d.index()]).collect();
                     let d = *self.rng.pick(&free);
                     self.deflections += 1;
                     if f.seq == 0 {
@@ -287,7 +285,12 @@ mod tests {
     use traffic::{SyntheticPattern, SyntheticWorkload};
 
     fn cfg() -> SimConfig {
-        SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).seed(7).build()
+        SimConfig::builder()
+            .mesh(4, 4)
+            .vns(0)
+            .vcs_per_vn(1)
+            .seed(7)
+            .build()
     }
 
     #[test]

@@ -215,7 +215,8 @@ impl Pitstop {
             core.ni_mut(node).ej_begin(class, pkt);
             let ready = now + core.cfg().ni_consume_cycles;
             core.store.get_mut(pkt).eject_cycle = Some(now);
-            core.ni_mut(node).ej_commit(class, EjectEntry { pkt, ready });
+            core.ni_mut(node)
+                .ej_commit(class, EjectEntry { pkt, ready });
         }
     }
 }
@@ -265,7 +266,12 @@ mod tests {
     use traffic::{SyntheticPattern, SyntheticWorkload};
 
     fn cfg() -> SimConfig {
-        SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).seed(6).build()
+        SimConfig::builder()
+            .mesh(4, 4)
+            .vns(0)
+            .vcs_per_vn(2)
+            .seed(6)
+            .build()
     }
 
     #[test]
@@ -281,7 +287,12 @@ mod tests {
 
     #[test]
     fn survives_saturation_with_zero_vns() {
-        let sim_cfg = SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).seed(6).build();
+        let sim_cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(0)
+            .vcs_per_vn(1)
+            .seed(6)
+            .build();
         let n = sim_cfg.mesh.num_nodes();
         let mut sim = Simulation::new(
             sim_cfg,

@@ -69,14 +69,11 @@ impl Spin {
             let router = core.router(n);
             (0..noc_core::topology::NUM_PORTS).any(|p| {
                 (0..vcs).any(|vc| {
-                    router.inputs[p]
-                        .vc(vc)
-                        .occupant()
-                        .is_some_and(|o| {
-                            o.route.is_none()
-                                && o.quiescent()
-                                && o.blocked_for(now) >= self.cfg.detection_threshold
-                        })
+                    router.inputs[p].vc(vc).occupant().is_some_and(|o| {
+                        o.route.is_none()
+                            && o.quiescent()
+                            && o.blocked_for(now) >= self.cfg.detection_threshold
+                    })
                 })
             })
         })
@@ -148,7 +145,12 @@ mod tests {
     use traffic::{SyntheticPattern, SyntheticWorkload};
 
     fn cfg(vcs: usize) -> SimConfig {
-        SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(vcs).seed(8).build()
+        SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(vcs)
+            .seed(8)
+            .build()
     }
 
     #[test]
@@ -202,9 +204,7 @@ mod tests {
     #[test]
     fn probe_latency_scales_with_size() {
         let small = NetworkCore::new(cfg(2));
-        let big = NetworkCore::new(
-            SimConfig::builder().mesh(8, 8).vns(6).vcs_per_vn(2).build(),
-        );
+        let big = NetworkCore::new(SimConfig::builder().mesh(8, 8).vns(6).vcs_per_vn(2).build());
         assert!(Spin::probe_latency(&big) > Spin::probe_latency(&small));
     }
 }

@@ -85,8 +85,7 @@ impl Swap {
                         let nbr_in = Port::Dir(d.opposite()).index();
                         let range = core.cfg().vc_range_for_class(pkt.class.index());
                         for nvc in range {
-                            let Some(victim) =
-                                core.router(nbr).inputs[nbr_in].vc(nvc).occupant()
+                            let Some(victim) = core.router(nbr).inputs[nbr_in].vc(nvc).occupant()
                             else {
                                 continue;
                             };
@@ -102,7 +101,9 @@ impl Swap {
                             let back_len = core.store.get(back).len_flits;
                             let mut fwd_occ = VcOccupant::reserved(fwd, fwd_len, now);
                             fwd_occ.arrived = fwd_len;
-                            core.router_mut(nbr).inputs[nbr_in].vc_mut(nvc).install(fwd_occ);
+                            core.router_mut(nbr).inputs[nbr_in]
+                                .vc_mut(nvc)
+                                .install(fwd_occ);
                             let mut back_occ = VcOccupant::reserved(back, back_len, now);
                             back_occ.arrived = back_len;
                             core.router_mut(node).inputs[p].vc_mut(vc).install(back_occ);
@@ -165,7 +166,12 @@ mod tests {
 
     #[test]
     fn survives_saturation() {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(1).seed(3).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(1)
+            .seed(3)
+            .build();
         let mut sim = Simulation::new(
             cfg,
             Box::new(Swap::new(1, SwapConfig::default())),
@@ -182,12 +188,20 @@ mod tests {
 
     #[test]
     fn swaps_count_as_misroutes() {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(1).seed(3).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(1)
+            .seed(3)
+            .build();
         let mut core = NetworkCore::new(cfg);
-        let mut swap = Swap::new(1, SwapConfig {
-            duty: 100,
-            threshold: 50,
-        });
+        let mut swap = Swap::new(
+            1,
+            SwapConfig {
+                duty: 100,
+                threshold: 50,
+            },
+        );
         let mut wl = SyntheticWorkload::new(SyntheticPattern::Transpose, 0.8, 2);
         use noc_sim::Workload;
         for _ in 0..20_000 {
@@ -205,7 +219,10 @@ mod tests {
             }
             core.advance_cycle();
         }
-        assert!(swap.swaps > 0, "saturated adaptive traffic must trigger swaps");
+        assert!(
+            swap.swaps > 0,
+            "saturated adaptive traffic must trigger swaps"
+        );
         // Deflections recorded at delivery never exceed swaps performed
         // (undelivered packets still hold theirs).
         assert!(core.stats.deflections <= swap.swaps);
@@ -213,7 +230,12 @@ mod tests {
 
     #[test]
     fn no_swaps_at_low_load() {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).seed(3).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(2)
+            .seed(3)
+            .build();
         let mut sim = Simulation::new(
             cfg,
             Box::new(Swap::new(1, SwapConfig::default())),

@@ -134,7 +134,12 @@ mod tests {
     use traffic::{SyntheticPattern, SyntheticWorkload};
 
     fn sim(rate: f64, pattern: SyntheticPattern) -> Simulation {
-        let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).seed(4).build();
+        let cfg = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(2)
+            .seed(4)
+            .build();
         Simulation::new(
             cfg,
             Box::new(Tfc::new(5)),
@@ -164,7 +169,12 @@ mod tests {
     fn tokens_spread_load_relative_to_plain_west_first() {
         // Token-weighted selection must not be worse than blind west-first.
         let measure = |tokens: bool| {
-            let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).seed(4).build();
+            let cfg = SimConfig::builder()
+                .mesh(4, 4)
+                .vns(6)
+                .vcs_per_vn(2)
+                .seed(4)
+                .build();
             let scheme: Box<dyn noc_sim::Scheme> = if tokens {
                 Box::new(Tfc::new(5))
             } else {

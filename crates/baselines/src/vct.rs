@@ -20,7 +20,9 @@ pub struct CreditVct {
 
 impl std::fmt::Debug for CreditVct {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CreditVct").field("name", &self.name).finish()
+        f.debug_struct("CreditVct")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

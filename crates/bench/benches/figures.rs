@@ -16,16 +16,7 @@ fn fig7_kernel(c: &mut Criterion) {
     for id in [SchemeId::FastPass, SchemeId::EscapeVc, SchemeId::Spin] {
         group.bench_function(id.name(), |b| {
             b.iter(|| {
-                let r = sweep(
-                    id,
-                    SyntheticPattern::Transpose,
-                    &[0.10],
-                    4,
-                    4,
-                    300,
-                    700,
-                    41,
-                );
+                let r = sweep(id, SyntheticPattern::Transpose, &[0.10], 4, 4, 300, 700, 41);
                 black_box(r.points[0].avg_latency)
             });
         });

@@ -19,7 +19,12 @@ use std::hint::black_box;
 /// A congested 8×8 network for analysis benches.
 fn congested_core() -> (NetworkCore, FullyAdaptive) {
     let mut core = NetworkCore::new(
-        SimConfig::builder().mesh(8, 8).vns(0).vcs_per_vn(2).seed(3).build(),
+        SimConfig::builder()
+            .mesh(8, 8)
+            .vns(0)
+            .vcs_per_vn(2)
+            .seed(3)
+            .build(),
     );
     let mut policy = FullyAdaptive::new(5);
     let mut rng = DetRng::new(9);

@@ -10,7 +10,7 @@
 //! * **VCs per input buffer** — the paper's own 1/2/4 knob (Fig. 10's
 //!   FastPass rows).
 
-use bench::{emit_json, env_u64, SchemeId};
+use bench::{emit_json, env_u64, num_jobs, parallel_map, SchemeId};
 use fastpass::{FastPass, FastPassConfig, TdmSchedule};
 use noc_sim::Simulation;
 use serde::Serialize;
@@ -57,28 +57,20 @@ fn main() {
         "knob", "value", "latency", "thpt", "fp frac", "dropped"
     );
 
+    // The full knob grid, simulated in parallel and printed in order.
+    let mut grid: Vec<(&'static str, String, String, usize, FastPassConfig)> = Vec::new();
     for depth in [1usize, 2, 4, 8] {
-        let (lat, thpt, fpf, drp) = run(
+        grid.push((
+            "pipeline",
+            "pipeline_depth".into(),
+            depth.to_string(),
             4,
             FastPassConfig {
                 pipeline_depth: depth,
                 ..FastPassConfig::default()
             },
-            rate,
-            warmup,
-            measure,
-        );
-        println!("{:<16} {:>8} {:>10.1} {:>10.4} {:>8.3} {:>8.4}", "pipeline", depth, lat, thpt, fpf, drp);
-        rows.push(AblationRow {
-            knob: "pipeline_depth".into(),
-            value: depth.to_string(),
-            avg_latency: lat,
-            throughput: thpt,
-            fastpass_fraction: fpf,
-            dropped_fraction: drp,
-        });
+        ));
     }
-
     let mesh = noc_core::topology::Mesh::new(8, 8);
     let paper_k = TdmSchedule::paper_slot_cycles(mesh, 4);
     for k in [
@@ -87,34 +79,42 @@ fn main() {
         paper_k,
         paper_k * 2,
     ] {
-        let (lat, thpt, fpf, drp) = run(
+        let label = if k == paper_k {
+            format!("{k} (paper)")
+        } else {
+            k.to_string()
+        };
+        grid.push((
+            "slot_cycles",
+            "slot_cycles".into(),
+            label,
             4,
             FastPassConfig {
                 slot_cycles: Some(k),
                 ..FastPassConfig::default()
             },
-            rate,
-            warmup,
-            measure,
-        );
-        let label = if k == paper_k { format!("{k} (paper)") } else { k.to_string() };
-        println!("{:<16} {:>8} {:>10.1} {:>10.4} {:>8.3} {:>8.4}", "slot_cycles", label, lat, thpt, fpf, drp);
-        rows.push(AblationRow {
-            knob: "slot_cycles".into(),
-            value: label,
-            avg_latency: lat,
-            throughput: thpt,
-            fastpass_fraction: fpf,
-            dropped_fraction: drp,
-        });
+        ));
+    }
+    for vcs in [1usize, 2, 4] {
+        grid.push((
+            "vcs_per_port",
+            "vcs_per_port".into(),
+            vcs.to_string(),
+            vcs,
+            FastPassConfig::default(),
+        ));
     }
 
-    for vcs in [1usize, 2, 4] {
-        let (lat, thpt, fpf, drp) = run(vcs, FastPassConfig::default(), rate, warmup, measure);
-        println!("{:<16} {:>8} {:>10.1} {:>10.4} {:>8.3} {:>8.4}", "vcs_per_port", vcs, lat, thpt, fpf, drp);
+    let jobs: Vec<_> = grid
+        .iter()
+        .map(|&(_, _, _, vcs, fp_cfg)| move || run(vcs, fp_cfg, rate, warmup, measure))
+        .collect();
+    let measured = parallel_map(jobs, num_jobs());
+    for ((display, knob, value, _, _), (lat, thpt, fpf, drp)) in grid.into_iter().zip(measured) {
+        println!("{display:<16} {value:>8} {lat:>10.1} {thpt:>10.4} {fpf:>8.3} {drp:>8.4}");
         rows.push(AblationRow {
-            knob: "vcs_per_port".into(),
-            value: vcs.to_string(),
+            knob,
+            value,
             avg_latency: lat,
             throughput: thpt,
             fastpass_fraction: fpf,

@@ -8,7 +8,7 @@
 //! FastPass lowest latency (up to 46% better) and ~6–9% execution-time
 //! improvement; FastPass(VC=4) ≥ FastPass(VC=2).
 
-use bench::{emit_json, env_u64, SchemeId};
+use bench::{emit_json, env_u64, num_jobs, parallel_map, SchemeId};
 use noc_sim::Simulation;
 use serde::Serialize;
 use traffic::AppModel;
@@ -58,8 +58,24 @@ fn main() {
     let size = env_u64("FP_SIZE", 8) as usize;
     let quota = env_u64("FP_QUOTA", 60);
     let max_cycles = env_u64("FP_MAXCYCLES", 400_000);
+    // One job per (app, config); each builds its own simulation, so the
+    // grid fans out across NOC_JOBS workers with results in grid order.
+    let grid: Vec<(AppModel, SchemeId, usize, &'static str)> = AppModel::FIG10
+        .iter()
+        .flat_map(|&app| {
+            configs()
+                .into_iter()
+                .map(move |(id, fp_vcs, label)| (app, id, fp_vcs, label))
+        })
+        .collect();
+    let jobs: Vec<_> = grid
+        .iter()
+        .map(|&(app, id, fp_vcs, _)| move || run_app(id, fp_vcs, app, size, quota, max_cycles))
+        .collect();
+    let measured = parallel_map(jobs, num_jobs());
     let mut cells = Vec::new();
     println!("== Fig. 10 — application latency and normalized execution time ==");
+    let mut point = grid.iter().zip(measured);
     for app in AppModel::FIG10 {
         println!("\n{app}:");
         println!(
@@ -67,8 +83,9 @@ fn main() {
             "config", "avg lat", "exec cycles", "norm exec"
         );
         let mut base_exec = None;
-        for (id, fp_vcs, label) in configs() {
-            let (lat, exec) = run_app(id, fp_vcs, app, size, quota, max_cycles);
+        for _ in configs() {
+            let (&(_, _, fp_vcs, label), (lat, exec)) =
+                point.next().expect("one result per (app, config)");
             let base = *base_exec.get_or_insert(exec);
             let norm = exec as f64 / base as f64;
             println!("  {label:<20} {lat:>10.1} {exec:>12} {norm:>10.3}");

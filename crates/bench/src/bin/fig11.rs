@@ -13,7 +13,15 @@ fn main() {
     println!("== Fig. 11 — router area (um^2) and static power (uW) ==");
     println!(
         "{:<10} {:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} | {:>9}",
-        "Scheme", "Config", "Buffers", "Crossbar", "Arbiters", "NIQueues", "Overhead", "AreaTotal", "PowerTot"
+        "Scheme",
+        "Config",
+        "Buffers",
+        "Crossbar",
+        "Arbiters",
+        "NIQueues",
+        "Overhead",
+        "AreaTotal",
+        "PowerTot"
     );
     for r in &rows {
         println!(

@@ -5,7 +5,7 @@
 //! multiple concurrent FastPass-Lanes bypass congested regions — and
 //! DRAIN the worst (wholesale misrouting during drains).
 
-use bench::{emit_json, env_u64, SchemeId};
+use bench::{emit_json, env_u64, num_jobs, parallel_map, SchemeId};
 use noc_sim::Simulation;
 use serde::Serialize;
 use traffic::AppModel;
@@ -28,6 +28,26 @@ fn main() {
         SchemeId::Pitstop,
         SchemeId::FastPass,
     ];
+    // One job per (app, scheme) cell, fanned out across NOC_JOBS workers.
+    let grid: Vec<(AppModel, SchemeId)> = AppModel::FIG12
+        .iter()
+        .flat_map(|&app| schemes.iter().map(move |&id| (app, id)))
+        .collect();
+    let jobs: Vec<_> = grid
+        .iter()
+        .map(|&(app, id)| {
+            move || {
+                let cfg = id.sim_config(size, 2, 17);
+                let nodes = cfg.mesh.num_nodes();
+                let scheme = id.build(&cfg, 17);
+                let workload = app.workload(nodes, None);
+                let mut sim = Simulation::new(cfg, scheme, Box::new(workload));
+                let mut stats = sim.run_windows(warmup, measure);
+                stats.latency.percentile(99.0).unwrap_or(0)
+            }
+        })
+        .collect();
+    let p99s = parallel_map(jobs, num_jobs());
     let mut cells = Vec::new();
     println!("== Fig. 12 — 99th percentile packet latency (cycles) ==");
     print!("{:<14}", "app");
@@ -35,16 +55,11 @@ fn main() {
         print!("{:>10}", id.name());
     }
     println!();
+    let mut results = grid.iter().zip(p99s);
     for app in AppModel::FIG12 {
         print!("{:<14}", app.name());
-        for id in schemes {
-            let cfg = id.sim_config(size, 2, 17);
-            let nodes = cfg.mesh.num_nodes();
-            let scheme = id.build(&cfg, 17);
-            let workload = app.workload(nodes, None);
-            let mut sim = Simulation::new(cfg, scheme, Box::new(workload));
-            let mut stats = sim.run_windows(warmup, measure);
-            let p99 = stats.latency.percentile(99.0).unwrap_or(0);
+        for _ in schemes {
+            let (&(_, id), p99) = results.next().expect("one result per (app, scheme)");
             print!("{p99:>10}");
             cells.push(Fig12Cell {
                 app: app.name().to_string(),

@@ -7,7 +7,7 @@
 //! saturation for synthetic traffic, ~0.3% for applications — vs.
 //! SCARAB's up-to-9%).
 
-use bench::{emit_json, env_u64, runner::make_sim, SchemeId};
+use bench::{emit_json, env_u64, num_jobs, parallel_map, runner::make_sim, SchemeId};
 use noc_sim::Simulation;
 use serde::Serialize;
 use traffic::{AppModel, SyntheticPattern};
@@ -46,17 +46,25 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>10}",
         "rate", "regular", "fastpass", "dropped"
     );
-    for rate in [0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16] {
-        let mut sim = make_sim(
-            SchemeId::FastPass,
-            SyntheticPattern::Uniform,
-            rate,
-            size,
-            1,
-            23,
-        );
-        let stats = sim.run_windows(warmup, measure);
-        let row = breakdown(format!("uniform@{rate}"), &stats);
+    let rates = [0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16];
+    let jobs: Vec<_> = rates
+        .iter()
+        .map(|&rate| {
+            move || {
+                let mut sim = make_sim(
+                    SchemeId::FastPass,
+                    SyntheticPattern::Uniform,
+                    rate,
+                    size,
+                    1,
+                    23,
+                );
+                let stats = sim.run_windows(warmup, measure);
+                breakdown(format!("uniform@{rate}"), &stats)
+            }
+        })
+        .collect();
+    for (row, &rate) in parallel_map(jobs, num_jobs()).into_iter().zip(&rates) {
         println!(
             "{rate:>6.2} {:>9.1}% {:>9.1}% {:>9.2}%",
             100.0 * row.regular_fraction,
@@ -72,17 +80,24 @@ fn main() {
         "app", "regular", "fastpass", "dropped"
     );
     let mut app_drops = Vec::new();
-    for app in AppModel::FIG13 {
-        let cfg = SchemeId::FastPass.sim_config(size, 1, 29);
-        let nodes = cfg.mesh.num_nodes();
-        let scheme = SchemeId::FastPass.build(&cfg, 29);
-        // The paper's 13b runs the 1-VC configuration under real loads;
-        // stress the models at 2x nominal so the single-VC network is in
-        // the regime where FastFlow engages.
-        let workload = app.workload_scaled(nodes, None, 2.0);
-        let mut sim = Simulation::new(cfg, scheme, Box::new(workload));
-        let stats = sim.run_windows(warmup, measure);
-        let row = breakdown(app.name().to_string(), &stats);
+    let app_jobs: Vec<_> = AppModel::FIG13
+        .iter()
+        .map(|&app| {
+            move || {
+                let cfg = SchemeId::FastPass.sim_config(size, 1, 29);
+                let nodes = cfg.mesh.num_nodes();
+                let scheme = SchemeId::FastPass.build(&cfg, 29);
+                // The paper's 13b runs the 1-VC configuration under real
+                // loads; stress the models at 2x nominal so the single-VC
+                // network is in the regime where FastFlow engages.
+                let workload = app.workload_scaled(nodes, None, 2.0);
+                let mut sim = Simulation::new(cfg, scheme, Box::new(workload));
+                let stats = sim.run_windows(warmup, measure);
+                breakdown(app.name().to_string(), &stats)
+            }
+        })
+        .collect();
+    for row in parallel_map(app_jobs, num_jobs()) {
         println!(
             "{:<14} {:>9.1}% {:>9.1}% {:>9.2}%",
             row.label,

@@ -8,7 +8,7 @@
 //! schemes (SWAP/DRAIN/Pitstop), with FastPass sustaining ~1.8× SPIN/TFC
 //! and up to ~51% more than the periodic group.
 
-use bench::{emit_json, env_u64, runner::sweep, ALL_SCHEMES};
+use bench::{emit_json, env_u64, run_sweep_parallel, SweepOptions, SweepSpec, ALL_SCHEMES};
 use traffic::SyntheticPattern;
 
 fn main() {
@@ -25,21 +25,36 @@ fn main() {
         SyntheticPattern::BitRotation,
         SyntheticPattern::Uniform,
     ];
-    let mut all = Vec::new();
+    let mut specs = Vec::new();
     for pattern in patterns {
-        println!("== Fig. 7 ({}) — avg latency vs injection rate ==", pattern.name());
+        for id in ALL_SCHEMES {
+            specs.push(SweepSpec {
+                id,
+                pattern,
+                rates: rates.clone(),
+                size,
+                fp_vcs: 4,
+                warmup,
+                measure,
+                seed: 99,
+            });
+        }
+    }
+    let all = run_sweep_parallel(&specs, &SweepOptions::from_env());
+    for (pi, pattern) in patterns.iter().enumerate() {
+        let results = &all[pi * ALL_SCHEMES.len()..(pi + 1) * ALL_SCHEMES.len()];
+        println!(
+            "== Fig. 7 ({}) — avg latency vs injection rate ==",
+            pattern.name()
+        );
         print!("{:>6}", "rate");
         for id in ALL_SCHEMES {
             print!("{:>10}", id.name());
         }
         println!();
-        let results: Vec<_> = ALL_SCHEMES
-            .iter()
-            .map(|&id| sweep(id, pattern, &rates, size, 4, warmup, measure, 99))
-            .collect();
         for (i, &rate) in rates.iter().enumerate() {
             print!("{rate:>6.2}");
-            for r in &results {
+            for r in results {
                 let lat = r.points[i].avg_latency;
                 if lat.is_finite() && lat < 10_000.0 {
                     print!("{lat:>10.1}");
@@ -50,7 +65,7 @@ fn main() {
             println!();
         }
         println!("saturation rates (first rate with latency > 3x zero-load):");
-        for r in &results {
+        for r in results {
             println!("  {:<10} {:.2}", r.scheme, r.saturation_rate());
         }
         let fp = results.iter().find(|r| r.scheme == "FastPass").unwrap();
@@ -65,7 +80,6 @@ fn main() {
             fp.saturation_rate() / swap.saturation_rate().max(1e-9)
         );
         println!();
-        all.extend(results);
     }
     let path = emit_json("fig7", &all).expect("write results");
     println!("JSON written to {}", path.display());

@@ -6,7 +6,7 @@
 //! +17% over SWAP at 4×4, +67% at 8×8, +78% at 16×16. SPIN is lowest
 //! everywhere (detection latency scales with size).
 
-use bench::{emit_json, env_u64, runner::sweep, SchemeId};
+use bench::{emit_json, env_u64, run_sweep_parallel, SchemeId, SweepOptions, SweepSpec};
 use serde::Serialize;
 use traffic::SyntheticPattern;
 
@@ -29,6 +29,22 @@ fn main() {
     ];
     let sizes = [4usize, 8, 16];
     let rates: Vec<f64> = (1..=12).map(|i| 0.02 * i as f64).collect();
+    let mut specs = Vec::new();
+    for size in sizes {
+        for id in schemes {
+            specs.push(SweepSpec {
+                id,
+                pattern: SyntheticPattern::Transpose,
+                rates: rates.clone(),
+                size,
+                fp_vcs: 4,
+                warmup,
+                measure,
+                seed: 7,
+            });
+        }
+    }
+    let results = run_sweep_parallel(&specs, &SweepOptions::from_env());
     let mut rows = Vec::new();
     println!("== Fig. 8 — saturation throughput vs network size (transpose) ==");
     print!("{:>6}", "size");
@@ -36,19 +52,11 @@ fn main() {
         print!("{:>10}", id.name());
     }
     println!();
+    let mut sweeps = results.iter();
     for size in sizes {
         print!("{size:>4}x{size:<2}");
         for id in schemes {
-            let r = sweep(
-                id,
-                SyntheticPattern::Transpose,
-                &rates,
-                size,
-                4,
-                warmup,
-                measure,
-                7,
-            );
+            let r = sweeps.next().expect("one sweep per (size, scheme)");
             // Accepted throughput at the saturation rate.
             let sat = r.saturation_rate();
             let thpt = r

@@ -7,7 +7,7 @@
 //! ("regular time") component grows with load; regular packets' total
 //! latency grows with load as usual.
 
-use bench::{emit_json, env_u64, runner::make_sim, SchemeId};
+use bench::{emit_json, env_u64, num_jobs, parallel_map, runner::make_sim, SchemeId};
 use serde::Serialize;
 use traffic::SyntheticPattern;
 
@@ -31,28 +31,35 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>12} {:>14} {:>8}",
         "rate", "reg lat", "fp lat", "fp buffered", "fp bufferless", "fp frac"
     );
-    let mut rows = Vec::new();
-    for rate in rates {
-        let mut sim = make_sim(
-            SchemeId::FastPass,
-            SyntheticPattern::Uniform,
-            rate,
-            size,
-            1,
-            11,
-        );
-        let mut stats = sim.run_windows(warmup, measure);
-        let row = Fig9Row {
-            rate,
-            regular_avg_latency: stats.regular_latency.mean().unwrap_or(f64::NAN),
-            fastpass_avg_latency: stats.fastpass_latency.mean().unwrap_or(0.0),
-            fastpass_buffered_time: stats.fastpass_buffered.mean().unwrap_or(0.0),
-            fastpass_bufferless_time: stats.fastpass_bufferless.mean().unwrap_or(0.0),
-            fastpass_fraction: stats.fastpass_fraction(),
-        };
-        // Percentile call proves the distribution is queryable (and
-        // exercises the tail machinery on real data).
-        let _ = stats.latency.percentile(99.0);
+    let jobs: Vec<_> = rates
+        .iter()
+        .map(|&rate| {
+            move || {
+                let mut sim = make_sim(
+                    SchemeId::FastPass,
+                    SyntheticPattern::Uniform,
+                    rate,
+                    size,
+                    1,
+                    11,
+                );
+                let mut stats = sim.run_windows(warmup, measure);
+                // Percentile call proves the distribution is queryable
+                // (and exercises the tail machinery on real data).
+                let _ = stats.latency.percentile(99.0);
+                Fig9Row {
+                    rate,
+                    regular_avg_latency: stats.regular_latency.mean().unwrap_or(f64::NAN),
+                    fastpass_avg_latency: stats.fastpass_latency.mean().unwrap_or(0.0),
+                    fastpass_buffered_time: stats.fastpass_buffered.mean().unwrap_or(0.0),
+                    fastpass_bufferless_time: stats.fastpass_bufferless.mean().unwrap_or(0.0),
+                    fastpass_fraction: stats.fastpass_fraction(),
+                }
+            }
+        })
+        .collect();
+    let rows = parallel_map(jobs, num_jobs());
+    for row in &rows {
         println!(
             "{:>6.2} {:>10.1} {:>10.1} {:>12.1} {:>14.1} {:>8.3}",
             row.rate,
@@ -62,7 +69,6 @@ fn main() {
             row.fastpass_bufferless_time,
             row.fastpass_fraction
         );
-        rows.push(row);
     }
     // Shape check: bufferless time roughly flat (< 2x spread).
     let bl: Vec<f64> = rows

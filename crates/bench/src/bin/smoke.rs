@@ -1,0 +1,52 @@
+//! CI smoke sweep: a 4×4 mesh, three injection rates, FastPass plus the
+//! plain-VCT substrate baseline, run through the parallel executor.
+//!
+//! Exercises the whole stack — registry, work-queue scheduler, result
+//! cache, JSON emission — end to end in a few seconds, and fails loudly
+//! if any point produces a non-finite latency or delivers nothing.
+
+use bench::{emit_json, run_sweep_parallel, SchemeId, SweepOptions, SweepSpec};
+use traffic::SyntheticPattern;
+
+fn main() {
+    let rates = vec![0.02, 0.05, 0.08];
+    let specs: Vec<SweepSpec> = [SchemeId::FastPass, SchemeId::Vct]
+        .iter()
+        .map(|&id| SweepSpec {
+            id,
+            pattern: SyntheticPattern::Uniform,
+            rates: rates.clone(),
+            size: 4,
+            fp_vcs: 2,
+            warmup: 1_000,
+            measure: 3_000,
+            seed: 5,
+        })
+        .collect();
+    let results = run_sweep_parallel(&specs, &SweepOptions::from_env());
+    for r in &results {
+        assert_eq!(r.points.len(), rates.len(), "{}: missing points", r.scheme);
+        for p in &r.points {
+            assert!(
+                p.avg_latency.is_finite(),
+                "{} rate={} produced non-finite latency",
+                r.scheme,
+                p.rate
+            );
+            assert!(
+                p.delivered > 0,
+                "{} rate={} delivered nothing",
+                r.scheme,
+                p.rate
+            );
+        }
+        println!(
+            "{:<10} saturation {:.2}, zero-load latency {:.1}",
+            r.scheme,
+            r.saturation_rate(),
+            r.points[0].avg_latency
+        );
+    }
+    let path = emit_json("smoke", &results).expect("write results");
+    println!("smoke sweep OK — JSON written to {}", path.display());
+}

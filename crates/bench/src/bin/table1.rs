@@ -17,7 +17,15 @@ fn main() {
     println!("Table I: Comparison of deadlock freedom solutions");
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "Scheme", "NoDetect", "ProtoDF", "NetDF", "PathDiv", "HighThpt", "LowPower", "Scalable", "NoMisrt"
+        "Scheme",
+        "NoDetect",
+        "ProtoDF",
+        "NetDF",
+        "PathDiv",
+        "HighThpt",
+        "LowPower",
+        "Scalable",
+        "NoMisrt"
     );
     for id in ALL_SCHEMES {
         // MinBD is not in the paper's Table I but is shown for

@@ -20,9 +20,15 @@ fn main() {
     println!("{:<28} 128 bits/cycle", "Link bandwidth");
     let flow = "VCT, single packet per VC, 1- and 5-flit packets";
     println!("{:<28} {flow}", "Flow control");
-    println!("{:<28} Uniform, Transpose, Shuffle, Bit-rotation", "Synthetic traffic");
+    println!(
+        "{:<28} Uniform, Transpose, Shuffle, Bit-rotation",
+        "Synthetic traffic"
+    );
     println!();
-    println!("{:<10} {:>4} {:>10} {:>22}", "Scheme", "VNs", "VCs", "Routing");
+    println!(
+        "{:<10} {:>4} {:>10} {:>22}",
+        "Scheme", "VNs", "VCs", "Routing"
+    );
     for id in ALL_SCHEMES {
         let (vcs, routing) = match id {
             SchemeId::FastPass => ("1/2/4", "fully adaptive"),
@@ -31,7 +37,13 @@ fn main() {
             SchemeId::MinBd => ("-", "deflection"),
             _ => ("2", "fully adaptive"),
         };
-        println!("{:<10} {:>4} {:>10} {:>22}", id.name(), id.vns(), vcs, routing);
+        println!(
+            "{:<10} {:>4} {:>10} {:>22}",
+            id.name(),
+            id.vns(),
+            vcs,
+            routing
+        );
     }
     println!();
     println!("FastPass TDM slot lengths (Qn5: 2 x hops x inputs x VCs):");

@@ -7,10 +7,17 @@
 //! environment variables so quick runs and full runs use the same code:
 //!
 //! * `FP_WARMUP` / `FP_MEASURE` — cycles per window (defaults per binary);
-//! * `FP_OUT` — directory for JSON results (default `results/`).
+//! * `FP_OUT` — directory for JSON results (default `results/`);
+//! * `NOC_JOBS` — worker threads for parallel sweeps (default: available
+//!   cores);
+//! * `FP_CACHE` — completed-point cache directory (default
+//!   `results/cache/`; set to `off` to disable).
 
 pub mod registry;
 pub mod runner;
 
 pub use registry::{SchemeId, ALL_SCHEMES};
-pub use runner::{emit_json, env_u64, LatencyPoint, SweepResult};
+pub use runner::{
+    emit_json, env_u64, num_jobs, parallel_map, parallel_map_with, point_cache_key,
+    run_sweep_parallel, LatencyPoint, SweepOptions, SweepResult, SweepSpec,
+};

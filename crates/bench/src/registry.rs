@@ -1,8 +1,8 @@
 //! Scheme registry: Table II configurations and constructors.
 
 use baselines::{
-    drain::DrainConfig, pitstop::PitstopConfig, spin::SpinConfig, swap::SwapConfig, Drain,
-    EscapeVc, MinBd, Pitstop, Spin, Swap, Tfc,
+    drain::DrainConfig, pitstop::PitstopConfig, spin::SpinConfig, swap::SwapConfig, CreditVct,
+    Drain, EscapeVc, MinBd, Pitstop, Spin, Swap, Tfc,
 };
 use fastpass::{FastPass, FastPassConfig};
 use noc_core::config::SimConfig;
@@ -28,6 +28,10 @@ pub enum SchemeId {
     Tfc,
     /// FastPass (VN=0; VC per experiment: 1, 2 or 4).
     FastPass,
+    /// Plain credit-based VCT with XY routing (VN=6, VC=2). Not part of
+    /// the paper's comparison (hence not in [`ALL_SCHEMES`]); used as the
+    /// substrate sanity baseline in the CI smoke sweep.
+    Vct,
 }
 
 /// All schemes in Fig. 7 order.
@@ -54,6 +58,7 @@ impl SchemeId {
             SchemeId::MinBd => "MinBD",
             SchemeId::Tfc => "TFC",
             SchemeId::FastPass => "FastPass",
+            SchemeId::Vct => "VCT-XY",
         }
     }
 
@@ -104,6 +109,7 @@ impl SchemeId {
             SchemeId::MinBd => Box::new(MinBd::new(nodes, seed, Default::default())),
             SchemeId::Tfc => Box::new(Tfc::new(seed)),
             SchemeId::FastPass => Box::new(FastPass::new(cfg, FastPassConfig::default())),
+            SchemeId::Vct => Box::new(CreditVct::xy(cfg.vns)),
         }
     }
 }
@@ -128,6 +134,15 @@ mod tests {
         assert_eq!(fp.vcs_per_port(), 4);
         let esc = SchemeId::EscapeVc.sim_config(8, 4, 1);
         assert_eq!(esc.vcs_per_port(), 12);
+    }
+
+    #[test]
+    fn vct_smoke_baseline_constructs_but_stays_out_of_fig7() {
+        assert!(!ALL_SCHEMES.contains(&SchemeId::Vct));
+        let cfg = SchemeId::Vct.sim_config(4, 2, 1);
+        let scheme = SchemeId::Vct.build(&cfg, 1);
+        assert_eq!(scheme.name(), SchemeId::Vct.name());
+        assert_eq!(scheme.required_vns(), cfg.vns);
     }
 
     #[test]

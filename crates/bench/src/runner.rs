@@ -1,9 +1,31 @@
 //! Sweep runners and result emission.
+//!
+//! Every figure of the paper is an embarrassingly parallel grid of
+//! independent simulation points — `(scheme, pattern, rate)` triples
+//! that each construct their own [`Simulation`] from a seeded RNG. The
+//! runners here exploit that:
+//!
+//! * [`parallel_map`] — an ordered work-queue executor
+//!   (`std::thread::scope` + channels, no dependencies) shared by all
+//!   `fig*`/`table*`/`ablation` binaries;
+//! * [`run_sweep_parallel`] — the latency-vs-rate sweep entry point,
+//!   with per-point progress lines and a deterministic on-disk result
+//!   cache under `results/cache/` so interrupted sweeps resume instead
+//!   of recomputing;
+//! * [`sweep`] — the serial reference path. Parallel results are
+//!   bitwise identical to it because every point's simulation is
+//!   self-contained (enforced by a test in `tests/parallel_sweep.rs`).
+//!
+//! Knobs: `NOC_JOBS` (worker threads, default = available cores),
+//! `FP_CACHE` (cache directory; `off` disables), `FP_OUT` (JSON output
+//! directory, default `results/`).
 
 use crate::registry::SchemeId;
 use noc_sim::Simulation;
 use serde::{Deserialize, Serialize};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use traffic::{SyntheticPattern, SyntheticWorkload};
 
 /// Reads a `u64` knob from the environment with a default.
@@ -12,6 +34,88 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Number of worker threads requested via `NOC_JOBS`, defaulting to the
+/// machine's available parallelism. Always at least 1.
+pub fn num_jobs() -> usize {
+    let default = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (env_u64("NOC_JOBS", default as u64) as usize).max(1)
+}
+
+/// Runs `jobs` on `workers` threads and returns the results in job
+/// order. `on_done` fires on the coordinating thread as each job
+/// finishes (in completion order), for progress reporting.
+///
+/// Each job is claimed atomically from a shared queue, so long and short
+/// jobs balance across workers. Results come back over a channel; the
+/// output `Vec` is assembled by job index, which makes the caller's view
+/// independent of scheduling order — the cornerstone of the
+/// serial-vs-parallel determinism guarantee.
+///
+/// # Panics
+///
+/// Propagates the first panicking job's payload after all workers stop.
+pub fn parallel_map_with<T, F>(
+    jobs: Vec<F>,
+    workers: usize,
+    mut on_done: impl FnMut(usize, &T),
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let queue: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for _ in 0..workers.clamp(1, n) {
+            let tx = tx.clone();
+            let queue = &queue;
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                // If send fails the coordinator is gone (a sibling
+                // panicked); stop quietly and let scope re-raise.
+                if tx.send((i, job())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Ends when every worker is done (all senders dropped); short
+        // reads mean a worker panicked, which scope exit re-raises.
+        while let Ok((i, value)) = rx.recv() {
+            on_done(i, &value);
+            results[i] = Some(value);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker completed every claimed job"))
+        .collect()
+}
+
+/// [`parallel_map_with`] without a progress callback.
+pub fn parallel_map<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    parallel_map_with(jobs, workers, |_, _| {})
 }
 
 /// One point of a latency-vs-injection-rate curve (Fig. 7).
@@ -59,6 +163,127 @@ impl SweepResult {
     }
 }
 
+/// Everything that identifies one sweep: a scheme/pattern pair plus the
+/// rate axis and simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Scheme under test.
+    pub id: SchemeId,
+    /// Synthetic destination pattern.
+    pub pattern: SyntheticPattern,
+    /// Injection rates, in output order.
+    pub rates: Vec<f64>,
+    /// Mesh edge length.
+    pub size: usize,
+    /// FastPass VCs per input buffer (ignored by VN-based schemes).
+    pub fp_vcs: usize,
+    /// Warmup cycles (statistics discarded).
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// Execution options for [`run_sweep_parallel`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Completed-point cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Whether to emit per-point progress lines on stderr.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// Options from the environment: `NOC_JOBS` workers, cache under
+    /// `results/cache/` unless `FP_CACHE` overrides the directory or
+    /// disables it (`off`/`0`/empty), progress on.
+    pub fn from_env() -> Self {
+        let cache_dir = match std::env::var("FP_CACHE") {
+            Err(_) => Some(PathBuf::from("results/cache")),
+            Ok(v) if v.is_empty() || v == "off" || v == "0" => None,
+            Ok(v) => Some(PathBuf::from(v)),
+        };
+        SweepOptions {
+            jobs: num_jobs(),
+            cache_dir,
+            progress: true,
+        }
+    }
+
+    /// Quiet, uncached options with an explicit worker count (tests).
+    #[must_use]
+    pub fn quiet(jobs: usize) -> Self {
+        SweepOptions {
+            jobs,
+            cache_dir: None,
+            progress: false,
+        }
+    }
+}
+
+/// Bump when the cache entry format or simulation semantics change in a
+/// way that invalidates previously cached points.
+const CACHE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit, used for stable cache keys (`DefaultHasher` makes no
+/// cross-version stability promise).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key of one simulation point: a stable hash over everything
+/// that determines its result — scheme, pattern, the full [`SimConfig`]
+/// (serialized), rate, seed and window lengths.
+///
+/// [`SimConfig`]: noc_core::config::SimConfig
+pub fn point_cache_key(spec: &SweepSpec, rate: f64) -> u64 {
+    let cfg = spec.id.sim_config(spec.size, spec.fp_vcs, spec.seed);
+    let cfg_json = serde_json::to_string(&cfg).expect("SimConfig serializes");
+    let canonical = format!(
+        "v{CACHE_VERSION}|{}|{}|{}|{rate:?}|{}|{}|{}",
+        spec.id.name(),
+        spec.pattern.name(),
+        cfg_json,
+        spec.seed,
+        spec.warmup,
+        spec.measure,
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+fn cache_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.json"))
+}
+
+fn cache_load(dir: &Path, key: u64) -> Option<LatencyPoint> {
+    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn cache_store(dir: &Path, key: u64, point: &LatencyPoint) {
+    // Cache writes are best-effort: a full disk or unwritable directory
+    // degrades to recomputation, never to a wrong result.
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let Ok(json) = serde_json::to_string_pretty(point) else {
+        return;
+    };
+    let path = cache_path(dir, key);
+    let tmp = dir.join(format!("{key:016x}.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, json).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
 /// Builds a fresh simulation for a scheme/pattern/rate triple at the
 /// Table II configuration.
 pub fn make_sim(
@@ -75,7 +300,34 @@ pub fn make_sim(
     Simulation::new(cfg, scheme, Box::new(workload))
 }
 
-/// Runs a latency-vs-rate sweep.
+/// Simulates one sweep point. Every call builds a fresh [`Simulation`]
+/// from the spec's seed, so a point's result depends only on its inputs
+/// — never on which thread ran it or what ran before it.
+fn simulate_point(spec: &SweepSpec, rate: f64) -> LatencyPoint {
+    let mut sim = make_sim(
+        spec.id,
+        spec.pattern,
+        rate,
+        spec.size,
+        spec.fp_vcs,
+        spec.seed,
+    );
+    let stats = sim.run_windows(spec.warmup, spec.measure);
+    LatencyPoint {
+        rate,
+        avg_latency: stats.avg_latency(),
+        throughput: stats.throughput_packets(),
+        delivered: stats.delivered(),
+        fastpass_fraction: stats.fastpass_fraction(),
+        dropped_fraction: stats.dropped_fraction(),
+    }
+}
+
+/// Runs a latency-vs-rate sweep serially (the reference path).
+///
+/// [`run_sweep_parallel`] produces bitwise-identical results; this stays
+/// as the oracle for the determinism test and for callers that want a
+/// single sweep without options plumbing.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep(
     id: SchemeId,
@@ -87,25 +339,97 @@ pub fn sweep(
     measure: u64,
     seed: u64,
 ) -> SweepResult {
-    let mut points = Vec::with_capacity(rates.len());
-    for &rate in rates {
-        let mut sim = make_sim(id, pattern, rate, size, fp_vcs, seed);
-        let stats = sim.run_windows(warmup, measure);
-        points.push(LatencyPoint {
-            rate,
-            avg_latency: stats.avg_latency(),
-            throughput: stats.throughput_packets(),
-            delivered: stats.delivered(),
-            fastpass_fraction: stats.fastpass_fraction(),
-            dropped_fraction: stats.dropped_fraction(),
-        });
-    }
+    let spec = SweepSpec {
+        id,
+        pattern,
+        rates: rates.to_vec(),
+        size,
+        fp_vcs,
+        warmup,
+        measure,
+        seed,
+    };
     SweepResult {
         scheme: id.name().to_string(),
         pattern: pattern.name().to_string(),
         size,
-        points,
+        points: rates.iter().map(|&r| simulate_point(&spec, r)).collect(),
     }
+}
+
+/// Runs a batch of sweeps with every `(spec, rate)` point fanned out
+/// across [`SweepOptions::jobs`] worker threads, returning one
+/// [`SweepResult`] per spec with points in rate order.
+///
+/// Points already present in the cache are loaded instead of simulated,
+/// so re-running a figure after an interrupted sweep only computes the
+/// missing points. Results are bitwise identical to the serial
+/// [`sweep`] path regardless of worker count or cache state.
+pub fn run_sweep_parallel(specs: &[SweepSpec], opts: &SweepOptions) -> Vec<SweepResult> {
+    let points: Vec<(usize, usize, f64)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, spec)| {
+            spec.rates
+                .iter()
+                .enumerate()
+                .map(move |(ri, &r)| (si, ri, r))
+        })
+        .collect();
+    let total = points.len();
+    let jobs: Vec<_> = points
+        .iter()
+        .map(|&(si, _, rate)| {
+            let spec = &specs[si];
+            let cache_dir = opts.cache_dir.as_deref();
+            move || -> (LatencyPoint, bool) {
+                let key = cache_dir.map(|d| (d, point_cache_key(spec, rate)));
+                if let Some((dir, k)) = key {
+                    if let Some(hit) = cache_load(dir, k) {
+                        return (hit, true);
+                    }
+                }
+                let point = simulate_point(spec, rate);
+                if let Some((dir, k)) = key {
+                    cache_store(dir, k, &point);
+                }
+                (point, false)
+            }
+        })
+        .collect();
+    let mut done = 0usize;
+    let results = parallel_map_with(jobs, opts.jobs, |i, (point, cached)| {
+        done += 1;
+        if opts.progress {
+            let (si, _, _) = points[i];
+            let spec = &specs[si];
+            eprintln!(
+                "[sweep {done}/{total}] {}/{} {}x{} rate={:.3} lat={:.1}{}",
+                spec.id.name(),
+                spec.pattern.name(),
+                spec.size,
+                spec.size,
+                point.rate,
+                point.avg_latency,
+                if *cached { " (cached)" } else { "" },
+            );
+        }
+    });
+    let mut sweeps: Vec<SweepResult> = specs
+        .iter()
+        .map(|spec| SweepResult {
+            scheme: spec.id.name().to_string(),
+            pattern: spec.pattern.name().to_string(),
+            size: spec.size,
+            points: Vec::with_capacity(spec.rates.len()),
+        })
+        .collect();
+    // `points` and `results` share indexing; rate order within a spec is
+    // preserved because flat_map emitted rates in order.
+    for (&(si, _, _), (point, _)) in points.iter().zip(results) {
+        sweeps[si].points.push(point);
+    }
+    sweeps
 }
 
 /// Writes a serializable result into `$FP_OUT/<name>.json` (default
@@ -122,6 +446,26 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf
 mod tests {
     use super::*;
 
+    fn mk(rate: f64, lat: f64) -> LatencyPoint {
+        LatencyPoint {
+            rate,
+            avg_latency: lat,
+            throughput: rate,
+            delivered: 100,
+            fastpass_fraction: 0.0,
+            dropped_fraction: 0.0,
+        }
+    }
+
+    fn sweep_of(points: Vec<LatencyPoint>) -> SweepResult {
+        SweepResult {
+            scheme: "x".into(),
+            pattern: "y".into(),
+            size: 8,
+            points,
+        }
+    }
+
     #[test]
     fn env_u64_parses_and_defaults() {
         std::env::remove_var("FP_TEST_KNOB_XYZ");
@@ -134,37 +478,124 @@ mod tests {
     }
 
     #[test]
+    fn env_u64_rejects_overflow_and_negatives() {
+        std::env::set_var("FP_TEST_KNOB_OVF", "99999999999999999999999999");
+        assert_eq!(env_u64("FP_TEST_KNOB_OVF", 5), 5);
+        std::env::set_var("FP_TEST_KNOB_OVF", "-3");
+        assert_eq!(env_u64("FP_TEST_KNOB_OVF", 5), 5);
+        std::env::set_var("FP_TEST_KNOB_OVF", u64::MAX.to_string());
+        assert_eq!(env_u64("FP_TEST_KNOB_OVF", 5), u64::MAX);
+        std::env::remove_var("FP_TEST_KNOB_OVF");
+    }
+
+    #[test]
     fn saturation_rate_detects_knee() {
-        let mk = |rate: f64, lat: f64| LatencyPoint {
-            rate,
-            avg_latency: lat,
-            throughput: rate,
-            delivered: 100,
-            fastpass_fraction: 0.0,
-            dropped_fraction: 0.0,
-        };
-        let r = SweepResult {
-            scheme: "x".into(),
-            pattern: "y".into(),
-            size: 8,
-            points: vec![mk(0.1, 10.0), mk(0.2, 12.0), mk(0.3, 50.0), mk(0.4, 500.0)],
-        };
+        let r = sweep_of(vec![
+            mk(0.1, 10.0),
+            mk(0.2, 12.0),
+            mk(0.3, 50.0),
+            mk(0.4, 500.0),
+        ]);
         assert_eq!(r.saturation_rate(), 0.2);
+    }
+
+    #[test]
+    fn saturation_rate_empty_sweep_is_zero() {
+        assert_eq!(sweep_of(Vec::new()).saturation_rate(), 0.0);
+    }
+
+    #[test]
+    fn saturation_rate_single_point_is_that_rate() {
+        assert_eq!(sweep_of(vec![mk(0.05, 12.0)]).saturation_rate(), 0.05);
+    }
+
+    #[test]
+    fn saturation_rate_never_saturating_returns_last_rate() {
+        let r = sweep_of(vec![mk(0.1, 10.0), mk(0.2, 11.0), mk(0.3, 12.0)]);
+        assert_eq!(r.saturation_rate(), 0.3);
+    }
+
+    #[test]
+    fn saturation_rate_stops_at_non_finite_latency() {
+        let nan = sweep_of(vec![mk(0.1, 10.0), mk(0.2, 11.0), mk(0.3, f64::NAN)]);
+        assert_eq!(nan.saturation_rate(), 0.2);
+        let inf = sweep_of(vec![mk(0.1, 10.0), mk(0.2, f64::INFINITY)]);
+        assert_eq!(inf.saturation_rate(), 0.1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_balances() {
+        let jobs: Vec<_> = (0..37).map(|i| move || i * 2).collect();
+        let out = parallel_map(jobs, 4);
+        assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_runs_with_more_workers_than_jobs() {
+        let jobs: Vec<_> = (0..3).map(|i| move || i).collect();
+        assert_eq!(parallel_map(jobs, 64), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_map_empty_is_empty() {
+        let jobs: Vec<fn() -> u32> = Vec::new();
+        assert!(parallel_map(jobs, 4).is_empty());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_every_axis() {
+        let base = SweepSpec {
+            id: SchemeId::FastPass,
+            pattern: SyntheticPattern::Uniform,
+            rates: vec![0.1],
+            size: 4,
+            fp_vcs: 2,
+            warmup: 100,
+            measure: 200,
+            seed: 1,
+        };
+        let k = point_cache_key(&base, 0.1);
+        let variants = [
+            SweepSpec {
+                id: SchemeId::Spin,
+                ..base.clone()
+            },
+            SweepSpec {
+                pattern: SyntheticPattern::Transpose,
+                ..base.clone()
+            },
+            SweepSpec {
+                size: 8,
+                ..base.clone()
+            },
+            SweepSpec {
+                fp_vcs: 4,
+                ..base.clone()
+            },
+            SweepSpec {
+                warmup: 101,
+                ..base.clone()
+            },
+            SweepSpec {
+                measure: 201,
+                ..base.clone()
+            },
+            SweepSpec {
+                seed: 2,
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(point_cache_key(v, 0.1), k, "{v:?}");
+        }
+        assert_ne!(point_cache_key(&base, 0.2), k, "rate must be keyed");
+        assert_eq!(point_cache_key(&base.clone(), 0.1), k, "key is stable");
     }
 
     #[test]
     fn small_sweep_runs_every_scheme() {
         for id in crate::registry::ALL_SCHEMES {
-            let r = sweep(
-                id,
-                SyntheticPattern::Uniform,
-                &[0.02],
-                4,
-                2,
-                200,
-                500,
-                1,
-            );
+            let r = sweep(id, SyntheticPattern::Uniform, &[0.02], 4, 2, 200, 500, 1);
             assert_eq!(r.points.len(), 1, "{}", id.name());
             assert!(r.points[0].delivered > 0, "{} delivered nothing", id.name());
         }

@@ -56,7 +56,14 @@ impl Flight {
     ///
     /// Panics if `prime == dst` (such packets eject locally and are never
     /// upgraded).
-    pub fn new(mesh: Mesh, pkt: PacketId, prime: NodeId, dst: NodeId, len: u8, launch: u64) -> Self {
+    pub fn new(
+        mesh: Mesh,
+        pkt: PacketId,
+        prime: NodeId,
+        dst: NodeId,
+        len: u8,
+        launch: u64,
+    ) -> Self {
         assert_ne!(prime, dst, "flights must cross at least one link");
         let out_links = lane::path_links(mesh, &lane::outbound_path(mesh, prime, dst));
         let ret_links = lane::path_links(mesh, &lane::return_path(mesh, dst, prime));
@@ -151,9 +158,7 @@ impl Flight {
     /// `cycle` (the ejection port is preempted, §Qn3).
     pub fn ejecting_at(&self, cycle: u64) -> bool {
         match self.state {
-            FlightState::Ejecting { started } => {
-                cycle >= started && cycle <= self.eject_done()
-            }
+            FlightState::Ejecting { started } => cycle >= started && cycle <= self.eject_done(),
             _ => false,
         }
     }
@@ -289,13 +294,7 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let mut store = PacketStore::new();
         let n = mesh.node(1, 1);
-        let pkt = store.insert(Packet::new(
-            mesh.node(0, 0),
-            n,
-            MessageClass::Request,
-            1,
-            0,
-        ));
+        let pkt = store.insert(Packet::new(mesh.node(0, 0), n, MessageClass::Request, 1, 0));
         let _ = Flight::new(mesh, pkt, n, n, 1, 0);
     }
 }

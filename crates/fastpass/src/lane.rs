@@ -25,7 +25,8 @@ pub fn path_links(mesh: Mesh, path: &[NodeId]) -> Vec<LinkId> {
                 .iter()
                 .find(|&d| mesh.neighbor(w[0], d) == Some(w[1]))
                 .expect("path nodes are not adjacent");
-            mesh.link(w[0], dir).expect("adjacent nodes always share a link")
+            mesh.link(w[0], dir)
+                .expect("adjacent nodes always share a link")
         })
         .collect()
 }
@@ -206,7 +207,11 @@ mod tests {
             if horizontal {
                 assert_eq!(mesh.y(from), 1, "horizontal segment outside prime row");
             } else {
-                assert_eq!(mesh.x(from), covered, "vertical segment outside covered column");
+                assert_eq!(
+                    mesh.x(from),
+                    covered,
+                    "vertical segment outside covered column"
+                );
             }
         }
     }
@@ -218,10 +223,8 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let a = mesh.node(0, 0);
         let b = mesh.node(1, 0); // same row!
-        let fa: std::collections::HashSet<_> =
-            lane_footprint(mesh, a, 2).into_iter().collect();
-        let fb: std::collections::HashSet<_> =
-            lane_footprint(mesh, b, 3).into_iter().collect();
+        let fa: std::collections::HashSet<_> = lane_footprint(mesh, a, 2).into_iter().collect();
+        let fb: std::collections::HashSet<_> = lane_footprint(mesh, b, 3).into_iter().collect();
         assert!(
             fa.intersection(&fb).count() > 0,
             "same-row primes must share row links"

@@ -133,7 +133,9 @@ impl TdmSchedule {
     /// All concurrent primes at `cycle`, indexed by partition.
     pub fn primes(self, cycle: u64) -> Vec<NodeId> {
         let phase = self.slot_info(cycle).phase;
-        (0..self.partitions()).map(|p| self.prime(p, phase)).collect()
+        (0..self.partitions())
+            .map(|p| self.prime(p, phase))
+            .collect()
     }
 
     /// The partition covered by partition `p`'s prime at `cycle`.

@@ -301,9 +301,7 @@ impl PacketStore {
 
     /// Whether `id` still refers to a live packet.
     pub fn contains(&self, id: PacketId) -> bool {
-        self.packets
-            .get(id.0 as usize)
-            .is_some_and(|p| p.is_some())
+        self.packets.get(id.0 as usize).is_some_and(|p| p.is_some())
     }
 
     /// Number of packets ever created.

@@ -17,5 +17,7 @@
 pub mod model;
 pub mod report;
 
-pub use model::{router_area, router_power, AreaBreakdown, PowerBreakdown, RouterParams, SchemeKind};
+pub use model::{
+    router_area, router_power, AreaBreakdown, PowerBreakdown, RouterParams, SchemeKind,
+};
 pub use report::{fig11_configs, Fig11Row};

@@ -61,10 +61,16 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
                 };
                 let loc = format!("{node} port {} vc {vc}", Port::from_index(p));
                 if occ.sent > occ.arrived {
-                    err(loc.clone(), format!("sent {} > arrived {}", occ.sent, occ.arrived));
+                    err(
+                        loc.clone(),
+                        format!("sent {} > arrived {}", occ.sent, occ.arrived),
+                    );
                 }
                 if occ.arrived > occ.len {
-                    err(loc.clone(), format!("arrived {} > len {}", occ.arrived, occ.len));
+                    err(
+                        loc.clone(),
+                        format!("arrived {} > len {}", occ.arrived, occ.len),
+                    );
                 }
                 if !core.store.contains(occ.pkt) {
                     err(loc.clone(), format!("occupant {} not in store", occ.pkt));
@@ -245,7 +251,9 @@ mod tests {
         let mut occ = VcOccupant::reserved(id, 2, 0);
         occ.arrived = 1;
         occ.sent = 2; // corrupt: sent > arrived
-        c.router_mut(NodeId::new(1)).inputs[0].vc_mut(0).install(occ);
+        c.router_mut(NodeId::new(1)).inputs[0]
+            .vc_mut(0)
+            .install(occ);
         let errors = audit(&c);
         assert!(errors.iter().any(|e| e.problem.contains("sent")));
     }

@@ -3,7 +3,7 @@
 use crate::network::NetworkCore;
 use crate::scheme::Scheme;
 use noc_core::config::SimConfig;
-use noc_core::packet::{Packet, MessageClass, CLASSES};
+use noc_core::packet::{MessageClass, Packet, CLASSES};
 use noc_core::stats::NetStats;
 use noc_core::topology::NodeId;
 
@@ -16,7 +16,11 @@ use noc_core::topology::NodeId;
 /// processor-side backpressure — a stalled core stops draining its
 /// request ejection queue, which is exactly the protocol-deadlock
 /// scenario of §II.
-pub trait Workload {
+///
+/// Workloads must be [`Send`] for the same reason schemes are: the bench
+/// harness runs each simulation on a worker thread, so the whole
+/// `Simulation` (scheme + workload + core) has to move across threads.
+pub trait Workload: Send {
     /// Called once per cycle before the scheme steps; generate new
     /// packets here.
     fn tick(&mut self, core: &mut NetworkCore);
@@ -294,7 +298,12 @@ mod tests {
 
     fn sim(rate: f64) -> Simulation {
         Simulation::new(
-            SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).seed(3).build(),
+            SimConfig::builder()
+                .mesh(4, 4)
+                .vns(0)
+                .vcs_per_vn(2)
+                .seed(3)
+                .build(),
             Box::new(PlainXy),
             Box::new(UniformReq {
                 rate,
@@ -309,7 +318,10 @@ mod tests {
         let stats = s.run_windows(2_000, 5_000);
         assert!(stats.delivered() > 0, "packets flowed");
         let lat = stats.avg_latency();
-        assert!(lat < 30.0, "low-load latency should be near zero-load: {lat}");
+        assert!(
+            lat < 30.0,
+            "low-load latency should be near zero-load: {lat}"
+        );
         assert!(s.starvation_cycles() < 100);
     }
 

@@ -25,7 +25,7 @@ pub fn link_utilization(core: &NetworkCore) -> Vec<(LinkId, u64, f64)> {
             }
         }
     }
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     rows
 }
 
@@ -132,9 +132,8 @@ mod tests {
     use noc_core::packet::{MessageClass, Packet};
 
     fn loaded_core() -> NetworkCore {
-        let mut core = NetworkCore::new(
-            SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).build(),
-        );
+        let mut core =
+            NetworkCore::new(SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).build());
         for i in 0..8 {
             core.generate(Packet::new(
                 NodeId::new(i),
@@ -184,9 +183,7 @@ mod tests {
 
     #[test]
     fn idle_network_renders_cold() {
-        let core = NetworkCore::new(
-            SimConfig::builder().mesh(3, 3).vns(0).vcs_per_vn(1).build(),
-        );
+        let core = NetworkCore::new(SimConfig::builder().mesh(3, 3).vns(0).vcs_per_vn(1).build());
         let hm = link_heatmap(&core);
         assert!(hm.chars().filter(|c| *c != '\n').all(|c| c == '.'));
         assert!(hottest_links(&core, 3)[0].contains("0 flits"));

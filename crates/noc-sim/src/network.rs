@@ -237,7 +237,10 @@ impl NetworkCore {
                 .vc_mut(s.vc)
                 .occupant_mut()
                 .expect("staged arrival into an unreserved VC");
-            assert!(occ.arrived < occ.len, "more flits arrived than packet length");
+            assert!(
+                occ.arrived < occ.len,
+                "more flits arrived than packet length"
+            );
             occ.arrived += 1;
             if occ.arrived == 1 {
                 occ.head_arrival = cycle;
@@ -311,8 +314,8 @@ impl NetworkCore {
                     let owned = match (occ.route, occ.out_vc) {
                         (Some(Port::Dir(d)), Some(v)) => {
                             let nbr = self.mesh.neighbor(node, d).expect("route on-mesh");
-                            let down = &self.routers[nbr.index()].inputs
-                                [Port::Dir(d.opposite()).index()];
+                            let down =
+                                &self.routers[nbr.index()].inputs[Port::Dir(d.opposite()).index()];
                             down.vc(v)
                                 .occupant()
                                 .map(|o| o.arrived == 0)
@@ -326,7 +329,12 @@ impl NetworkCore {
                 }
             }
         }
-        count + self.nis.iter().map(|ni| ni.resident_packets()).sum::<usize>()
+        count
+            + self
+                .nis
+                .iter()
+                .map(|ni| ni.resident_packets())
+                .sum::<usize>()
     }
 
     /// Records one flit crossing a directed link (utilization
@@ -438,7 +446,10 @@ mod tests {
             0
         );
         core.apply_staged();
-        let occ = core.router(node).inputs[port.index()].vc(0).occupant().unwrap();
+        let occ = core.router(node).inputs[port.index()]
+            .vc(0)
+            .occupant()
+            .unwrap();
         assert_eq!(occ.arrived, 1);
         assert!(occ.head_present());
     }
@@ -458,7 +469,9 @@ mod tests {
         let mut occ = VcOccupant::reserved(id, 1, 0);
         occ.arrived = 1;
         occ.sent = 1;
-        core.router_mut(node).inputs[port.index()].vc_mut(0).install(occ);
+        core.router_mut(node).inputs[port.index()]
+            .vc_mut(0)
+            .install(occ);
         core.mark_drained(node, port, 0);
         assert!(!core.router(node).inputs[port.index()].vc(0).is_free());
         core.apply_staged();

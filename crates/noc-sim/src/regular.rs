@@ -33,7 +33,12 @@ pub struct AdvanceCtx<'a> {
 }
 
 impl AdvanceCtx<'_> {
-    fn link_suppressed(&self, core: &NetworkCore, node: NodeId, d: noc_core::topology::Direction) -> bool {
+    fn link_suppressed(
+        &self,
+        core: &NetworkCore,
+        node: NodeId,
+        d: noc_core::topology::Direction,
+    ) -> bool {
         match (self.suppressed, core.mesh().link(node, d)) {
             (Some(set), Some(l)) => set.contains(l),
             _ => false,
@@ -271,13 +276,8 @@ fn eject_flit(core: &mut NetworkCore, node: NodeId, p: usize, vc: usize) {
             pkt.eject_cycle = Some(cycle);
             pkt.class
         };
-        core.ni_mut(node).ej_commit(
-            class,
-            EjectEntry {
-                pkt: pkt_id,
-                ready,
-            },
-        );
+        core.ni_mut(node)
+            .ej_commit(class, EjectEntry { pkt: pkt_id, ready });
         core.router_mut(node).eject_lock = None;
     }
 }
@@ -326,7 +326,10 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
     let vc = core.router(node).inputs[Port::Local.index()]
         .free_vc_in(range)
         .expect("request vector promised a free VC");
-    let pkt_id = core.ni_mut(node).pop_inj(class).expect("queue head vanished");
+    let pkt_id = core
+        .ni_mut(node)
+        .pop_inj(class)
+        .expect("queue head vanished");
     let len = {
         let pkt = core.store.get_mut(pkt_id);
         pkt.inject_cycle = Some(cycle);
@@ -500,7 +503,10 @@ mod tests {
             advance(&mut c, &mut policy, &ctx);
             c.advance_cycle();
         }
-        assert_eq!(c.ni(src).source_depth() + c.ni(src).inj_len(MessageClass::Request), 1);
+        assert_eq!(
+            c.ni(src).source_depth() + c.ni(src).inj_len(MessageClass::Request),
+            1
+        );
     }
 
     #[test]
@@ -619,7 +625,10 @@ mod tests {
             advance(&mut c, &mut policy, &ctx);
             c.advance_cycle();
         }
-        assert!(c.router(dst).eject_lock.is_some(), "lock held through stall");
+        assert!(
+            c.router(dst).eject_lock.is_some(),
+            "lock held through stall"
+        );
         assert_eq!(
             c.ni(dst).ej_len(MessageClass::Request),
             0,
@@ -669,7 +678,10 @@ mod tests {
             c.advance_cycle();
             let now = c.cycle();
             let dst = NodeId::new(1);
-            if c.ni(dst).ej_consumable(MessageClass::Request, now).is_some() {
+            if c.ni(dst)
+                .ej_consumable(MessageClass::Request, now)
+                .is_some()
+            {
                 let e = c.ni_mut(dst).pop_ej(MessageClass::Request).unwrap();
                 lats.push(c.store.get(e.pkt).latency().unwrap());
                 c.store.remove(e.pkt);

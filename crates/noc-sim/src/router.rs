@@ -30,7 +30,9 @@ impl RouterState {
     /// Creates a router whose input ports each have `vcs_per_port` VCs.
     pub fn new(vcs_per_port: usize) -> Self {
         RouterState {
-            inputs: (0..NUM_PORTS).map(|_| InputUnit::new(vcs_per_port)).collect(),
+            inputs: (0..NUM_PORTS)
+                .map(|_| InputUnit::new(vcs_per_port))
+                .collect(),
             sa_rr: (0..NUM_PORTS)
                 .map(|_| RoundRobin::new(NUM_PORTS * vcs_per_port))
                 .collect(),

@@ -38,7 +38,11 @@ pub struct RouteDecision {
 ///
 /// Implementations must only return decisions whose downstream VC is
 /// currently free; the regular pipeline reserves it immediately.
-pub trait RoutingPolicy {
+///
+/// Policies must be [`Send`]: schemes own their policies (often boxed),
+/// and every scheme crosses a thread boundary when the bench harness
+/// parallelizes sweeps.
+pub trait RoutingPolicy: Send {
     /// Short name for logs and reports.
     fn name(&self) -> &'static str;
 
@@ -261,9 +265,7 @@ impl RoutingPolicy for WestFirst {
             if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
                 let credits = downstream_credits(core, req.at, dir, class);
                 let better = match best {
-                    Some((b, _, _)) => {
-                        credits > b || (credits == b && self.rng.chance(0.5))
-                    }
+                    Some((b, _, _)) => credits > b || (credits == b && self.rng.chance(0.5)),
                     None => true,
                 };
                 if better {
@@ -360,7 +362,6 @@ impl RoutingPolicy for EscapeVcRouting {
         self.adaptive.desired_ports(core, req)
     }
 }
-
 
 /// North-last partially-adaptive routing: a packet may adaptively use
 /// East/West/South, but may only head North once no other productive
@@ -483,7 +484,7 @@ impl OddEven {
     ) -> Vec<Direction> {
         let mesh = core.mesh();
         let x = mesh.x(at);
-        let even = x % 2 == 0;
+        let even = x.is_multiple_of(2);
         let (tx, ty) = (mesh.x(dst), mesh.y(dst));
         let dy = ty as isize - mesh.y(at) as isize;
         let dx = tx as isize - x as isize;
@@ -498,11 +499,11 @@ impl OddEven {
                     }
                     // A packet still heading west must keep its future
                     // N/S->W turn legal (even columns only).
-                    !(dx < 0 && !even)
+                    dx >= 0 || even
                 }
                 Direction::West => {
                     // NW/SW forbidden at odd columns.
-                    !(matches!(prev, Some(Direction::North) | Some(Direction::South)) && !even)
+                    !matches!(prev, Some(Direction::North) | Some(Direction::South)) || even
                 }
                 Direction::East => {
                     // Never enter an even destination column eastbound

@@ -30,7 +30,13 @@ pub struct SchemeProperties {
 /// probes, tokens…) and advances the whole network exactly one cycle per
 /// [`step`](Scheme::step) call, typically by doing its own bookkeeping and
 /// then delegating to [`regular::advance`](crate::regular::advance).
-pub trait Scheme {
+///
+/// Schemes must be [`Send`]: the bench harness fans independent
+/// simulations out across worker threads, moving each `Box<dyn Scheme>`
+/// onto the thread that runs it. Keep scheme state in owned containers
+/// (no `Rc`, no thread-local interior mutability) — see DESIGN.md's
+/// scheme-author checklist.
+pub trait Scheme: Send {
     /// Display name, as used in the paper's figures.
     fn name(&self) -> &'static str;
 

@@ -219,13 +219,7 @@ mod tests {
     use noc_core::topology::Direction;
 
     fn core() -> NetworkCore {
-        NetworkCore::new(
-            SimConfig::builder()
-                .mesh(2, 2)
-                .vns(0)
-                .vcs_per_vn(1)
-                .build(),
-        )
+        NetworkCore::new(SimConfig::builder().mesh(2, 2).vns(0).vcs_per_vn(1).build())
     }
 
     /// Places a quiescent packet into a specific buffer.

@@ -126,8 +126,7 @@ impl ProtocolWorkload {
                 let dy = self.rng.range(0, 5) as isize - 2;
                 let x = mesh.x(src) as isize + dx;
                 let y = mesh.y(src) as isize + dy;
-                if x >= 0 && y >= 0 && (x as usize) < mesh.width() && (y as usize) < mesh.height()
-                {
+                if x >= 0 && y >= 0 && (x as usize) < mesh.width() && (y as usize) < mesh.height() {
                     let cand = mesh.node(x as usize, y as usize);
                     if cand != src {
                         return cand;
@@ -200,15 +199,13 @@ impl Workload for ProtocolWorkload {
                     let owner = self.pick_other(core, here, pkt.src);
                     self.emit(
                         core,
-                        Packet::new(here, owner, MessageClass::Forward, 1, cycle)
-                            .with_txn(txn),
+                        Packet::new(here, owner, MessageClass::Forward, 1, cycle).with_txn(txn),
                     );
                 } else {
                     self.cores[here.index()].backlog += 1;
                     self.emit(
                         core,
-                        Packet::new(here, pkt.src, MessageClass::Response, 5, cycle)
-                            .with_txn(txn),
+                        Packet::new(here, pkt.src, MessageClass::Response, 5, cycle).with_txn(txn),
                     );
                 }
             }
@@ -221,8 +218,7 @@ impl Workload for ProtocolWorkload {
                 // only by directory error; pick_other prevented that.
                 self.emit(
                     core,
-                    Packet::new(here, requester, MessageClass::Response, 5, cycle)
-                        .with_txn(txn),
+                    Packet::new(here, requester, MessageClass::Response, 5, cycle).with_txn(txn),
                 );
             }
             MessageClass::Response => {
@@ -235,13 +231,15 @@ impl Workload for ProtocolWorkload {
                 // network; approximate by crediting on consumption.
                 let s = &mut self.cores[pkt.src.index()];
                 s.backlog = s.backlog.saturating_sub(1);
-                let done = self.cfg.quota.is_some_and(|q| self.cores[here.index()].completed >= q);
+                let done = self
+                    .cfg
+                    .quota
+                    .is_some_and(|q| self.cores[here.index()].completed >= q);
                 if !done && self.rng.chance(self.cfg.writeback_fraction) {
                     let home = self.pick_home(core, here);
                     self.emit(
                         core,
-                        Packet::new(here, home, MessageClass::Writeback, 5, cycle)
-                            .with_txn(txn),
+                        Packet::new(here, home, MessageClass::Writeback, 5, cycle).with_txn(txn),
                     );
                 }
             }
@@ -249,8 +247,7 @@ impl Workload for ProtocolWorkload {
                 self.cores[here.index()].backlog += 1;
                 self.emit(
                     core,
-                    Packet::new(here, pkt.src, MessageClass::WritebackAck, 1, cycle)
-                        .with_txn(txn),
+                    Packet::new(here, pkt.src, MessageClass::WritebackAck, 1, cycle).with_txn(txn),
                 );
             }
             MessageClass::WritebackAck => {
@@ -314,7 +311,12 @@ mod tests {
     }
 
     fn vn6_cfg() -> SimConfig {
-        SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(2).seed(5).build()
+        SimConfig::builder()
+            .mesh(4, 4)
+            .vns(6)
+            .vcs_per_vn(2)
+            .seed(5)
+            .build()
     }
 
     #[test]
@@ -379,14 +381,20 @@ mod tests {
 
     #[test]
     fn backlog_stalls_request_consumption() {
-        let mut wl = ProtocolWorkload::new(4, ProtocolConfig {
-            home_backlog_limit: 1,
-            ..Default::default()
-        });
+        let mut wl = ProtocolWorkload::new(
+            4,
+            ProtocolConfig {
+                home_backlog_limit: 1,
+                ..Default::default()
+            },
+        );
         let node = NodeId::new(1);
         assert!(wl.can_consume(node, MessageClass::Request));
         wl.cores[1].backlog = 1;
         assert!(!wl.can_consume(node, MessageClass::Request));
-        assert!(wl.can_consume(node, MessageClass::Response), "sinks unaffected");
+        assert!(
+            wl.can_consume(node, MessageClass::Response),
+            "sinks unaffected"
+        );
     }
 }

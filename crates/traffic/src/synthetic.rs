@@ -96,7 +96,11 @@ impl SyntheticPattern {
                 NodeId::new(d)
             }
             SyntheticPattern::Transpose => {
-                assert_eq!(mesh.width(), mesh.height(), "transpose requires a square mesh");
+                assert_eq!(
+                    mesh.width(),
+                    mesh.height(),
+                    "transpose requires a square mesh"
+                );
                 mesh.node(mesh.y(src), mesh.x(src))
             }
             SyntheticPattern::Shuffle => {
@@ -283,9 +287,13 @@ mod tests {
         let m = mesh8();
         let mut rng = DetRng::new(1);
         for src in m.nodes() {
-            let d = SyntheticPattern::BitComplement.dest(m, src, &mut rng).unwrap();
+            let d = SyntheticPattern::BitComplement
+                .dest(m, src, &mut rng)
+                .unwrap();
             assert_ne!(d, src, "complement never maps to self for n>1");
-            let back = SyntheticPattern::BitComplement.dest(m, d, &mut rng).unwrap();
+            let back = SyntheticPattern::BitComplement
+                .dest(m, d, &mut rng)
+                .unwrap();
             assert_eq!(back, src);
         }
     }
@@ -309,7 +317,9 @@ mod tests {
         let m = mesh8();
         let mut rng = DetRng::new(1);
         let right_edge = m.node(7, 3);
-        let d = SyntheticPattern::Neighbor.dest(m, right_edge, &mut rng).unwrap();
+        let d = SyntheticPattern::Neighbor
+            .dest(m, right_edge, &mut rng)
+            .unwrap();
         assert_eq!(d, m.node(0, 3));
     }
 
@@ -332,9 +342,8 @@ mod tests {
     #[test]
     fn workload_generates_at_configured_rate() {
         use noc_core::config::SimConfig;
-        let mut core = NetworkCore::new(
-            SimConfig::builder().mesh(8, 8).vns(0).vcs_per_vn(1).build(),
-        );
+        let mut core =
+            NetworkCore::new(SimConfig::builder().mesh(8, 8).vns(0).vcs_per_vn(1).build());
         let mut wl = SyntheticWorkload::new(SyntheticPattern::Uniform, 0.1, 3);
         for _ in 0..100 {
             wl.tick(&mut core);
@@ -348,9 +357,8 @@ mod tests {
     #[test]
     fn single_class_confines_traffic() {
         use noc_core::config::SimConfig;
-        let mut core = NetworkCore::new(
-            SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).build(),
-        );
+        let mut core =
+            NetworkCore::new(SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).build());
         let mut wl = SyntheticWorkload::new(SyntheticPattern::Uniform, 0.5, 3)
             .single_class(MessageClass::Request);
         for _ in 0..20 {
@@ -366,11 +374,10 @@ mod tests {
     fn short_fraction_extremes() {
         use noc_core::config::SimConfig;
         for (frac, expect_len) in [(1.0, 1u8), (0.0, 5u8)] {
-            let mut core = NetworkCore::new(
-                SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).build(),
-            );
-            let mut wl = SyntheticWorkload::new(SyntheticPattern::Uniform, 0.5, 3)
-                .short_fraction(frac);
+            let mut core =
+                NetworkCore::new(SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).build());
+            let mut wl =
+                SyntheticWorkload::new(SyntheticPattern::Uniform, 0.5, 3).short_fraction(frac);
             for _ in 0..10 {
                 wl.tick(&mut core);
                 core.advance_cycle();

@@ -215,7 +215,10 @@ mod tests {
         assert_eq!(c2.stats.generated, trace.len() as u64);
         // The packet streams match pairwise.
         for (a, b) in c1.store.iter().zip(c2.store.iter()) {
-            assert_eq!((a.src, a.dst, a.class, a.len_flits), (b.src, b.dst, b.class, b.len_flits));
+            assert_eq!(
+                (a.src, a.dst, a.class, a.len_flits),
+                (b.src, b.dst, b.class, b.len_flits)
+            );
         }
     }
 

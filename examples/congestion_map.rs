@@ -44,7 +44,12 @@ fn run(label: &str, vns: usize, scheme: Box<dyn Scheme>) {
 fn main() {
     println!("Transpose traffic at the saturation knee (rate 0.09), 8x8 mesh\n");
     run("plain VCT-XY (6 VN x 2 VC)", 6, Box::new(CreditVct::xy(6)));
-    let cfg = SimConfig::builder().mesh(8, 8).vns(0).vcs_per_vn(4).seed(1).build();
+    let cfg = SimConfig::builder()
+        .mesh(8, 8)
+        .vns(0)
+        .vcs_per_vn(4)
+        .seed(1)
+        .build();
     run(
         "FastPass (0 VN x 4 VC)",
         0,

@@ -29,7 +29,11 @@ fn main() {
     // Fig. 1: walk the first phase slot by slot.
     for slot in 0..sched.partitions() as u64 {
         let cycle = slot * sched.slot_cycles();
-        println!("slot {slot} (cycles {}..{}):", cycle, cycle + sched.slot_cycles());
+        println!(
+            "slot {slot} (cycles {}..{}):",
+            cycle,
+            cycle + sched.slot_cycles()
+        );
         for p in 0..sched.partitions() {
             let prime = sched.prime(p, 0);
             let covered = sched.covered_partition(p, cycle);

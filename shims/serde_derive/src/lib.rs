@@ -1,0 +1,332 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the serde shim's [`Serialize`]/[`Deserialize`] traits by
+//! parsing the item's token stream directly (the build environment has
+//! no registry access, so `syn`/`quote` are unavailable). Supports the
+//! shapes this workspace uses:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs (`struct NodeId(u16)`) → their inner value;
+//! * tuple structs → arrays;
+//! * enums with unit variants → variant-name strings;
+//! * enums with newtype variants (`Port::Dir(Direction)`) →
+//!   single-key objects.
+//!
+//! Generics, struct variants and `#[serde(...)]` attributes are
+//! unsupported and rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive target.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// Number of payload fields: 0 = unit, 1 = newtype.
+    arity: usize,
+}
+
+/// Derives the serde shim's `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct { arity: 1, .. } => {
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct { .. } => "::serde::Content::Null".to_string(),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string())",
+                        v = v.name
+                    ),
+                    1 => format!(
+                        "{name}::{v}(inner) => ::serde::Content::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_content(inner))])",
+                        v = v.name
+                    ),
+                    n => panic!("variant {}::{} has {n} fields; only unit and newtype variants are supported", name, v.name),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let name = shape_name(&shape);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the serde shim's `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let name = shape_name(&shape).to_string();
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::field(map, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let map = c.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected map for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity: 1, .. } => {
+            format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = c.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected sequence for {name}\"))?;\n\
+                 if seq.len() != {arity} {{\n\
+                 return Err(::serde::DeError::custom(\"wrong arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { .. } => format!("Ok({name})"),
+        Shape::Enum { variants, .. } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| format!("\"{v}\" => return Ok({name}::{v})", v = v.name))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity == 1)
+                .map(|v| {
+                    format!(
+                        "if key == \"{v}\" {{\n\
+                         return Ok({name}::{v}(::serde::Deserialize::from_content(value)?));\n\
+                         }}",
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "if let ::serde::Content::Str(s) = c {{\n\
+                 match s.as_str() {{ {unit} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some([(key, value)]) = c.as_map() {{\n\
+                 {newtype}\n\
+                 let _ = value;\n\
+                 }}\n\
+                 Err(::serde::DeError::custom(format!(\
+                 \"no variant of {name} matches {{c:?}}\")))",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                newtype = newtype_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+/// Parses the derive input into a [`Shape`], panicking (compile error)
+/// on unsupported constructs.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the serde shim derive does not support generic types ({name})");
+    }
+    match (kind.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                arity: count_top_level_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct { name },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (k, other) => panic!("unsupported {k} shape for {name}: {other:?}"),
+    }
+}
+
+fn skip_attributes_and_visibility(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracketed attribute body.
+                toks.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-field body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut toks);
+        let Some(TokenTree::Ident(field)) = toks.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, got {other:?}"),
+        }
+        // Skip the type up to the next comma outside angle brackets
+        // (token trees keep (), [] and {} grouped, but not <>).
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields at the top level of a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+/// Parses enum variants (unit or newtype; discriminants are skipped).
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut toks);
+        let Some(TokenTree::Ident(vname)) = toks.next() else {
+            break;
+        };
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = toks.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                arity = count_top_level_fields(g.stream());
+                toks.next();
+            } else if g.delimiter() == Delimiter::Brace {
+                panic!("struct variant {vname} is not supported by the serde shim derive");
+            }
+        }
+        // Skip a `= discriminant` and the trailing comma.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: vname.to_string(),
+            arity,
+        });
+    }
+    variants
+}

@@ -93,11 +93,7 @@ fn app_by_name(name: &str) -> Option<AppModel> {
     .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
-fn scheme_by_name(
-    name: &str,
-    cfg: &SimConfig,
-    seed: u64,
-) -> Option<(Box<dyn Scheme>, usize)> {
+fn scheme_by_name(name: &str, cfg: &SimConfig, seed: u64) -> Option<(Box<dyn Scheme>, usize)> {
     let nodes = cfg.mesh.num_nodes();
     Some(match name {
         "fastpass" => (
@@ -118,7 +114,10 @@ fn scheme_by_name(
             )),
             6,
         ),
-        "pitstop" => (Box::new(Pitstop::new(nodes, seed, PitstopConfig::default())), 0),
+        "pitstop" => (
+            Box::new(Pitstop::new(nodes, seed, PitstopConfig::default())),
+            0,
+        ),
         "minbd" => (Box::new(MinBd::new(nodes, seed, Default::default())), 0),
         "tfc" => (Box::new(Tfc::new(seed)), 6),
         "vct-xy" => (Box::new(CreditVct::xy(6)), 6),
@@ -180,7 +179,9 @@ fn report(stats: &NetStats, cycles_run: u64, json: bool) {
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
     if args.flag("help") {
-        println!("see the module docs: nocsim --scheme <s> --pattern <p> --rate <r> [--size N] [--json]");
+        println!(
+            "see the module docs: nocsim --scheme <s> --pattern <p> --rate <r> [--size N] [--json]"
+        );
         print_listing();
         return Ok(());
     }
@@ -215,8 +216,7 @@ fn run() -> Result<(), String> {
         Box::new(app.workload(cfg.mesh.num_nodes(), (quota > 0).then_some(quota)))
     } else {
         let pname = args.get("pattern").unwrap_or("uniform");
-        let pattern =
-            pattern_by_name(pname).ok_or_else(|| format!("unknown pattern `{pname}`"))?;
+        let pattern = pattern_by_name(pname).ok_or_else(|| format!("unknown pattern `{pname}`"))?;
         Box::new(SyntheticWorkload::new(pattern, rate, seed ^ 0x5EED))
     };
 

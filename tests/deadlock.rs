@@ -3,9 +3,7 @@
 //! FastPass (0 VNs) resolves both; the broken configuration provably
 //! wedges; the conventional fixes behave as advertised.
 
-use fastpass_noc::baselines::{
-    pitstop::PitstopConfig, spin::SpinConfig, CreditVct, Pitstop, Spin,
-};
+use fastpass_noc::baselines::{pitstop::PitstopConfig, spin::SpinConfig, CreditVct, Pitstop, Spin};
 use fastpass_noc::core::config::SimConfig;
 use fastpass_noc::fastpass::{FastPass, FastPassConfig, TdmSchedule};
 use fastpass_noc::sim::{Simulation, Workload};
@@ -43,9 +41,9 @@ fn fp_fast() -> FastPassConfig {
     // quickly in tests, long enough that the round-trip budget does not
     // confine far-destination launches to the first cycles of a slot.
     FastPassConfig {
-        slot_cycles: Some(3 * TdmSchedule::min_slot_cycles(
-            fastpass_noc::core::topology::Mesh::new(4, 4),
-        )),
+        slot_cycles: Some(
+            3 * TdmSchedule::min_slot_cycles(fastpass_noc::core::topology::Mesh::new(4, 4)),
+        ),
         ..FastPassConfig::default()
     }
 }
@@ -92,7 +90,10 @@ fn fastpass_resolves_protocol_deadlock_with_zero_vns() {
     let scheme = FastPass::new(&cfg, fp_fast());
     let mut sim = Simulation::new(cfg, Box::new(scheme), Box::new(deadlock_prone_protocol(99)));
     let ran = sim.run(200_000);
-    assert!(ran < 200_000, "FastPass must resolve the deadlock, ran {ran}");
+    assert!(
+        ran < 200_000,
+        "FastPass must resolve the deadlock, ran {ran}"
+    );
     assert_eq!(sim.in_flight(), 0, "everything drained");
 }
 
@@ -104,7 +105,10 @@ fn pitstop_resolves_protocol_deadlock_with_zero_vns() {
     let scheme = Pitstop::new(16, 1, PitstopConfig::default());
     let mut sim = Simulation::new(cfg, Box::new(scheme), Box::new(deadlock_prone_protocol(99)));
     let ran = sim.run(300_000);
-    assert!(ran < 300_000, "Pitstop must resolve the deadlock, ran {ran}");
+    assert!(
+        ran < 300_000,
+        "Pitstop must resolve the deadlock, ran {ran}"
+    );
 }
 
 /// Network-level deadlock: fully-adaptive routing with one VC per VN and
@@ -114,7 +118,12 @@ fn pitstop_resolves_protocol_deadlock_with_zero_vns() {
 fn adaptive_routing_deadlocks_are_resolved() {
     use fastpass_noc::traffic::{SyntheticPattern, SyntheticWorkload};
     // SPIN (6 VNs, adaptive).
-    let cfg = SimConfig::builder().mesh(4, 4).vns(6).vcs_per_vn(1).seed(7).build();
+    let cfg = SimConfig::builder()
+        .mesh(4, 4)
+        .vns(6)
+        .vcs_per_vn(1)
+        .seed(7)
+        .build();
     let mut sim = Simulation::new(
         cfg,
         Box::new(Spin::new(3, SpinConfig::default())),
@@ -127,7 +136,12 @@ fn adaptive_routing_deadlocks_are_resolved() {
         sim.starvation_cycles()
     );
     // FastPass (0 VNs, adaptive).
-    let cfg = SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(1).seed(7).build();
+    let cfg = SimConfig::builder()
+        .mesh(4, 4)
+        .vns(0)
+        .vcs_per_vn(1)
+        .seed(7)
+        .build();
     let scheme = FastPass::new(&cfg, fp_fast());
     let mut sim = Simulation::new(
         cfg,
@@ -147,8 +161,8 @@ fn adaptive_routing_deadlocks_are_resolved() {
 #[test]
 fn stalled_request_consumers_do_not_block_sinks() {
     use fastpass_noc::core::packet::MessageClass;
-    use fastpass_noc::core::topology::NodeId;
     use fastpass_noc::core::packet::Packet;
+    use fastpass_noc::core::topology::NodeId;
     use fastpass_noc::sim::NetworkCore;
 
     struct StalledRequests;
@@ -164,11 +178,7 @@ fn stalled_request_consumers_do_not_block_sinks() {
                 }
             }
         }
-        fn can_consume(
-            &self,
-            _node: NodeId,
-            class: MessageClass,
-        ) -> bool {
+        fn can_consume(&self, _node: NodeId, class: MessageClass) -> bool {
             class.is_sink() // requests pile up forever
         }
     }

@@ -28,7 +28,10 @@ fn all_schemes(cfg_vns6: &SimConfig, cfg_vns0: &SimConfig) -> Vec<(Box<dyn Schem
             )),
             6,
         ),
-        (Box::new(Pitstop::new(nodes, 1, PitstopConfig::default())), 0),
+        (
+            Box::new(Pitstop::new(nodes, 1, PitstopConfig::default())),
+            0,
+        ),
         (Box::new(MinBd::new(nodes, 1, Default::default())), 0),
         (Box::new(Tfc::new(1)), 6),
         (
@@ -123,7 +126,12 @@ fn packet_conservation_under_load() {
 #[test]
 fn runs_are_bit_deterministic() {
     let run = |seed: u64| {
-        let c = SimConfig::builder().mesh(4, 4).vns(0).vcs_per_vn(2).seed(seed).build();
+        let c = SimConfig::builder()
+            .mesh(4, 4)
+            .vns(0)
+            .vcs_per_vn(2)
+            .seed(seed)
+            .build();
         let scheme = FastPass::new(&c, FastPassConfig::default());
         let mut sim = Simulation::new(
             c,
@@ -145,7 +153,12 @@ fn runs_are_bit_deterministic() {
 #[test]
 fn sixteen_by_sixteen_smoke() {
     // The Fig. 8 large configuration boots and flows.
-    let c = SimConfig::builder().mesh(16, 16).vns(0).vcs_per_vn(4).seed(2).build();
+    let c = SimConfig::builder()
+        .mesh(16, 16)
+        .vns(0)
+        .vcs_per_vn(4)
+        .seed(2)
+        .build();
     let scheme = FastPass::new(&c, FastPassConfig::default());
     let mut sim = Simulation::new(
         c,
@@ -158,7 +171,12 @@ fn sixteen_by_sixteen_smoke() {
 
 #[test]
 fn rectangular_mesh_supported() {
-    let c = SimConfig::builder().mesh(4, 8).vns(0).vcs_per_vn(2).seed(2).build();
+    let c = SimConfig::builder()
+        .mesh(4, 8)
+        .vns(0)
+        .vcs_per_vn(2)
+        .seed(2)
+        .build();
     let scheme = FastPass::new(&c, FastPassConfig::default());
     let mut sim = Simulation::new(
         c,

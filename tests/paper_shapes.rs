@@ -47,7 +47,14 @@ fn misrouting_profile() {
     let stats = sim.run_windows(2_000, 6_000);
     assert!(stats.deflections > 0, "MinBD must deflect under load");
 
-    let mut sim = make_sim(SchemeId::FastPass, SyntheticPattern::Transpose, 0.3, 4, 4, 7);
+    let mut sim = make_sim(
+        SchemeId::FastPass,
+        SyntheticPattern::Transpose,
+        0.3,
+        4,
+        4,
+        7,
+    );
     let stats = sim.run_windows(2_000, 6_000);
     assert_eq!(stats.deflections, 0, "FastPass never misroutes");
 }
