@@ -203,7 +203,7 @@ impl Drain {
                     }
                     let mut occ = VcOccupant::reserved(pkt, len, now);
                     occ.arrived = len;
-                    core.router_mut(node).inputs[p].vc_mut(vc).install(occ);
+                    core.router_mut(node).inputs[p].install(vc, occ);
                 }
             }
         }

@@ -69,13 +69,7 @@ impl Swap {
                     {
                         continue;
                     }
-                    let pkt = core.store.get(occ.pkt).clone();
-                    let req = RouteReq {
-                        at: node,
-                        in_port: Port::from_index(p),
-                        vc,
-                        pkt: &pkt,
-                    };
+                    let req = RouteReq::new(core, node, Port::from_index(p), vc, occ.pkt);
                     let desired = self.routing.desired_ports(core, &req);
                     for port in desired {
                         let Port::Dir(d) = port else { continue };
@@ -83,7 +77,7 @@ impl Swap {
                             continue;
                         };
                         let nbr_in = Port::Dir(d.opposite()).index();
-                        let range = core.cfg().vc_range_for_class(pkt.class.index());
+                        let range = core.cfg().vc_range_for_class(req.class.index());
                         for nvc in range {
                             let Some(victim) = core.router(nbr).inputs[nbr_in].vc(nvc).occupant()
                             else {
@@ -101,12 +95,10 @@ impl Swap {
                             let back_len = core.store.get(back).len_flits;
                             let mut fwd_occ = VcOccupant::reserved(fwd, fwd_len, now);
                             fwd_occ.arrived = fwd_len;
-                            core.router_mut(nbr).inputs[nbr_in]
-                                .vc_mut(nvc)
-                                .install(fwd_occ);
+                            core.router_mut(nbr).inputs[nbr_in].install(nvc, fwd_occ);
                             let mut back_occ = VcOccupant::reserved(back, back_len, now);
                             back_occ.arrived = back_len;
-                            core.router_mut(node).inputs[p].vc_mut(vc).install(back_occ);
+                            core.router_mut(node).inputs[p].install(vc, back_occ);
                             {
                                 let f = core.store.get_mut(fwd);
                                 f.hops += 1;

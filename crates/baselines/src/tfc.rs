@@ -43,16 +43,16 @@ impl RoutingPolicy for TokenWestFirst {
         "token-west-first"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
-        if req.pkt.dst == req.at {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
+        if req.dst == req.at {
             return Some(RouteDecision {
                 out_port: Port::Local,
                 out_vc: 0,
             });
         }
-        let class = req.pkt.class.index();
+        let class = req.class.index();
         let mut best: Option<(usize, Direction, usize)> = None;
-        for dir in WestFirst::admissible(core, req.at, req.pkt.dst) {
+        for dir in WestFirst::admissible(core, req.at, req.dst) {
             if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
                 let score = Self::token_score(core, req.at, dir, class);
                 let better = match best {
@@ -70,11 +70,11 @@ impl RoutingPolicy for TokenWestFirst {
         })
     }
 
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
-        if req.pkt.dst == req.at {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
+        if req.dst == req.at {
             vec![Port::Local]
         } else {
-            WestFirst::admissible(core, req.at, req.pkt.dst)
+            WestFirst::admissible(core, req.at, req.dst)
                 .into_iter()
                 .map(Port::Dir)
                 .collect()

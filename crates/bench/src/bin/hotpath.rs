@@ -1,0 +1,84 @@
+//! Cycles-per-second microbenchmark of the regular-pass hot path.
+//!
+//! Runs the low-load smoke sweep points (FastPass + plain VCT on a 4×4
+//! mesh, three rates) *serially and uncached*, so the measured wall-clock
+//! is pure simulator time — exactly the per-cycle loop the active-set
+//! optimisation targets. Low load is the interesting regime: most sweep
+//! probes (zero-load latency, saturation bisection floors) run there, and
+//! it is where a topology-proportional loop wastes the most work.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin hotpath [-- label]
+//! ```
+//!
+//! Each sweep repetition is timed separately and the *fastest* repetition
+//! is the headline number: on shared machines the minimum is the best
+//! estimator of true cost (interference only ever adds time). The mean
+//! over all repetitions is reported alongside for context.
+//! `BENCH_hotpath.json` at the repo root records the before/after pair
+//! for the rewrite.
+
+use bench::runner::make_sim;
+use bench::SchemeId;
+use std::time::Instant;
+use traffic::SyntheticPattern;
+
+const MESH_SIZE: usize = 4;
+const FP_VCS: usize = 2;
+const SEED: u64 = 5;
+const WARMUP: u64 = 1_000;
+const MEASURE: u64 = 3_000;
+const RATES: [f64; 3] = [0.02, 0.05, 0.08];
+const SCHEMES: [SchemeId; 2] = [SchemeId::FastPass, SchemeId::Vct];
+/// Repetitions of the whole sweep, to push the measurement well past
+/// timer noise on fast machines.
+const REPS: u64 = 20;
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    // Warm the allocator/caches with one throwaway sweep.
+    run_sweep();
+    let mut total_cycles = 0u64;
+    let mut total_delivered = 0u64;
+    let mut total_secs = 0f64;
+    let mut best = f64::INFINITY;
+    let mut sweep_cycles = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (cycles, delivered) = run_sweep();
+        let secs = start.elapsed().as_secs_f64();
+        total_cycles += cycles;
+        total_delivered += delivered;
+        total_secs += secs;
+        best = best.min(secs);
+        sweep_cycles = cycles;
+    }
+    let cps_best = sweep_cycles as f64 / best;
+    let cps_mean = total_cycles as f64 / total_secs;
+    println!(
+        "{{\n  \"label\": \"{label}\",\n  \"command\": \"cargo run --release -p bench --bin hotpath\",\n  \
+         \"workload\": \"smoke sweep x{REPS}: {{FastPass, VCT}} x rates {RATES:?}, {MESH_SIZE}x{MESH_SIZE} mesh, warmup {WARMUP} + measure {MEASURE}, seed {SEED}\",\n  \
+         \"total_cycles\": {total_cycles},\n  \"total_delivered\": {total_delivered},\n  \
+         \"elapsed_ms\": {:.1},\n  \"best_rep_ms\": {:.1},\n  \
+         \"cycles_per_sec\": {cps_best:.0},\n  \"cycles_per_sec_mean\": {cps_mean:.0}\n}}",
+        total_secs * 1e3,
+        best * 1e3,
+    );
+}
+
+fn run_sweep() -> (u64, u64) {
+    let mut cycles = 0u64;
+    let mut delivered = 0u64;
+    for id in SCHEMES {
+        for rate in RATES {
+            let mut sim = make_sim(id, SyntheticPattern::Uniform, rate, MESH_SIZE, FP_VCS, SEED);
+            let stats = sim.run_windows(WARMUP, MEASURE);
+            cycles += WARMUP + stats.cycles;
+            delivered += stats.delivered();
+            assert!(stats.delivered() > 0, "{} delivered nothing", id.name());
+        }
+    }
+    (cycles, delivered)
+}

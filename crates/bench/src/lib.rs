@@ -19,5 +19,5 @@ pub mod runner;
 pub use registry::{SchemeId, ALL_SCHEMES};
 pub use runner::{
     emit_json, env_u64, num_jobs, parallel_map, parallel_map_with, point_cache_key,
-    run_sweep_parallel, LatencyPoint, SweepOptions, SweepResult, SweepSpec,
+    run_sweep_parallel, LatencyPoint, SweepOptions, SweepResult, SweepSpec, CACHE_SCHEMA_VERSION,
 };

@@ -225,8 +225,14 @@ impl SweepOptions {
 }
 
 /// Bump when the cache entry format or simulation semantics change in a
-/// way that invalidates previously cached points.
-const CACHE_VERSION: u32 = 1;
+/// way that invalidates previously cached points. The version is folded
+/// into every [`point_cache_key`], so a bump forces recomputation of all
+/// previously cached points rather than silently serving stale results.
+///
+/// v2: the regular-pass rewrite (active-set worklist, occupancy bitmasks)
+/// plus the warmup-carryover accounting fix changed `NetStats` contents;
+/// v1 entries predate `delivered_carryover`/`window_start`.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit, used for stable cache keys (`DefaultHasher` makes no
 /// cross-version stability promise).
@@ -245,10 +251,17 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 ///
 /// [`SimConfig`]: noc_core::config::SimConfig
 pub fn point_cache_key(spec: &SweepSpec, rate: f64) -> u64 {
+    point_cache_key_versioned(spec, rate, CACHE_SCHEMA_VERSION)
+}
+
+/// [`point_cache_key`] with an explicit schema version — factored out so
+/// tests can prove that bumping [`CACHE_SCHEMA_VERSION`] changes every
+/// key (and therefore forces recomputation instead of stale cache hits).
+fn point_cache_key_versioned(spec: &SweepSpec, rate: f64, version: u32) -> u64 {
     let cfg = spec.id.sim_config(spec.size, spec.fp_vcs, spec.seed);
     let cfg_json = serde_json::to_string(&cfg).expect("SimConfig serializes");
     let canonical = format!(
-        "v{CACHE_VERSION}|{}|{}|{}|{rate:?}|{}|{}|{}",
+        "v{version}|{}|{}|{}|{rate:?}|{}|{}|{}",
         spec.id.name(),
         spec.pattern.name(),
         cfg_json,
@@ -590,6 +603,62 @@ mod tests {
         }
         assert_ne!(point_cache_key(&base, 0.2), k, "rate must be keyed");
         assert_eq!(point_cache_key(&base.clone(), 0.1), k, "key is stable");
+    }
+
+    #[test]
+    fn schema_version_bump_forces_recomputation() {
+        let spec = SweepSpec {
+            id: SchemeId::Vct,
+            pattern: SyntheticPattern::Uniform,
+            rates: vec![0.02],
+            size: 4,
+            fp_vcs: 2,
+            warmup: 100,
+            measure: 200,
+            seed: 1,
+        };
+        // Key level: every schema version yields a distinct key, and the
+        // public key is the one derived from the current version.
+        let current = point_cache_key(&spec, 0.02);
+        assert_eq!(
+            current,
+            point_cache_key_versioned(&spec, 0.02, CACHE_SCHEMA_VERSION)
+        );
+        for old in 0..CACHE_SCHEMA_VERSION {
+            assert_ne!(
+                point_cache_key_versioned(&spec, 0.02, old),
+                current,
+                "v{old} key must not collide with the current key"
+            );
+        }
+
+        // Behavior level: a stale entry stored under a previous version's
+        // key must be ignored — the sweep recomputes and stores under the
+        // current key.
+        let dir = std::env::temp_dir().join(format!("fp_cache_schema_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale_key = point_cache_key_versioned(&spec, 0.02, CACHE_SCHEMA_VERSION - 1);
+        let poisoned = mk(0.02, 99_999.0);
+        cache_store(&dir, stale_key, &poisoned);
+
+        let opts = SweepOptions {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+            progress: false,
+        };
+        let results = run_sweep_parallel(std::slice::from_ref(&spec), &opts);
+        let point = &results[0].points[0];
+        assert!(
+            (point.avg_latency - 99_999.0).abs() > 1.0,
+            "stale v{} cache entry was served instead of recomputing",
+            CACHE_SCHEMA_VERSION - 1
+        );
+        assert!(
+            cache_path(&dir, current).exists(),
+            "recomputed point must be stored under the current-version key"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -128,6 +128,16 @@ pub struct NetStats {
     pub cycles: u64,
     /// Number of nodes (denominator of per-node rates).
     pub nodes: u64,
+    /// Cycle at which this measurement window began (0 for stats that
+    /// cover a whole run). Set by the engine when statistics are reset at
+    /// the warmup/measurement boundary.
+    pub window_start: u64,
+    /// Delivered packets that were *generated before* `window_start`:
+    /// warmup-era packets drained during measurement. They count toward
+    /// `delivered`/latency (they are real deliveries), but not toward the
+    /// window's offered load — without this split, accepted throughput
+    /// near saturation can exceed apparent offered load.
+    pub delivered_carryover: u64,
 }
 
 impl NetStats {
@@ -146,6 +156,9 @@ impl NetStats {
             .latency()
             .expect("record_delivered called before eject_cycle set");
         self.latency.record(lat);
+        if pkt.gen_cycle < self.window_start {
+            self.delivered_carryover += 1;
+        }
         if let Some(nl) = pkt.network_latency() {
             self.network_latency.record(nl);
         }
@@ -173,6 +186,14 @@ impl NetStats {
     /// Total packets delivered.
     pub fn delivered(&self) -> u64 {
         self.delivered_regular + self.delivered_fastpass
+    }
+
+    /// Delivered packets that were also *generated* inside this window
+    /// (excludes warmup carryover). Always `<= generated` under open-loop
+    /// traffic, which makes it the right numerator for offered-vs-accepted
+    /// comparisons across the warmup boundary.
+    pub fn delivered_in_window(&self) -> u64 {
+        self.delivered() - self.delivered_carryover
     }
 
     /// Average end-to-end packet latency in cycles.
@@ -316,6 +337,24 @@ mod tests {
         }
         assert!((s.throughput_packets() - 8.0 / 400.0).abs() < 1e-12);
         assert!((s.throughput_flits() - 40.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_carryover_split() {
+        // Packets generated before the window start count as carryover;
+        // packets generated inside it count toward the window.
+        let mut store = PacketStore::new();
+        let mut s = NetStats::new(4);
+        s.window_start = 120; // delivered_packet() uses gen_cycle = 100
+        s.record_delivered(&delivered_packet(&mut store, false));
+        assert_eq!(s.delivered(), 1);
+        assert_eq!(s.delivered_carryover, 1);
+        assert_eq!(s.delivered_in_window(), 0);
+        s.window_start = 50;
+        s.record_delivered(&delivered_packet(&mut store, false));
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.delivered_carryover, 1);
+        assert_eq!(s.delivered_in_window(), 1);
     }
 
     #[test]

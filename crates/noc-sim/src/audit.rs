@@ -251,9 +251,7 @@ mod tests {
         let mut occ = VcOccupant::reserved(id, 2, 0);
         occ.arrived = 1;
         occ.sent = 2; // corrupt: sent > arrived
-        c.router_mut(NodeId::new(1)).inputs[0]
-            .vc_mut(0)
-            .install(occ);
+        c.router_mut(NodeId::new(1)).inputs[0].install(0, occ);
         let errors = audit(&c);
         assert!(errors.iter().any(|e| e.problem.contains("sent")));
     }
@@ -272,9 +270,7 @@ mod tests {
         occ.arrived = 1;
         occ.route = Some(Port::Dir(noc_core::topology::Direction::East));
         occ.out_vc = Some(0); // claims a downstream VC that was never reserved
-        c.router_mut(NodeId::new(5)).inputs[Port::Local.index()]
-            .vc_mut(0)
-            .install(occ);
+        c.router_mut(NodeId::new(5)).inputs[Port::Local.index()].install(0, occ);
         let errors = audit(&c);
         assert!(
             errors.iter().any(|e| e.problem.contains("reservation")),

@@ -128,10 +128,15 @@ impl Simulation {
         self.core.stats.clone()
     }
 
-    /// Clears statistics (start of a measurement window).
+    /// Clears statistics (start of a measurement window). The new window
+    /// records the current cycle as its start, so deliveries of packets
+    /// generated *before* it (warmup carryover) are counted separately —
+    /// see [`NetStats::delivered_carryover`].
     pub fn reset_stats(&mut self) {
         let nodes = self.core.mesh().num_nodes();
-        self.core.stats = NetStats::new(nodes);
+        let mut stats = NetStats::new(nodes);
+        stats.window_start = self.core.cycle();
+        self.core.stats = stats;
     }
 
     /// Cycles since an NI last consumed a packet — a large value while
@@ -158,6 +163,9 @@ impl Simulation {
     fn consume(&mut self) {
         let now = self.core.cycle();
         for node in self.core.mesh().nodes() {
+            if !self.core.ni(node).ej_any() {
+                continue;
+            }
             for class in CLASSES {
                 if !self.workload.can_consume(node, class) {
                     continue;
@@ -210,11 +218,37 @@ impl Default for SaturationSearch {
 
 impl SaturationSearch {
     /// Runs the search. Returns `(saturation_rate, accepted_throughput)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zero-load probe never delivers a packet even after
+    /// retrying with windows up to 8× longer. A silent `(lo, 0.0)` return
+    /// here would masquerade as "saturated at the floor" when the scheme
+    /// is actually wedged (or the floor rate generates no traffic in the
+    /// window) — the NaN zero-load latency would poison every threshold
+    /// comparison in the bisection.
     pub fn run(&self, mut make_sim: impl FnMut(f64) -> Simulation) -> (f64, f64) {
-        let zero_load = {
+        let mut warmup = self.warmup;
+        let mut measure = self.measure;
+        let zero_load = loop {
             let mut sim = make_sim(self.lo);
-            let stats = sim.run_windows(self.warmup, self.measure);
-            stats.avg_latency()
+            let stats = sim.run_windows(warmup, measure);
+            let lat = stats.avg_latency();
+            if lat.is_finite() {
+                break lat;
+            }
+            if measure >= self.measure.saturating_mul(8) {
+                panic!(
+                    "saturation search: zero-load probe at rate {} delivered no packets \
+                     after {warmup} warmup + {measure} measurement cycles ({} generated); \
+                     the scheme appears wedged or the rate floor is too low",
+                    self.lo, stats.generated,
+                );
+            }
+            // Retry with a longer window: at very low rates a short
+            // window can legitimately deliver nothing.
+            warmup = warmup.saturating_mul(2).max(1);
+            measure = measure.saturating_mul(2).max(1);
         };
         let threshold = zero_load * 3.0;
         let (mut lo, mut hi) = (self.lo, self.hi);
@@ -368,6 +402,94 @@ mod tests {
                 rng: DetRng::new(0),
             }),
         );
+    }
+
+    /// A scheme that never moves anything: the regular pass is frozen
+    /// every cycle, so no packet is ever delivered.
+    struct Frozen;
+    impl Scheme for Frozen {
+        fn name(&self) -> &'static str {
+            "frozen"
+        }
+        fn properties(&self) -> SchemeProperties {
+            SchemeProperties {
+                no_detection: true,
+                protocol_deadlock_freedom: false,
+                network_deadlock_freedom: false,
+                full_path_diversity: false,
+                high_throughput: false,
+                low_power: false,
+                scalable: false,
+                no_misrouting: true,
+            }
+        }
+        fn required_vns(&self) -> usize {
+            0
+        }
+        fn step(&mut self, core: &mut NetworkCore) {
+            let ctx = AdvanceCtx {
+                freeze: true,
+                ..Default::default()
+            };
+            advance(core, &mut DorXy, &ctx);
+        }
+    }
+
+    /// Regression: a zero-load probe that delivers nothing used to make
+    /// `zero_load` NaN, so every `lat <= 3 * zero_load` comparison was
+    /// false and the search silently returned `(lo, 0.0)` as if the
+    /// scheme saturated at the floor. It must panic with a diagnostic
+    /// instead (after retrying with longer windows).
+    #[test]
+    #[should_panic(expected = "delivered no packets")]
+    fn saturation_search_panics_when_zero_load_probe_delivers_nothing() {
+        let search = SaturationSearch {
+            warmup: 10,
+            measure: 20,
+            lo: 0.05,
+            hi: 0.8,
+            steps: 2,
+        };
+        let _ = search.run(|rate| {
+            Simulation::new(
+                SimConfig::builder()
+                    .mesh(4, 4)
+                    .vns(0)
+                    .vcs_per_vn(2)
+                    .seed(3)
+                    .build(),
+                Box::new(Frozen),
+                Box::new(UniformReq {
+                    rate,
+                    rng: DetRng::new(11),
+                }),
+            )
+        });
+    }
+
+    /// Regression for warmup-boundary load accounting: packets generated
+    /// during warmup but delivered during measurement previously inflated
+    /// `delivered` against a `generated` counter that had been zeroed,
+    /// letting accepted throughput exceed apparent offered load near
+    /// saturation. With the carryover split, window-born deliveries can
+    /// never exceed window generation.
+    #[test]
+    fn warmup_carryover_does_not_inflate_accepted_load() {
+        // Heavy load on a small mesh: the warmup window ends with many
+        // packets still in flight, which then drain during measurement.
+        let mut s = sim(0.9);
+        let stats = s.run_windows(1_000, 500);
+        assert!(
+            stats.delivered_carryover > 0,
+            "near saturation, some warmup packets must drain in-window"
+        );
+        assert!(
+            stats.delivered_in_window() <= stats.generated,
+            "window-born deliveries ({}) exceed window generation ({})",
+            stats.delivered_in_window(),
+            stats.generated
+        );
+        assert_eq!(stats.window_start, 1_000);
     }
 
     #[test]

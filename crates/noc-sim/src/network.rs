@@ -87,6 +87,15 @@ pub struct NetworkCore {
     cycle: u64,
     staged: Vec<StagedArrival>,
     drained: Vec<StagedArrival>,
+    /// Double buffers for `apply_staged`: swapped with `staged`/`drained`
+    /// each cycle so neither side ever re-allocates in steady state.
+    staged_back: Vec<StagedArrival>,
+    drained_back: Vec<StagedArrival>,
+    /// Reusable per-cycle scratch owned here so the regular pipeline
+    /// allocates nothing in steady state: the active-node worklist and
+    /// the switch-allocation request vector.
+    scratch_nodes: Vec<NodeId>,
+    scratch_reqs: Vec<bool>,
     rng: DetRng,
     link_flits: Vec<u64>,
 }
@@ -113,6 +122,10 @@ impl NetworkCore {
             cycle: 0,
             staged: Vec::new(),
             drained: Vec::new(),
+            staged_back: Vec::new(),
+            drained_back: Vec::new(),
+            scratch_nodes: Vec::new(),
+            scratch_reqs: Vec::new(),
             rng: DetRng::new(cfg.seed),
             link_flits: vec![0; mesh.num_links()],
             mesh,
@@ -229,10 +242,15 @@ impl NetworkCore {
 
     /// Applies all staged arrivals and VC frees. Called exactly once per
     /// cycle by the regular pipeline (after switch allocation).
+    ///
+    /// The staged/drained vectors are double-buffered: each cycle the
+    /// filled buffer is swapped with an empty back buffer and drained, so
+    /// both retain their capacity and steady-state operation allocates
+    /// nothing.
     pub fn apply_staged(&mut self) {
         let cycle = self.cycle;
-        let staged = std::mem::take(&mut self.staged);
-        for s in staged {
+        std::mem::swap(&mut self.staged, &mut self.staged_back);
+        for s in self.staged_back.drain(..) {
             let occ = self.routers[s.node].inputs[s.port]
                 .vc_mut(s.vc)
                 .occupant_mut()
@@ -247,10 +265,11 @@ impl NetworkCore {
                 occ.last_progress = cycle;
             }
         }
-        let drained = std::mem::take(&mut self.drained);
-        for d in drained {
-            let vc = self.routers[d.node].inputs[d.port].vc_mut(d.vc);
-            let occ = vc.take().expect("drained VC already empty");
+        std::mem::swap(&mut self.drained, &mut self.drained_back);
+        for d in self.drained_back.drain(..) {
+            let occ = self.routers[d.node].inputs[d.port]
+                .take(d.vc)
+                .expect("drained VC already empty");
             assert!(occ.drained(), "VC freed before tail departed");
         }
     }
@@ -270,8 +289,9 @@ impl NetworkCore {
     ///
     /// Panics if the VC is empty or its occupant is not quiescent.
     pub fn take_vc_packet(&mut self, node: NodeId, port: Port, vc: usize) -> PacketId {
-        let slot = self.routers[node.index()].inputs[port.index()].vc_mut(vc);
-        let occ = slot.take().expect("taking packet from empty VC");
+        let occ = self.routers[node.index()].inputs[port.index()]
+            .take(vc)
+            .expect("taking packet from empty VC");
         assert!(
             occ.quiescent(),
             "only quiescent (fully buffered, unsent) packets can be relocated"
@@ -285,8 +305,7 @@ impl NetworkCore {
                 .neighbor(node, d)
                 .expect("allocated route leaves the mesh");
             let reserved = self.routers[nbr.index()].inputs[Port::Dir(d.opposite()).index()]
-                .vc_mut(out_vc)
-                .take()
+                .take(out_vc)
                 .expect("downstream reservation vanished");
             assert_eq!(reserved.pkt, occ.pkt, "reservation held by another packet");
             assert_eq!(reserved.arrived, 0, "reservation already received flits");
@@ -305,6 +324,9 @@ impl NetworkCore {
         let mut count = 0;
         for node in self.mesh.nodes() {
             let router = &self.routers[node.index()];
+            if router.occupied_vcs() == 0 {
+                continue; // active-set skip: nothing buffered here
+            }
             for p in 0..noc_core::topology::NUM_PORTS {
                 let iu = &router.inputs[p];
                 for (_, occ) in iu.occupied() {
@@ -356,6 +378,36 @@ impl NetworkCore {
         let n = self.mesh.num_nodes();
         let off = (self.cycle as usize) % n.max(1);
         (0..n).map(move |i| NodeId::new((i + off) % n))
+    }
+
+    // ---- active set -------------------------------------------------------
+
+    /// Whether `n` has any regular-pass work this cycle: at least one
+    /// occupied VC in its router (O(ports) via the incrementally
+    /// maintained per-input counters) or injection-side NI work. Nodes
+    /// failing this predicate are provably no-ops for every pipeline
+    /// stage — see `DESIGN.md`'s "active-set invariant" section.
+    pub fn node_active(&self, n: NodeId) -> bool {
+        self.routers[n.index()].occupied_vcs() > 0 || self.nis[n.index()].has_work()
+    }
+
+    /// Hands the per-cycle scratch buffers (active-node worklist, switch
+    /// request vector) to the regular pipeline. Taking them out of `self`
+    /// keeps the borrow checker happy while the pipeline mutates the
+    /// core; [`put_advance_scratch`](Self::put_advance_scratch) returns
+    /// them so their capacity survives across cycles.
+    pub(crate) fn take_advance_scratch(&mut self) -> (Vec<NodeId>, Vec<bool>) {
+        (
+            std::mem::take(&mut self.scratch_nodes),
+            std::mem::take(&mut self.scratch_reqs),
+        )
+    }
+
+    /// Returns the scratch buffers taken by
+    /// [`take_advance_scratch`](Self::take_advance_scratch).
+    pub(crate) fn put_advance_scratch(&mut self, nodes: Vec<NodeId>, reqs: Vec<bool>) {
+        self.scratch_nodes = nodes;
+        self.scratch_reqs = reqs;
     }
 }
 
@@ -432,9 +484,7 @@ mod tests {
         ));
         let node = NodeId::new(4);
         let port = Port::Dir(noc_core::topology::Direction::North);
-        core.router_mut(node).inputs[port.index()]
-            .vc_mut(0)
-            .install(VcOccupant::reserved(id, 2, 0));
+        core.router_mut(node).inputs[port.index()].install(0, VcOccupant::reserved(id, 2, 0));
         core.stage_flit(node, port, 0);
         // Not yet visible.
         assert_eq!(
@@ -469,9 +519,7 @@ mod tests {
         let mut occ = VcOccupant::reserved(id, 1, 0);
         occ.arrived = 1;
         occ.sent = 1;
-        core.router_mut(node).inputs[port.index()]
-            .vc_mut(0)
-            .install(occ);
+        core.router_mut(node).inputs[port.index()].install(0, occ);
         core.mark_drained(node, port, 0);
         assert!(!core.router(node).inputs[port.index()].vc(0).is_free());
         core.apply_staged();
@@ -489,9 +537,7 @@ mod tests {
             1,
             0,
         ));
-        core.router_mut(NodeId::new(0)).inputs[0]
-            .vc_mut(0)
-            .install(VcOccupant::reserved(id, 1, 0));
+        core.router_mut(NodeId::new(0)).inputs[0].install(0, VcOccupant::reserved(id, 1, 0));
         core.stage_flit(NodeId::new(0), Port::from_index(0), 0);
         core.advance_cycle();
     }
@@ -509,7 +555,7 @@ mod tests {
         let node = NodeId::new(2);
         let mut occ = VcOccupant::reserved(id, 1, 0);
         occ.arrived = 1;
-        core.router_mut(node).inputs[0].vc_mut(0).install(occ);
+        core.router_mut(node).inputs[0].install(0, occ);
         let got = core.take_vc_packet(node, Port::from_index(0), 0);
         assert_eq!(got, id);
         assert!(core.router(node).inputs[0].vc(0).is_free());

@@ -280,6 +280,13 @@ impl NiState {
         self.ej_reserved[class.index()]
     }
 
+    /// Whether any class's ejection queue holds at least one entry — the
+    /// consumption loop's fast path for skipping NIs with nothing to
+    /// deliver.
+    pub fn ej_any(&self) -> bool {
+        self.ej.iter().any(|q| !q.is_empty())
+    }
+
     /// Head of a class's ejection queue if its ready time has passed.
     pub fn ej_consumable(&self, class: MessageClass, now: u64) -> Option<PacketId> {
         self.ej[class.index()]
@@ -296,6 +303,19 @@ impl NiState {
     /// Occupancy of a class's ejection queue.
     pub fn ej_len(&self, class: MessageClass) -> usize {
         self.ej[class.index()].len()
+    }
+
+    /// Whether this NI has any injection-side work for the regular
+    /// pipeline this cycle: an active injection stream, pending MSHR
+    /// regenerations, or packets waiting in source/injection queues.
+    /// This is the NI half of the active-set predicate used by the cycle
+    /// loop to skip idle nodes; ejection queues are deliberately excluded
+    /// (draining them is the consumer's job, not the pipeline's).
+    pub fn has_work(&self) -> bool {
+        self.inj_stream.is_some()
+            || !self.regen.is_empty()
+            || self.source.iter().any(|q| !q.is_empty())
+            || self.inj.iter().any(|q| !q.is_empty())
     }
 
     /// Total packets resident anywhere in this NI (conservation checks).

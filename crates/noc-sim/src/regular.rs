@@ -55,18 +55,36 @@ impl AdvanceCtx<'_> {
 /// Call exactly once per simulated cycle (schemes wrap it); it ends by
 /// applying all staged flit arrivals, so the network is in a consistent
 /// end-of-cycle state afterwards.
+///
+/// The loop is activity-proportional: it snapshots the *active set* —
+/// nodes with ≥1 occupied router VC or injection-side NI work — in
+/// rotating order at cycle start and runs every stage over only that
+/// worklist. Skipping an inactive node is behavior-identical to
+/// processing it: with no occupants, no stage finds a head to route, a
+/// flit to move, or an ejection candidate, every round-robin arbiter sees
+/// an all-false request vector (which leaves its pointer untouched — see
+/// `arbiter::tests::grants_nothing_when_idle`), and an idle NI injects
+/// nothing. Nodes that *become* active mid-cycle (a downstream VC
+/// reservation, a staged flit) are no-ops for the rest of this cycle in
+/// the unskipped pipeline too — reservations have no arrived flits and
+/// staged arrivals apply only at end of cycle — so the snapshot loses
+/// nothing. The worklist and switch-request vectors are scratch buffers
+/// owned by [`NetworkCore`], making the steady-state loop allocation-free.
 pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &AdvanceCtx<'_>) {
     if !ctx.freeze {
-        let nodes: Vec<NodeId> = core.nodes_rotating().collect();
+        let (mut nodes, mut sa_reqs) = core.take_advance_scratch();
+        nodes.clear();
+        nodes.extend(core.nodes_rotating().filter(|&n| core.node_active(n)));
         for &n in &nodes {
             route_and_allocate(core, policy, n);
         }
         for &n in &nodes {
-            switch_traversal(core, ctx, n);
+            switch_traversal(core, ctx, n, &mut sa_reqs);
         }
         for &n in &nodes {
             injection(core, n);
         }
+        core.put_advance_scratch(nodes, sa_reqs);
     }
     core.apply_staged();
 }
@@ -74,28 +92,29 @@ pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &Adv
 /// Route computation + downstream VC allocation for head packets that do
 /// not yet hold a route.
 fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, node: NodeId) {
-    let vcs = core.router(node).vcs_per_port();
     for p in 0..NUM_PORTS {
-        for vc in 0..vcs {
+        // Visit only occupied VCs (set bits); the mask snapshot stays
+        // valid because this loop only mutates occupant fields here and
+        // installs reservations at *neighbor* routers.
+        let mut mask = core.router(node).inputs[p].occ_mask();
+        while mask != 0 {
+            let vc = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
             let Some(occ) = core.router(node).inputs[p].vc(vc).occupant() else {
                 continue;
             };
             if !occ.head_present() || occ.route.is_some() {
                 continue;
             }
-            let pkt = core.store.get(occ.pkt).clone();
-            let req = RouteReq {
-                at: node,
-                in_port: Port::from_index(p),
-                vc,
-                pkt: &pkt,
-            };
+            let pkt_id = occ.pkt;
+            // One store lookup for the fields routing reads; no clone.
+            let req = RouteReq::new(core, node, Port::from_index(p), vc, pkt_id);
             let Some(dec) = policy.route(core, &req) else {
                 continue;
             };
             match dec.out_port {
                 Port::Local => {
-                    debug_assert_eq!(pkt.dst, node, "local route for a non-arrived packet");
+                    debug_assert_eq!(req.dst, node, "local route for a non-arrived packet");
                     let occ = core.router_mut(node).inputs[p]
                         .vc_mut(vc)
                         .occupant_mut()
@@ -109,13 +128,11 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
                         .expect("policy routed off the mesh edge");
                     let in_port = Port::Dir(d.opposite()).index();
                     let cycle = core.cycle();
-                    let len = pkt.len_flits;
-                    let pkt_id = occ.pkt;
+                    let len = core.store.get(pkt_id).len_flits;
                     // Reserve the downstream VC immediately so no other
                     // head can double-book it this cycle.
                     core.router_mut(nbr).inputs[in_port]
-                        .vc_mut(dec.out_vc)
-                        .install(VcOccupant::reserved(pkt_id, len, cycle));
+                        .install(dec.out_vc, VcOccupant::reserved(pkt_id, len, cycle));
                     let occ = core.router_mut(node).inputs[p]
                         .vc_mut(vc)
                         .occupant_mut()
@@ -130,12 +147,23 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
 
 /// Switch allocation + traversal for one router: ejection first (Local
 /// output), then the four direction outputs, at most one flit per input
-/// and per output port.
-fn switch_traversal(core: &mut NetworkCore, ctx: &AdvanceCtx<'_>, node: NodeId) {
+/// and per output port. `reqs` is a caller-owned scratch request vector
+/// (cleared and refilled per output port) so the hot loop never allocates.
+fn switch_traversal(
+    core: &mut NetworkCore,
+    ctx: &AdvanceCtx<'_>,
+    node: NodeId,
+    reqs: &mut Vec<bool>,
+) {
+    // A router with no buffered packets has nothing to eject or forward
+    // (injection streams its own staged flits separately).
+    if core.router(node).occupied_vcs() == 0 {
+        return;
+    }
     let vcs = core.router(node).vcs_per_port();
     let mut input_used = [false; NUM_PORTS];
 
-    eject_stage(core, ctx, node, &mut input_used);
+    eject_stage(core, ctx, node, &mut input_used, reqs);
 
     for d in DIRECTIONS {
         let Some(nbr) = core.mesh().neighbor(node, d) else {
@@ -144,23 +172,34 @@ fn switch_traversal(core: &mut NetworkCore, ctx: &AdvanceCtx<'_>, node: NodeId) 
         if ctx.link_suppressed(core, node, d) {
             continue;
         }
-        // Gather requests: flits with an allocated route through `d`.
+        // Gather requests: flits with an allocated route through `d`,
+        // visiting only occupied VCs via the per-input masks.
         let router = core.router(node);
-        let mut reqs = vec![false; NUM_PORTS * vcs];
+        reqs.clear();
+        reqs.resize(NUM_PORTS * vcs, false);
+        let mut any = false;
         for (p, used) in input_used.iter().enumerate() {
             if *used {
                 continue;
             }
-            for vc in 0..vcs {
-                if let Some(occ) = router.inputs[p].vc(vc).occupant() {
+            let iu = &router.inputs[p];
+            let mut mask = iu.occ_mask();
+            while mask != 0 {
+                let vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(occ) = iu.vc(vc).occupant() {
                     if occ.route == Some(Port::Dir(d)) && occ.flit_ready() {
                         reqs[router.sa_index(p, vc)] = true;
+                        any = true;
                     }
                 }
             }
         }
+        if !any {
+            continue;
+        }
         let out_idx = Port::Dir(d).index();
-        let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(&reqs) else {
+        let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(reqs) else {
             continue;
         };
         let (p, vc) = core.router(node).sa_decode(winner);
@@ -211,6 +250,7 @@ fn eject_stage(
     ctx: &AdvanceCtx<'_>,
     node: NodeId,
     input_used: &mut [bool; NUM_PORTS],
+    reqs: &mut Vec<bool>,
 ) {
     if ctx.eject_blocked_at(node) {
         return; // Preempted by an overlay packet; the lock (if any) stalls.
@@ -230,21 +270,31 @@ fn eject_stage(
     // New grant.
     let vcs = core.router(node).vcs_per_port();
     let router = core.router(node);
-    let mut reqs = vec![false; NUM_PORTS * vcs];
+    reqs.clear();
+    reqs.resize(NUM_PORTS * vcs, false);
+    let mut any = false;
     for p in 0..NUM_PORTS {
-        for vc in 0..vcs {
-            if let Some(occ) = router.inputs[p].vc(vc).occupant() {
+        let iu = &router.inputs[p];
+        let mut mask = iu.occ_mask();
+        while mask != 0 {
+            let vc = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if let Some(occ) = iu.vc(vc).occupant() {
                 if occ.route == Some(Port::Local) && occ.flit_ready() {
                     let class = core.store.get(occ.pkt).class;
                     if core.ni(node).ej_can_accept(class, occ.pkt) {
                         reqs[router.sa_index(p, vc)] = true;
+                        any = true;
                     }
                 }
             }
         }
     }
+    if !any {
+        return;
+    }
     let out_idx = Port::Local.index();
-    let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(&reqs) else {
+    let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(reqs) else {
         return;
     };
     let (p, vc) = core.router(node).sa_decode(winner);
@@ -336,8 +386,7 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
         pkt.len_flits
     };
     core.router_mut(node).inputs[Port::Local.index()]
-        .vc_mut(vc)
-        .install(VcOccupant::reserved(pkt_id, len, cycle));
+        .install(vc, VcOccupant::reserved(pkt_id, len, cycle));
     core.stage_flit(node, Port::Local, vc);
     core.ni_mut(node).inj_stream = if len > 1 {
         Some(InjStream {

@@ -46,14 +46,17 @@ impl RouterState {
         self.inputs[0].num_vcs()
     }
 
-    /// Total occupied VCs in this router's input units. Note that a
-    /// packet mid-transfer occupies buffers at several routers; use
-    /// [`NetworkCore::resident_packets`] for an exactly-once packet
+    /// Total occupied VCs in this router's input units — O(ports), using
+    /// the per-input occupancy counters rather than scanning every VC.
+    /// This is the router half of the active-set predicate: a router with
+    /// zero occupied VCs has no route/switch/eject work this cycle. Note
+    /// that a packet mid-transfer occupies buffers at several routers;
+    /// use [`NetworkCore::resident_packets`] for an exactly-once packet
     /// count.
     ///
     /// [`NetworkCore::resident_packets`]: crate::network::NetworkCore::resident_packets
     pub fn occupied_vcs(&self) -> usize {
-        self.inputs.iter().map(|iu| iu.occupied().count()).sum()
+        self.inputs.iter().map(|iu| iu.occupied_count()).sum()
     }
 
     /// Encodes an `(input port, vc)` pair as a switch-allocation
@@ -108,7 +111,7 @@ mod tests {
             1,
             0,
         ));
-        r.inputs[0].vc_mut(1).install(VcOccupant::reserved(p, 1, 0));
+        r.inputs[0].install(1, VcOccupant::reserved(p, 1, 0));
         assert_eq!(r.occupied_vcs(), 1);
     }
 }

@@ -7,21 +7,46 @@
 //! EscapeVC (deterministic escape VC + fully-adaptive elsewhere).
 
 use crate::network::NetworkCore;
-use noc_core::packet::Packet;
+use noc_core::packet::{MessageClass, PacketId};
 use noc_core::rng::DetRng;
 use noc_core::topology::{Direction, NodeId, Port};
 
 /// A head packet asking for a route at a router.
+///
+/// Carries by value the only packet fields route computation reads
+/// (destination and message class) plus the packet id, so building a
+/// request costs one store lookup and no `Packet` clone — this runs once
+/// per routed head in the hot cycle loop.
 #[derive(Debug, Clone, Copy)]
-pub struct RouteReq<'a> {
+pub struct RouteReq {
     /// Router the packet is buffered at.
     pub at: NodeId,
     /// Input port it occupies.
     pub in_port: Port,
     /// VC it occupies.
     pub vc: usize,
-    /// The packet.
-    pub pkt: &'a Packet,
+    /// The packet's id (for policies that need more than `dst`/`class`).
+    pub pkt: PacketId,
+    /// The packet's destination.
+    pub dst: NodeId,
+    /// The packet's message class.
+    pub class: MessageClass,
+}
+
+impl RouteReq {
+    /// Builds a request for the packet `pkt` buffered at
+    /// `(at, in_port, vc)`, reading `dst`/`class` from the store.
+    pub fn new(core: &NetworkCore, at: NodeId, in_port: Port, vc: usize, pkt: PacketId) -> Self {
+        let p = core.store.get(pkt);
+        RouteReq {
+            at,
+            in_port,
+            vc,
+            pkt,
+            dst: p.dst,
+            class: p.class,
+        }
+    }
 }
 
 /// A granted route: output port plus the downstream VC that was selected
@@ -48,16 +73,16 @@ pub trait RoutingPolicy: Send {
 
     /// Computes a route for `req`, or `None` if no admissible output/VC
     /// is available this cycle (the packet stays blocked).
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision>;
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision>;
 
     /// Output ports the packet *could* legally use (for wait-for-graph
     /// construction). The default is all minimal productive directions.
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
-        if req.pkt.dst == req.at {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
+        if req.dst == req.at {
             return vec![Port::Local];
         }
         core.mesh()
-            .productive_dirs(req.at, req.pkt.dst)
+            .productive_dirs(req.at, req.dst)
             .iter()
             .map(Port::Dir)
             .collect()
@@ -95,8 +120,8 @@ pub fn downstream_credits(
     }
 }
 
-fn local_if_arrived(req: &RouteReq<'_>) -> Option<RouteDecision> {
-    (req.pkt.dst == req.at).then_some(RouteDecision {
+fn local_if_arrived(req: &RouteReq) -> Option<RouteDecision> {
+    (req.dst == req.at).then_some(RouteDecision {
         out_port: Port::Local,
         out_vc: 0,
     })
@@ -111,23 +136,23 @@ impl RoutingPolicy for DorXy {
         "xy"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let dir = core.mesh().xy_next(req.at, req.pkt.dst)?;
-        let out_vc = free_downstream_vc(core, req.at, dir, req.pkt.class.index())?;
+        let dir = core.mesh().xy_next(req.at, req.dst)?;
+        let out_vc = free_downstream_vc(core, req.at, dir, req.class.index())?;
         Some(RouteDecision {
             out_port: Port::Dir(dir),
             out_vc,
         })
     }
 
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
-        if req.pkt.dst == req.at {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
+        if req.dst == req.at {
             vec![Port::Local]
         } else {
-            vec![Port::Dir(core.mesh().xy_next(req.at, req.pkt.dst).unwrap())]
+            vec![Port::Dir(core.mesh().xy_next(req.at, req.dst).unwrap())]
         }
     }
 }
@@ -141,23 +166,23 @@ impl RoutingPolicy for DorYx {
         "yx"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let dir = core.mesh().yx_next(req.at, req.pkt.dst)?;
-        let out_vc = free_downstream_vc(core, req.at, dir, req.pkt.class.index())?;
+        let dir = core.mesh().yx_next(req.at, req.dst)?;
+        let out_vc = free_downstream_vc(core, req.at, dir, req.class.index())?;
         Some(RouteDecision {
             out_port: Port::Dir(dir),
             out_vc,
         })
     }
 
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
-        if req.pkt.dst == req.at {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
+        if req.dst == req.at {
             vec![Port::Local]
         } else {
-            vec![Port::Dir(core.mesh().yx_next(req.at, req.pkt.dst).unwrap())]
+            vec![Port::Dir(core.mesh().yx_next(req.at, req.dst).unwrap())]
         }
     }
 }
@@ -188,14 +213,14 @@ impl RoutingPolicy for FullyAdaptive {
         "fully-adaptive"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let class = req.pkt.class.index();
+        let class = req.class.index();
         let mut best: Option<(usize, Direction, usize)> = None;
         let mut ties = 0usize;
-        for dir in core.mesh().productive_dirs(req.at, req.pkt.dst).iter() {
+        for dir in core.mesh().productive_dirs(req.at, req.dst).iter() {
             if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
                 let credits = downstream_credits(core, req.at, dir, class);
                 match best {
@@ -255,13 +280,13 @@ impl RoutingPolicy for WestFirst {
         "west-first"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let class = req.pkt.class.index();
+        let class = req.class.index();
         let mut best: Option<(usize, Direction, usize)> = None;
-        for dir in Self::admissible(core, req.at, req.pkt.dst) {
+        for dir in Self::admissible(core, req.at, req.dst) {
             if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
                 let credits = downstream_credits(core, req.at, dir, class);
                 let better = match best {
@@ -279,11 +304,11 @@ impl RoutingPolicy for WestFirst {
         })
     }
 
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
-        if req.pkt.dst == req.at {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
+        if req.dst == req.at {
             vec![Port::Local]
         } else {
-            Self::admissible(core, req.at, req.pkt.dst)
+            Self::admissible(core, req.at, req.dst)
                 .into_iter()
                 .map(Port::Dir)
                 .collect()
@@ -320,17 +345,17 @@ impl RoutingPolicy for EscapeVcRouting {
         "escape-vc"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let class = req.pkt.class.index();
+        let class = req.class.index();
         let range = core.cfg().vc_range_for_class(class);
         let escape = range.start;
         // Adaptive attempt: any productive direction, non-escape VCs only.
         let mesh = core.mesh();
         let mut best: Option<(usize, Direction, usize)> = None;
-        for dir in mesh.productive_dirs(req.at, req.pkt.dst).iter() {
+        for dir in mesh.productive_dirs(req.at, req.dst).iter() {
             if let Some(nbr) = mesh.neighbor(req.at, dir) {
                 let iu = &core.router(nbr).inputs[Port::Dir(dir.opposite()).index()];
                 let adaptive_range = (escape + 1)..range.end;
@@ -349,7 +374,7 @@ impl RoutingPolicy for EscapeVcRouting {
             });
         }
         // Escape fallback: deterministic XY into the escape VC.
-        let dir = mesh.xy_next(req.at, req.pkt.dst)?;
+        let dir = mesh.xy_next(req.at, req.dst)?;
         let nbr = mesh.neighbor(req.at, dir)?;
         let iu = &core.router(nbr).inputs[Port::Dir(dir.opposite()).index()];
         iu.vc(escape).is_free().then_some(RouteDecision {
@@ -358,7 +383,7 @@ impl RoutingPolicy for EscapeVcRouting {
         })
     }
 
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
         self.adaptive.desired_ports(core, req)
     }
 }
@@ -402,16 +427,16 @@ impl RoutingPolicy for NorthLast {
         "north-last"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
-        if req.pkt.dst == req.at {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
+        if req.dst == req.at {
             return Some(RouteDecision {
                 out_port: Port::Local,
                 out_vc: 0,
             });
         }
-        let class = req.pkt.class.index();
+        let class = req.class.index();
         let mut best: Option<(usize, Direction, usize)> = None;
-        for dir in Self::admissible(core, req.at, req.pkt.dst) {
+        for dir in Self::admissible(core, req.at, req.dst) {
             if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
                 let credits = downstream_credits(core, req.at, dir, class);
                 let better = match best {
@@ -429,11 +454,11 @@ impl RoutingPolicy for NorthLast {
         })
     }
 
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
-        if req.pkt.dst == req.at {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
+        if req.dst == req.at {
             vec![Port::Local]
         } else {
-            Self::admissible(core, req.at, req.pkt.dst)
+            Self::admissible(core, req.at, req.dst)
                 .into_iter()
                 .map(Port::Dir)
                 .collect()
@@ -521,16 +546,16 @@ impl RoutingPolicy for OddEven {
         "odd-even"
     }
 
-    fn route(&mut self, core: &NetworkCore, req: &RouteReq<'_>) -> Option<RouteDecision> {
-        if req.pkt.dst == req.at {
+    fn route(&mut self, core: &NetworkCore, req: &RouteReq) -> Option<RouteDecision> {
+        if req.dst == req.at {
             return Some(RouteDecision {
                 out_port: Port::Local,
                 out_vc: 0,
             });
         }
-        let class = req.pkt.class.index();
+        let class = req.class.index();
         let mut best: Option<(usize, Direction, usize)> = None;
-        for dir in Self::admissible(core, req.at, req.pkt.dst, req.in_port) {
+        for dir in Self::admissible(core, req.at, req.dst, req.in_port) {
             if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
                 let credits = downstream_credits(core, req.at, dir, class);
                 let better = match best {
@@ -548,11 +573,11 @@ impl RoutingPolicy for OddEven {
         })
     }
 
-    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq<'_>) -> Vec<Port> {
-        if req.pkt.dst == req.at {
+    fn desired_ports(&self, core: &NetworkCore, req: &RouteReq) -> Vec<Port> {
+        if req.dst == req.at {
             vec![Port::Local]
         } else {
-            Self::admissible(core, req.at, req.pkt.dst, req.in_port)
+            Self::admissible(core, req.at, req.dst, req.in_port)
                 .into_iter()
                 .map(Port::Dir)
                 .collect()
@@ -593,15 +618,9 @@ mod tests {
         pkt: noc_core::PacketId,
         at: usize,
     ) -> Option<RouteDecision> {
-        let p = core.store.get(pkt).clone();
         policy.route(
             core,
-            &RouteReq {
-                at: NodeId::new(at),
-                in_port: Port::Local,
-                vc: 0,
-                pkt: &p,
-            },
+            &RouteReq::new(core, NodeId::new(at), Port::Local, 0, pkt),
         )
     }
 
@@ -665,8 +684,7 @@ mod tests {
         for vc in 0..2 {
             let filler = req_between(&mut c, 0, 15);
             c.router_mut(east_nbr).inputs[Port::Dir(Direction::West).index()]
-                .vc_mut(vc)
-                .install(crate::vc::VcOccupant::reserved(filler, 1, 0));
+                .install(vc, crate::vc::VcOccupant::reserved(filler, 1, 0));
         }
         let mut pol = FullyAdaptive::new(3);
         let dec = route_of(&c, &mut pol, pkt, 5).unwrap();
@@ -680,8 +698,7 @@ mod tests {
         for (nbr, dir) in [(6usize, Direction::West), (9, Direction::North)] {
             let filler = req_between(&mut c, 0, 15);
             c.router_mut(NodeId::new(nbr)).inputs[Port::Dir(dir).index()]
-                .vc_mut(0)
-                .install(crate::vc::VcOccupant::reserved(filler, 1, 0));
+                .install(0, crate::vc::VcOccupant::reserved(filler, 1, 0));
         }
         let mut pol = FullyAdaptive::new(3);
         assert_eq!(route_of(&c, &mut pol, pkt, 5), None);
@@ -718,9 +735,10 @@ mod tests {
         // Fill all adaptive VCs of both productive neighbours.
         for (nbr, dir) in [(1usize, Direction::West), (4, Direction::North)] {
             let filler = req_between(&mut c, 5, 15);
-            c.router_mut(NodeId::new(nbr)).inputs[Port::Dir(dir).index()]
-                .vc_mut(range.start + 1)
-                .install(crate::vc::VcOccupant::reserved(filler, 1, 0));
+            c.router_mut(NodeId::new(nbr)).inputs[Port::Dir(dir).index()].install(
+                range.start + 1,
+                crate::vc::VcOccupant::reserved(filler, 1, 0),
+            );
         }
         let dec = route_of(&c, &mut pol, pkt, 0).unwrap();
         assert_eq!(dec.out_vc, range.start, "falls back to escape VC");
@@ -752,16 +770,7 @@ mod tests {
         let mut c = core(0, 2);
         let pkt = req_between(&mut c, 5, 10);
         let pol = FullyAdaptive::new(1);
-        let p = c.store.get(pkt).clone();
-        let ports = pol.desired_ports(
-            &c,
-            &RouteReq {
-                at: NodeId::new(5),
-                in_port: Port::Local,
-                vc: 0,
-                pkt: &p,
-            },
-        );
+        let ports = pol.desired_ports(&c, &RouteReq::new(&c, NodeId::new(5), Port::Local, 0, pkt));
         assert_eq!(ports.len(), 2);
     }
 

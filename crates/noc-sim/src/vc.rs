@@ -106,36 +106,76 @@ impl Vc {
     pub fn occupant_mut(&mut self) -> Option<&mut VcOccupant> {
         self.occupant.as_mut()
     }
-
-    /// Installs a new occupant.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the VC is already occupied — upstream VC allocation must
-    /// never double-book a buffer.
-    pub fn install(&mut self, occ: VcOccupant) {
-        assert!(self.occupant.is_none(), "VC double-booked");
-        self.occupant = Some(occ);
-    }
-
-    /// Removes and returns the occupant (freeing the VC).
-    pub fn take(&mut self) -> Option<VcOccupant> {
-        self.occupant.take()
-    }
 }
 
-/// The input unit of one router port: its VCs.
+/// The input unit of one router port: its VCs plus an incrementally
+/// maintained occupancy bitmask.
+///
+/// Installing and removing occupants goes through [`install`] and
+/// [`take`] *on the input unit* (not on a [`Vc`] directly) so the mask —
+/// the active-set signal the cycle loop uses to skip idle routers and
+/// empty ports — can never drift from the buffers it summarizes.
+///
+/// [`install`]: InputUnit::install
+/// [`take`]: InputUnit::take
 #[derive(Debug, Clone)]
 pub struct InputUnit {
     vcs: Vec<Vc>,
+    occ_mask: u64,
 }
 
 impl InputUnit {
     /// Creates an input unit with `num_vcs` empty VCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs > 64` (the occupancy mask is a single word).
     pub fn new(num_vcs: usize) -> Self {
+        assert!(num_vcs <= 64, "at most 64 VCs per input port");
         InputUnit {
             vcs: vec![Vc::default(); num_vcs],
+            occ_mask: 0,
         }
+    }
+
+    /// Installs a new occupant into VC `vc`, updating the occupancy
+    /// mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already occupied — upstream VC allocation must
+    /// never double-book a buffer — or if `vc` is out of range.
+    pub fn install(&mut self, vc: usize, occ: VcOccupant) {
+        assert!(self.vcs[vc].occupant.is_none(), "VC double-booked");
+        self.vcs[vc].occupant = Some(occ);
+        self.occ_mask |= 1 << vc;
+    }
+
+    /// Removes and returns the occupant of VC `vc` (freeing it), updating
+    /// the occupancy mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn take(&mut self, vc: usize) -> Option<VcOccupant> {
+        let occ = self.vcs[vc].occupant.take();
+        if occ.is_some() {
+            self.occ_mask &= !(1 << vc);
+        }
+        occ
+    }
+
+    /// Bitmask of occupied VC indices — O(1), maintained by
+    /// [`install`](Self::install)/[`take`](Self::take). Hot loops iterate
+    /// set bits instead of scanning every VC slot.
+    pub fn occ_mask(&self) -> u64 {
+        self.occ_mask
+    }
+
+    /// Number of currently occupied VCs — O(1), maintained by
+    /// [`install`](Self::install)/[`take`](Self::take).
+    pub fn occupied_count(&self) -> usize {
+        self.occ_mask.count_ones() as usize
     }
 
     /// Number of VCs.
@@ -229,27 +269,31 @@ mod tests {
     }
 
     #[test]
-    fn vc_install_take() {
+    fn install_take_maintains_count() {
         let mut store = PacketStore::new();
-        let mut vc = Vc::default();
-        assert!(vc.is_free());
-        vc.install(VcOccupant::reserved(pid(&mut store), 1, 0));
-        assert!(!vc.is_free());
-        assert!(vc.occupant().is_some());
-        let occ = vc.take().unwrap();
+        let mut iu = InputUnit::new(2);
+        assert!(iu.vc(0).is_free());
+        assert_eq!(iu.occupied_count(), 0);
+        iu.install(0, VcOccupant::reserved(pid(&mut store), 1, 0));
+        assert!(!iu.vc(0).is_free());
+        assert!(iu.vc(0).occupant().is_some());
+        assert_eq!(iu.occupied_count(), 1);
+        let occ = iu.take(0).unwrap();
         assert_eq!(occ.len, 1);
-        assert!(vc.is_free());
-        assert!(vc.take().is_none());
+        assert!(iu.vc(0).is_free());
+        assert_eq!(iu.occupied_count(), 0);
+        assert!(iu.take(0).is_none());
+        assert_eq!(iu.occupied_count(), 0, "empty take must not underflow");
     }
 
     #[test]
     #[should_panic(expected = "double-booked")]
     fn vc_double_install_panics() {
         let mut store = PacketStore::new();
-        let mut vc = Vc::default();
-        vc.install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        let mut iu = InputUnit::new(1);
+        iu.install(0, VcOccupant::reserved(pid(&mut store), 1, 0));
         let p2 = pid(&mut store);
-        vc.install(VcOccupant::reserved(p2, 1, 0));
+        iu.install(0, VcOccupant::reserved(p2, 1, 0));
     }
 
     #[test]
@@ -258,15 +302,14 @@ mod tests {
         let mut iu = InputUnit::new(4);
         assert_eq!(iu.free_vc_in(0..4), Some(0));
         assert_eq!(iu.free_vcs_in(0..4), 4);
-        iu.vc_mut(0)
-            .install(VcOccupant::reserved(pid(&mut store), 1, 0));
-        iu.vc_mut(1)
-            .install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        iu.install(0, VcOccupant::reserved(pid(&mut store), 1, 0));
+        iu.install(1, VcOccupant::reserved(pid(&mut store), 1, 0));
         assert_eq!(iu.free_vc_in(0..2), None);
         assert_eq!(iu.free_vc_in(0..4), Some(2));
         assert_eq!(iu.free_vcs_in(0..4), 2);
         assert_eq!(iu.free_vcs_in(2..4), 2);
         assert_eq!(iu.occupied().count(), 2);
+        assert_eq!(iu.occupied_count(), 2);
     }
 
     #[test]
@@ -275,8 +318,7 @@ mod tests {
         // VN 1 owns VCs 2..4 — a search there must not return VC 0.
         assert_eq!(iu.free_vc_in(2..4), Some(2));
         let mut store = PacketStore::new();
-        iu.vc_mut(2)
-            .install(VcOccupant::reserved(pid(&mut store), 1, 0));
+        iu.install(2, VcOccupant::reserved(pid(&mut store), 1, 0));
         assert_eq!(iu.free_vc_in(2..4), Some(3));
     }
 }

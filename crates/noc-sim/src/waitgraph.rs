@@ -66,20 +66,14 @@ impl WaitGraph {
         }
         let mut edges = vec![Vec::new(); verts.len()];
         for (vi, &(pos, pkt_id)) in verts.iter().enumerate() {
-            let pkt = core.store.get(pkt_id);
-            let req = RouteReq {
-                at: pos.node,
-                in_port: Port::from_index(pos.port),
-                vc: pos.vc,
-                pkt,
-            };
+            let req = RouteReq::new(core, pos.node, Port::from_index(pos.port), pos.vc, pkt_id);
             for port in policy.desired_ports(core, &req) {
                 let Port::Dir(d) = port else { continue };
                 let Some(nbr) = core.mesh().neighbor(pos.node, d) else {
                     continue;
                 };
                 let in_port = Port::Dir(d.opposite()).index();
-                let range = core.cfg().vc_range_for_class(pkt.class.index());
+                let range = core.cfg().vc_range_for_class(req.class.index());
                 for vc in range {
                     let target = BufferPos {
                         node: nbr,
@@ -200,9 +194,7 @@ pub fn rotate_cycle(core: &mut NetworkCore, graph: &WaitGraph, cycle: &[usize]) 
         let len = core.store.get(pkt).len_flits;
         let mut occ = VcOccupant::reserved(pkt, len, now);
         occ.arrived = len; // Atomic relocation: fully buffered at the target.
-        core.router_mut(npos.node).inputs[npos.port]
-            .vc_mut(npos.vc)
-            .install(occ);
+        core.router_mut(npos.node).inputs[npos.port].install(npos.vc, occ);
         core.store.get_mut(pkt).hops += 1;
         moved.push(pkt);
     }
@@ -233,9 +225,7 @@ mod tests {
         ));
         let mut occ = VcOccupant::reserved(id, 1, 0);
         occ.arrived = 1;
-        core.router_mut(NodeId::new(node)).inputs[port.index()]
-            .vc_mut(0)
-            .install(occ);
+        core.router_mut(NodeId::new(node)).inputs[port.index()].install(0, occ);
     }
 
     /// Builds the canonical 4-packet clockwise deadlock on a 2×2 mesh:

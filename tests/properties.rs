@@ -144,6 +144,79 @@ proptest! {
         prop_assert!(mean >= samples[0] as f64 && mean <= *samples.last().unwrap() as f64);
     }
 
+    /// Merging two distributions is equivalent to recording the
+    /// concatenation of their samples: same count, sum-backed mean, and
+    /// every percentile.
+    #[test]
+    fn distribution_merge_equals_concatenation(
+        a in proptest::collection::vec(0u64..10_000, 0..120),
+        b in proptest::collection::vec(0u64..10_000, 0..120),
+        p in 0u64..=100,
+    ) {
+        let mut left = Distribution::new();
+        for &s in &a {
+            left.record(s);
+        }
+        let mut right = Distribution::new();
+        for &s in &b {
+            right.record(s);
+        }
+        let mut concat = Distribution::new();
+        for &s in a.iter().chain(&b) {
+            concat.record(s);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), concat.count());
+        prop_assert_eq!(left.mean(), concat.mean());
+        prop_assert_eq!(left.percentile(p as f64), concat.percentile(p as f64));
+        prop_assert_eq!(left.min(), concat.min());
+        prop_assert_eq!(left.max(), concat.max());
+    }
+
+    /// Recording after a percentile query must invalidate the cached
+    /// sort: subsequent percentiles reflect the new sample exactly as if
+    /// all samples had been recorded up front.
+    #[test]
+    fn distribution_record_after_percentile_resorts(
+        samples in proptest::collection::vec(0u64..10_000, 1..120),
+        late in 0u64..10_000,
+        p in 0u64..=100,
+    ) {
+        let mut d = Distribution::new();
+        for &s in &samples {
+            d.record(s);
+        }
+        // Force the internal sort, then append out of order.
+        let _ = d.percentile(50.0);
+        d.record(late);
+        let mut fresh = Distribution::new();
+        for &s in samples.iter().chain(std::iter::once(&late)) {
+            fresh.record(s);
+        }
+        prop_assert_eq!(d.percentile(p as f64), fresh.percentile(p as f64));
+        prop_assert_eq!(d.min(), fresh.min());
+        prop_assert_eq!(d.max(), fresh.max());
+        prop_assert_eq!(d.mean(), fresh.mean());
+    }
+
+    /// Serde round-trips preserve the distribution's statistics
+    /// (mean, count, and percentiles), including the derived sum.
+    #[test]
+    fn distribution_serde_roundtrip(
+        samples in proptest::collection::vec(0u64..10_000, 0..120),
+        p in 0u64..=100,
+    ) {
+        let mut d = Distribution::new();
+        for &s in &samples {
+            d.record(s);
+        }
+        let json = serde_json::to_string(&d).expect("Distribution serializes");
+        let mut back: Distribution = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back.count(), d.count());
+        prop_assert_eq!(back.mean(), d.mean());
+        prop_assert_eq!(back.percentile(p as f64), d.percentile(p as f64));
+    }
+
     /// Synthetic patterns are self-inverse or permutations where claimed,
     /// and never map a node to itself when they return a destination.
     #[test]
