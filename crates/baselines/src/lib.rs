@@ -20,6 +20,8 @@
 //! * [`minbd`] — MinBD \[12\]: flit-level minimally-buffered deflection
 //!   routing with a side buffer and destination reassembly.
 
+#![forbid(unsafe_code)]
+
 pub mod drain;
 pub mod escape_vc;
 pub mod minbd;

@@ -20,7 +20,7 @@ use noc_core::topology::{Direction, NodeId, DIRECTIONS};
 use noc_sim::network::NetworkCore;
 use noc_sim::ni::EjectEntry;
 use noc_sim::scheme::{Scheme, SchemeProperties};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Tunables for [`MinBd`].
 #[derive(Debug, Clone, Copy)]
@@ -57,7 +57,7 @@ pub struct MinBd {
     arriving: Vec<Vec<DeflFlit>>,
     staged: Vec<Vec<DeflFlit>>,
     side: Vec<VecDeque<DeflFlit>>,
-    reasm: HashMap<PacketId, u8>,
+    reasm: BTreeMap<PacketId, u8>,
     /// Completed packets awaiting ejection-queue space, per node.
     pending: Vec<VecDeque<PacketId>>,
     /// Per-node in-progress injection stream: (packet, next seq).
@@ -78,7 +78,7 @@ impl MinBd {
             arriving: vec![Vec::new(); nodes],
             staged: vec![Vec::new(); nodes],
             side: vec![VecDeque::new(); nodes],
-            reasm: HashMap::new(),
+            reasm: BTreeMap::new(),
             pending: vec![VecDeque::new(); nodes],
             inj: vec![None; nodes],
             in_air: 0,
@@ -228,13 +228,12 @@ impl Scheme for MinBd {
             let mut taken = [false; 4];
             let mut absorbed_this_cycle = false;
             for f in flits {
-                let productive: Vec<Direction> = core
+                let productive = core
                     .mesh()
                     .productive_dirs(node, f.dst)
                     .iter()
-                    .filter(|&d| !taken[d.index()])
-                    .collect();
-                let chosen = if let Some(&d) = productive.first() {
+                    .find(|&d| !taken[d.index()]);
+                let chosen = if let Some(d) = productive {
                     Some(d)
                 } else if !absorbed_this_cycle && self.side[i].len() < self.cfg.side_capacity {
                     // Side buffer instead of deflection (the "minimal
@@ -244,10 +243,17 @@ impl Scheme for MinBd {
                     absorbed_this_cycle = true;
                     None
                 } else {
-                    // Deflect to any free valid port.
-                    let free: Vec<Direction> =
-                        dirs.iter().copied().filter(|d| !taken[d.index()]).collect();
-                    let d = *self.rng.pick(&free);
+                    // Deflect to any free valid port (drawn without
+                    // collecting: same RNG stream as `pick` on the slice
+                    // of free ports, but no per-flit allocation).
+                    let free_count = dirs.iter().filter(|d| !taken[d.index()]).count();
+                    let k = self.rng.range(0, free_count);
+                    let d = dirs
+                        .iter()
+                        .copied()
+                        .filter(|d| !taken[d.index()])
+                        .nth(k)
+                        .expect("k drawn below the free-port count");
                     self.deflections += 1;
                     if f.seq == 0 {
                         core.store.get_mut(f.pkt).deflections += 1;

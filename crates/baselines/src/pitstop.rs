@@ -166,7 +166,9 @@ impl Pitstop {
             }) else {
                 continue;
             };
-            let pkt = self.pits[i].remove(pos).unwrap();
+            let pkt = self.pits[i]
+                .remove(pos)
+                .expect("pit position came from a fresh position() scan");
             let p = core.store.get(pkt);
             let dst = p.dst;
             let len = p.len_flits as u64;
@@ -210,7 +212,9 @@ impl Pitstop {
             }) else {
                 continue;
             };
-            let pkt = self.pits[i].remove(pos).unwrap();
+            let pkt = self.pits[i]
+                .remove(pos)
+                .expect("pit position came from a fresh position() scan");
             let class = core.store.get(pkt).class;
             core.ni_mut(node).ej_begin(class, pkt);
             let ready = now + core.cfg().ni_consume_cycles;

@@ -13,6 +13,8 @@
 //! * `FP_CACHE` — completed-point cache directory (default
 //!   `results/cache/`; set to `off` to disable).
 
+#![forbid(unsafe_code)]
+
 pub mod registry;
 pub mod runner;
 

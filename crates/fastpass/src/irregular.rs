@@ -115,7 +115,9 @@ pub fn holistic_path(topo: &IrregularTopo) -> Result<Vec<Edge>, HolisticPathErro
     let mut stack = vec![start];
     let mut circuit_nodes: Vec<usize> = Vec::new();
     while let Some(&v) = stack.last() {
-        let c = cursor.get_mut(&v).unwrap();
+        let c = cursor
+            .get_mut(&v)
+            .expect("connected topology: every reachable node has outgoing links");
         let nbrs = &out[&v];
         if *c < nbrs.len() {
             let w = nbrs[*c];

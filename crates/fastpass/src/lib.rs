@@ -40,6 +40,8 @@
 //! assert!(stats.delivered() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod flight;
 pub mod irregular;
 pub mod lane;

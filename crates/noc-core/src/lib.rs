@@ -20,6 +20,9 @@
 //! assert_eq!(mesh.hops(a, b), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod packet;
 pub mod rng;

@@ -424,7 +424,7 @@ impl ProductiveDirs {
 
     /// Iterator over the directions.
     pub fn iter(&self) -> impl Iterator<Item = Direction> + '_ {
-        self.dirs.iter().take(self.len()).map(|d| d.unwrap())
+        self.dirs.iter().take(self.len()).flatten().copied()
     }
 
     /// Whether `d` is one of the productive directions.

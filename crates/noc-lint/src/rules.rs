@@ -1,0 +1,400 @@
+//! The lint rules and their scoping.
+//!
+//! Each rule is a pure function over the lexed token stream of one file,
+//! gated by a path-based scope. Adding a rule means adding an entry to
+//! [`RULES`] and a `check_*` function — the engine handles test-region
+//! masking, `allow(...)` suppression and diagnostics plumbing.
+//!
+//! See `DESIGN.md` ("Machine-checked contracts: noc-lint") for the
+//! rationale behind every rule and how to allowlist a deliberate
+//! exception.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::structure::{fn_body_ranges, test_token_mask};
+
+/// Rule id: deterministic simulation contract.
+pub const DETERMINISM: &str = "determinism";
+/// Rule id: allocation-free hot loop contract.
+pub const HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
+/// Rule id: occupancy mutation discipline.
+pub const OCCUPANCY: &str = "occupancy";
+/// Rule id: unsafe/panic hygiene.
+pub const PANIC_HYGIENE: &str = "panic-hygiene";
+
+/// `(id, one-line description)` of every shipped rule.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        DETERMINISM,
+        "no wall-clock time, OS randomness, or unordered-map iteration in simulator crates",
+    ),
+    (
+        HOT_LOOP_ALLOC,
+        "no heap allocation, collect(), String construction or clones in per-cycle hot paths",
+    ),
+    (
+        OCCUPANCY,
+        "VC occupant slots and occ_mask change only through InputUnit::install/take and whitelisted drain paths",
+    ),
+    (
+        PANIC_HYGIENE,
+        "no unsafe blocks anywhere; no bare unwrap() in non-test simulator code (use expect with an invariant message)",
+    ),
+];
+
+/// Crates whose non-test code feeds statistics or arbitration and must
+/// therefore be bit-reproducible.
+const SIM_CRATES: &[&str] = &["noc-core", "noc-sim", "fastpass", "baselines", "traffic"];
+
+/// Crates held to the no-bare-`unwrap()` standard (the simulator crates
+/// plus the power model and the root facade; the bench harness's CLI
+/// binaries are exempt).
+const PANIC_CRATES: &[&str] = &[
+    "noc-core",
+    "noc-sim",
+    "fastpass",
+    "baselines",
+    "traffic",
+    "noc-power",
+    "",
+];
+
+/// Files that are hot per-cycle paths in their entirety.
+const HOT_FILES: &[&str] = &["crates/noc-sim/src/regular.rs"];
+
+/// Function names whose bodies are per-cycle hot paths wherever they
+/// appear in scheme/substrate crates: the regular pass (`advance`),
+/// scheme steps (`step`) and the staged-move applier (`apply_staged`).
+const HOT_FNS: &[&str] = &["advance", "step", "apply_staged"];
+
+/// Crates whose `advance`/`step` implementations are hot.
+const HOT_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines"];
+
+/// Crates subject to the occupancy-discipline rule.
+const OCC_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines"];
+
+/// The only files allowed to touch occupant slots directly: the input
+/// unit itself, the regular pipeline, the staged-move applier, the
+/// wait-graph rotation (SPIN's synchronized relocation), and the two
+/// baselines whose published mechanism *is* packet relocation (DRAIN's
+/// ring circulation and SWAP's in-place exchange).
+const OCC_WHITELIST: &[&str] = &[
+    "crates/noc-sim/src/vc.rs",
+    "crates/noc-sim/src/regular.rs",
+    "crates/noc-sim/src/network.rs",
+    "crates/noc-sim/src/waitgraph.rs",
+    "crates/baselines/src/drain.rs",
+    "crates/baselines/src/swap.rs",
+];
+
+/// Workspace-relative path classification used by rule scoping.
+struct PathInfo<'a> {
+    rel: &'a str,
+    krate: Option<&'a str>,
+}
+
+impl<'a> PathInfo<'a> {
+    fn new(rel: &'a str) -> Self {
+        // "crates/<name>/…" → name; "src/…" → "" (the root facade crate).
+        let krate = if let Some(rest) = rel.strip_prefix("crates/") {
+            rest.split('/').next()
+        } else if rel.starts_with("src/") {
+            Some("")
+        } else {
+            None
+        };
+        PathInfo { rel, krate }
+    }
+
+    /// Whole-file test/bench/example/fixture code: no rule applies.
+    fn is_test_file(&self) -> bool {
+        let r = self.rel;
+        r.starts_with("tests/")
+            || r.contains("/tests/")
+            || r.contains("/benches/")
+            || r.starts_with("examples/")
+            || r.contains("/examples/")
+            || r.contains("/fixtures/")
+    }
+
+    fn in_crates(&self, set: &[&str]) -> bool {
+        self.krate.is_some_and(|k| set.contains(&k))
+    }
+}
+
+/// Lints one file's source, returning every diagnostic.
+///
+/// `rel_path` must be workspace-relative with `/` separators (it drives
+/// rule scoping); `src` is the file's contents.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let info = PathInfo::new(rel_path);
+    if info.is_test_file() {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let mask = test_token_mask(&lexed.tokens);
+    let mut diags = Vec::new();
+
+    if info.in_crates(SIM_CRATES) {
+        check_determinism(&lexed.tokens, &mask, rel_path, &mut diags);
+    }
+    check_hot_loop(&info, &lexed.tokens, &mask, &mut diags);
+    if info.in_crates(OCC_CRATES) && !OCC_WHITELIST.contains(&info.rel) {
+        check_occupancy(&lexed.tokens, &mask, rel_path, &mut diags);
+    }
+    check_panic_hygiene(&info, &lexed.tokens, &mask, &mut diags);
+
+    // Apply inline `// noc-lint: allow(rule)` suppression: a directive
+    // covers its own line and the line directly below it.
+    diags.retain(|d| {
+        !lexed.allows.iter().any(|a| {
+            (a.line == d.line || a.line + 1 == d.line)
+                && a.rules.iter().any(|r| r == d.rule || r == "all")
+        })
+    });
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    diags
+}
+
+fn push(diags: &mut Vec<Diagnostic>, rule: &'static str, path: &str, t: &Token, msg: String) {
+    diags.push(Diagnostic {
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message: msg,
+    });
+}
+
+/// determinism: no `HashMap`/`HashSet` (iteration order is address-seeded
+/// and varies run to run), no wall-clock (`std::time`, `Instant`,
+/// `SystemTime`), no OS randomness (`thread_rng`, `rand::random`).
+fn check_determinism(tokens: &[Token], mask: &[bool], path: &str, diags: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let hint = match t.text.as_str() {
+            "HashMap" => "use BTreeMap (or a sorted Vec) so traversal order is deterministic",
+            "HashSet" => "use BTreeSet (or a sorted Vec) so traversal order is deterministic",
+            "Instant" | "SystemTime" => {
+                "simulator code must be a pure function of (config, seed); wall-clock time is not"
+            }
+            "thread_rng" | "ThreadRng" => "use noc_core::rng::DetRng, seeded from SimConfig",
+            "time" if is_path_seq(tokens, i, &["std", "time"]) => {
+                "simulator code must be a pure function of (config, seed); wall-clock time is not"
+            }
+            _ => continue,
+        };
+        push(
+            diags,
+            DETERMINISM,
+            path,
+            t,
+            format!("`{}` in simulator code: {hint}", t.text),
+        );
+    }
+}
+
+/// hot-loop-alloc: inside per-cycle hot scopes, ban heap allocation and
+/// per-packet copying: `vec![…]`, `Vec::new`, `.collect(…)`, `format!`,
+/// `String::new/from`, `.to_string()`, `.to_owned()`, `.to_vec()`,
+/// `Box::new`, `.clone()`.
+fn check_hot_loop(
+    info: &PathInfo<'_>,
+    tokens: &[Token],
+    mask: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let whole_file_hot = HOT_FILES.contains(&info.rel);
+    let ranges = if whole_file_hot {
+        vec![(0usize, tokens.len().saturating_sub(1))]
+    } else if info.in_crates(HOT_CRATES) {
+        fn_body_ranges(tokens, mask, HOT_FNS)
+    } else {
+        return;
+    };
+    for (start, end) in ranges {
+        for i in start..=end.min(tokens.len().saturating_sub(1)) {
+            if mask[i] {
+                continue;
+            }
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let complaint = match t.text.as_str() {
+                "vec" if next_is(tokens, i, '!') => Some("`vec![…]` allocates"),
+                "Vec" if is_assoc_call(tokens, i, "new") => {
+                    Some("`Vec::new()` allocates on first push")
+                }
+                "Box" if is_assoc_call(tokens, i, "new") => Some("`Box::new` allocates"),
+                "String" if is_assoc_call(tokens, i, "new") || is_assoc_call(tokens, i, "from") => {
+                    Some("String construction allocates")
+                }
+                "format" if next_is(tokens, i, '!') => Some("`format!` allocates a String"),
+                "collect" if is_method_call(tokens, i) => {
+                    Some("`.collect()` allocates a container")
+                }
+                "to_string" if is_method_call(tokens, i) => Some("`.to_string()` allocates"),
+                "to_owned" if is_method_call(tokens, i) => Some("`.to_owned()` allocates"),
+                "to_vec" if is_method_call(tokens, i) => Some("`.to_vec()` allocates"),
+                "clone" if is_method_call(tokens, i) => {
+                    Some("`.clone()` in the hot loop (Packet clones were the old RouteReq bug)")
+                }
+                _ => None,
+            };
+            if let Some(c) = complaint {
+                push(
+                    diags,
+                    HOT_LOOP_ALLOC,
+                    info.rel,
+                    t,
+                    format!(
+                        "{c}; hot per-cycle paths must reuse core-owned scratch buffers \
+                         (move the work to setup, or annotate a provably cold path with \
+                         `// noc-lint: allow(hot-loop-alloc)`)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// occupancy: outside the whitelisted files, no `occ_mask` access, no
+/// `occupant_mut()` calls, and no `install(…)`/`take(…)` on an indexed
+/// input unit (`inputs[p].install(…)`). Everything else must go through
+/// `NetworkCore::take_vc_packet` / staged moves.
+fn check_occupancy(tokens: &[Token], mask: &[bool], path: &str, diags: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let complaint = match t.text.as_str() {
+            "occ_mask" => Some("occupancy mask read/written outside the input unit"),
+            "occupant_mut" => Some("direct occupant mutation"),
+            "install" | "take"
+                if is_method_call(tokens, i)
+                    && i >= 2
+                    && tokens[i - 1].is_punct('.')
+                    && tokens[i - 2].is_punct(']')
+                    // `.take()` with no argument is Option::take, not
+                    // InputUnit::take(vc).
+                    && !(t.text == "take" && next2_is(tokens, i, ')')) =>
+            {
+                Some("direct occupant install/removal on an input unit")
+            }
+            _ => None,
+        };
+        if let Some(c) = complaint {
+            push(
+                diags,
+                OCCUPANCY,
+                path,
+                t,
+                format!(
+                    "{c}: only InputUnit::install/take (via the regular pipeline, \
+                     NetworkCore::take_vc_packet, or the whitelisted DRAIN/SWAP relocation \
+                     paths) may change VC occupancy, or the active-set mask drifts from \
+                     the buffers it summarizes"
+                ),
+            );
+        }
+    }
+}
+
+/// panic-hygiene: `unsafe` nowhere, bare `.unwrap()` nowhere in simulator
+/// crates (tests excepted). `expect("why the invariant holds")` is the
+/// sanctioned alternative — a panic message is a proof obligation.
+fn check_panic_hygiene(
+    info: &PathInfo<'_>,
+    tokens: &[Token],
+    mask: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let unwrap_scoped = info.in_crates(PANIC_CRATES);
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "unsafe" {
+            push(
+                diags,
+                PANIC_HYGIENE,
+                info.rel,
+                t,
+                "`unsafe` is forbidden across the workspace (#![forbid(unsafe_code)]); \
+                 the simulator has no business with raw memory"
+                    .to_string(),
+            );
+        } else if unwrap_scoped
+            && t.text == "unwrap"
+            && is_method_call(tokens, i)
+            && next2_is(tokens, i, ')')
+        {
+            push(
+                diags,
+                PANIC_HYGIENE,
+                info.rel,
+                t,
+                "bare `.unwrap()` in simulator code: use `.expect(\"<why this cannot fail>\")` \
+                 so a violated invariant names itself in the panic"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---- token-pattern helpers -------------------------------------------------
+
+/// `tokens[i]` is followed immediately by punct `c`.
+fn next_is(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i + 1), Some(t) if t.is_punct(c))
+}
+
+/// `tokens[i]` then `(` then punct `c` (e.g. `unwrap` `(` `)`).
+fn next2_is(tokens: &[Token], i: usize, c: char) -> bool {
+    next_is(tokens, i, '(') && matches!(tokens.get(i + 2), Some(t) if t.is_punct(c))
+}
+
+/// `tokens[i]` is `Type` in `Type::name(` (associated call).
+fn is_assoc_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    matches!(
+        (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3)),
+        (Some(a), Some(b), Some(c)) if a.is_punct(':') && b.is_punct(':') && c.is_ident(name)
+    )
+}
+
+/// `tokens[i]` is a method name in `.name(` or `.name::<…>(` position.
+fn is_method_call(tokens: &[Token], i: usize) -> bool {
+    if i == 0 || !tokens[i - 1].is_punct('.') {
+        return false;
+    }
+    match tokens.get(i + 1) {
+        Some(t) if t.is_punct('(') => true,
+        // Turbofish: `.collect::<Vec<_>>()`.
+        Some(t) if t.is_punct(':') => matches!(tokens.get(i + 2), Some(u) if u.is_punct(':')),
+        _ => false,
+    }
+}
+
+/// `tokens[i]` ends the exact path `segments` joined by `::`
+/// (e.g. `std::time`).
+fn is_path_seq(tokens: &[Token], i: usize, segments: &[&str]) -> bool {
+    let mut idx = i as isize;
+    for (k, seg) in segments.iter().enumerate().rev() {
+        if idx < 0 || !tokens[idx as usize].is_ident(seg) {
+            return false;
+        }
+        if k > 0 {
+            if idx < 3
+                || !tokens[idx as usize - 1].is_punct(':')
+                || !tokens[idx as usize - 2].is_punct(':')
+            {
+                return false;
+            }
+            idx -= 3;
+        }
+    }
+    true
+}

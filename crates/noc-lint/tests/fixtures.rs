@@ -1,0 +1,239 @@
+//! Fixture tests: one positive (rule fires) and one negative (rule stays
+//! quiet) fixture per shipped rule, plus the escape-hatch semantics.
+//!
+//! Fixtures are inline sources linted under synthetic workspace paths,
+//! because a rule's scope is a function of the path: the same source can
+//! be a violation in `crates/noc-sim/…` and perfectly fine in
+//! `crates/bench/…`.
+
+use noc_lint::lint_source;
+
+fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_source(path, src).into_iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// ---- determinism -----------------------------------------------------------
+
+#[test]
+fn determinism_flags_hashmap_in_sim_crate() {
+    let src =
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+    let diags = lint_source("crates/noc-sim/src/foo.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "determinism" && d.line == 1),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn determinism_flags_wall_clock_and_os_rng() {
+    let src = "pub fn f() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }\n";
+    let diags = lint_source("crates/fastpass/src/foo.rs", src);
+    let n = diags.iter().filter(|d| d.rule == "determinism").count();
+    assert!(n >= 2, "Instant and thread_rng must both fire: {diags:?}");
+}
+
+#[test]
+fn determinism_silent_on_btreemap() {
+    let src =
+        "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n";
+    assert!(rules_fired("crates/noc-sim/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_out_of_scope_in_bench() {
+    let src = "use std::collections::HashMap;\npub fn f() { let _: HashMap<u32, u32> = HashMap::new(); }\n";
+    assert!(
+        !rules_fired("crates/bench/src/foo.rs", src).contains(&"determinism"),
+        "bench harness may use HashMap"
+    );
+}
+
+#[test]
+fn determinism_ignores_test_modules() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let _ = HashMap::<u8, u8>::new(); }\n}\n";
+    assert!(rules_fired("crates/noc-sim/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_ignores_idents_in_strings_and_comments() {
+    let src = "// HashMap would be wrong here\npub fn f() -> &'static str { \"HashMap\" }\n";
+    assert!(rules_fired("crates/noc-sim/src/foo.rs", src).is_empty());
+}
+
+// ---- hot-loop-alloc --------------------------------------------------------
+
+#[test]
+fn hot_loop_flags_vec_macro_in_regular_rs() {
+    let src = "pub fn helper() { let v = vec![1, 2, 3]; drop(v); }\n";
+    let diags = lint_source("crates/noc-sim/src/regular.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "hot-loop-alloc"),
+        "regular.rs is hot in its entirety: {diags:?}"
+    );
+}
+
+#[test]
+fn hot_loop_flags_collect_inside_advance() {
+    let src =
+        "pub fn advance(xs: &[u32]) { let v: Vec<u32> = xs.iter().copied().collect(); drop(v); }\n";
+    let diags = lint_source("crates/fastpass/src/scheme.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "hot-loop-alloc"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn hot_loop_flags_clone_inside_step() {
+    let src = "impl S { fn step(&mut self, p: &Packet) { self.last = p.clone(); } }\n";
+    let diags = lint_source("crates/baselines/src/foo.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "hot-loop-alloc"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn hot_loop_silent_outside_hot_fns() {
+    // Allocation in a constructor is fine — only advance/step/apply_staged
+    // bodies (and regular.rs wholesale) are hot.
+    let src = "pub fn new() -> Vec<u32> { let mut v = Vec::new(); v.push(1); v }\n";
+    assert!(rules_fired("crates/fastpass/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn hot_loop_out_of_scope_in_noc_core() {
+    let src = "pub fn advance() { let v = vec![1]; drop(v); }\n";
+    assert!(
+        !rules_fired("crates/noc-core/src/foo.rs", src).contains(&"hot-loop-alloc"),
+        "noc-core has no per-cycle loop"
+    );
+}
+
+// ---- occupancy -------------------------------------------------------------
+
+#[test]
+fn occupancy_flags_indexed_install() {
+    let src =
+        "pub fn relocate(r: &mut Router) { let occ = make(); r.inputs[0].install(1, occ); }\n";
+    let diags = lint_source("crates/baselines/src/foo.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "occupancy"), "{diags:?}");
+}
+
+#[test]
+fn occupancy_flags_occ_mask_and_occupant_mut() {
+    let src = "pub fn peek(r: &Router) -> u64 { r.inputs[0].occ_mask() }\npub fn poke(v: &mut Vc) { v.occupant_mut(); }\n";
+    let diags = lint_source("crates/fastpass/src/foo.rs", src);
+    let n = diags.iter().filter(|d| d.rule == "occupancy").count();
+    assert_eq!(n, 2, "{diags:?}");
+}
+
+#[test]
+fn occupancy_silent_in_whitelisted_drain() {
+    let src =
+        "pub fn circulate(r: &mut Router) { let occ = make(); r.inputs[0].install(1, occ); }\n";
+    assert!(
+        !rules_fired("crates/baselines/src/drain.rs", src).contains(&"occupancy"),
+        "DRAIN's ring circulation is the published mechanism"
+    );
+}
+
+#[test]
+fn occupancy_silent_on_option_take_and_iterator_take() {
+    // `.take()` with no argument is Option::take; `.take(n)` on a
+    // non-indexed receiver is Iterator::take. Neither touches a VC.
+    let src = "pub fn f(o: &mut Option<u32>, xs: &[u32]) -> usize { let _ = o.take(); xs.iter().take(3).count() }\n";
+    assert!(rules_fired("crates/noc-sim/src/foo.rs", src).is_empty());
+}
+
+// ---- panic-hygiene ---------------------------------------------------------
+
+#[test]
+fn panic_hygiene_flags_unsafe_everywhere() {
+    let src = "pub fn f(p: *const u32) -> u32 { unsafe { *p } }\n";
+    let diags = lint_source("crates/bench/src/foo.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "panic-hygiene"),
+        "unsafe is banned even outside the simulator crates: {diags:?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_flags_bare_unwrap_in_sim_crate() {
+    let src = "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let diags = lint_source("crates/noc-core/src/foo.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "panic-hygiene"), "{diags:?}");
+}
+
+#[test]
+fn panic_hygiene_accepts_expect_with_message() {
+    let src = "pub fn f(o: Option<u32>) -> u32 { o.expect(\"caller checked is_some\") }\n";
+    assert!(rules_fired("crates/noc-core/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn panic_hygiene_permits_unwrap_in_bench_and_tests() {
+    let bench = "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    assert!(rules_fired("crates/bench/src/foo.rs", bench).is_empty());
+    let test_fn = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+    assert!(rules_fired("crates/noc-core/src/foo.rs", test_fn).is_empty());
+}
+
+// ---- escape hatch ----------------------------------------------------------
+
+#[test]
+fn allow_suppresses_exactly_one_rule_on_one_line() {
+    // Two violations; the directive covers its own line (and the one
+    // directly below — line 2 here is blank), so only line 3 fires.
+    let src = "use std::collections::HashMap; // noc-lint: allow(determinism)\n\nuse std::collections::HashSet;\n";
+    let diags = lint_source("crates/noc-sim/src/foo.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+    assert_eq!(diags[0].rule, "determinism");
+}
+
+#[test]
+fn allow_covers_the_line_below() {
+    let src = "// noc-lint: allow(determinism)\nuse std::collections::HashMap;\n";
+    assert!(rules_fired("crates/noc-sim/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn allow_does_not_suppress_other_rules() {
+    // The directive names determinism, but the line also holds a bare
+    // unwrap — which must still fire.
+    let src =
+        "pub fn f(o: Option<std::time::Instant>) { o.unwrap(); } // noc-lint: allow(determinism)\n";
+    let diags = lint_source("crates/noc-sim/src/foo.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "panic-hygiene");
+}
+
+#[test]
+fn allow_all_suppresses_everything_on_its_line() {
+    let src = "pub fn f(o: Option<std::time::Instant>) { o.unwrap(); } // noc-lint: allow(all)\n";
+    assert!(rules_fired("crates/noc-sim/src/foo.rs", src).is_empty());
+}
+
+// ---- scoping sanity --------------------------------------------------------
+
+#[test]
+fn test_files_are_never_linted() {
+    let src = "use std::collections::HashMap;\npub fn f() { Some(1).unwrap(); unsafe {} }\n";
+    assert!(rules_fired("crates/noc-sim/tests/foo.rs", src).is_empty());
+    assert!(rules_fired("crates/noc-lint/fixtures/foo.rs", src).is_empty());
+}
+
+#[test]
+fn diagnostics_are_span_accurate() {
+    let src =
+        "pub fn f() {\n    let m = std::collections::HashMap::<u8, u8>::new();\n    drop(m);\n}\n";
+    let diags = lint_source("crates/noc-sim/src/foo.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line, 2);
+    let col = src.lines().nth(1).unwrap().find("HashMap").unwrap() as u32 + 1;
+    assert_eq!(diags[0].col, col);
+}

@@ -14,6 +14,8 @@
 //! roughly 40–55% below the 6-VN baselines, with FastPass overhead ~4%
 //! of its own router.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod report;
 

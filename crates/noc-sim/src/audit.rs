@@ -10,10 +10,10 @@
 use crate::network::NetworkCore;
 use noc_core::packet::PacketId;
 use noc_core::topology::{NodeId, Port, NUM_PORTS};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A violated invariant found by [`audit`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct AuditError {
     /// Where the violation was found.
     pub location: String,
@@ -41,12 +41,16 @@ impl std::fmt::Display for AuditError {
 /// and for every router/NI:
 /// * the ejection lock points at an occupant routed `Local`;
 /// * every queued packet id is live in the store.
+///
+/// The returned list is sorted, so a failing snapshot renders
+/// identically run after run (ordered traversal everywhere; no
+/// address-seeded iteration).
 pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
     let mut errors = Vec::new();
     let mesh = core.mesh();
     let vcs = core.cfg().vcs_per_port();
-    // packet -> list of (node, port, vc) occupancies.
-    let mut occupancies: HashMap<PacketId, Vec<(NodeId, usize, usize)>> = HashMap::new();
+    // packet -> list of (node, port, vc) occupancies, in packet order.
+    let mut occupancies: BTreeMap<PacketId, Vec<(NodeId, usize, usize)>> = BTreeMap::new();
 
     let mut err = |location: String, problem: String| {
         errors.push(AuditError { location, problem });
@@ -168,7 +172,126 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
             });
         }
     }
+    errors.sort();
     errors
+}
+
+/// Global conservation audit: packets and downstream-VC credits.
+///
+/// `overlay` is the scheme's [`overlay_packets`] count (packets held
+/// outside the core's buffers — FastPass flights, Pitstop pits);
+/// `delivered` is the number of packets consumed out of the system over
+/// the simulation's lifetime (the engine's counter).
+///
+/// Checks:
+/// * **packet conservation** — every packet ever injected is delivered,
+///   resident, or overlay-held: `created == delivered + live` (nothing
+///   leaves the store except through consumption) and
+///   `live == resident + overlay` (nothing in the store is orphaned);
+/// * **occupancy-mask consistency** — each input unit's `occ_mask`
+///   matches its occupant slots bit for bit (the active-set signal can
+///   only be trusted if `install`/`take` really are the only mutators);
+/// * **credit conservation** — every allocated downstream VC index is in
+///   range and no VC is reserved by two upstream packets, so per-link
+///   outstanding credits can never exceed the VC capacity.
+///
+/// Like [`audit`], the returned list is sorted for stable snapshots.
+///
+/// [`overlay_packets`]: crate::scheme::Scheme::overlay_packets
+pub fn audit_conservation(core: &NetworkCore, overlay: usize, delivered: u64) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    let created = core.store.created() as u64;
+    let live = core.store.live() as u64;
+    if created != delivered + live {
+        errors.push(AuditError {
+            location: "packet store".into(),
+            problem: format!(
+                "{created} packets created but {delivered} delivered + {live} live \
+                 (a packet left the store without being consumed)"
+            ),
+        });
+    }
+    let vcs = core.cfg().vcs_per_port();
+    let mut credits_in_range = true;
+    // (node, input port, vc) targets of downstream reservations.
+    let mut reserved: BTreeSet<(NodeId, usize, usize)> = BTreeSet::new();
+    for node in core.mesh().nodes() {
+        let router = core.router(node);
+        for p in 0..NUM_PORTS {
+            let iu = &router.inputs[p];
+            let mask = iu.occ_mask(); // noc-lint: allow(occupancy) — the auditor verifies the mask
+            for vc in 0..vcs {
+                let bit = mask & (1 << vc) != 0;
+                let occupied = iu.vc(vc).occupant().is_some();
+                if bit != occupied {
+                    errors.push(AuditError {
+                        location: format!("{node} port {} vc {vc}", Port::from_index(p)),
+                        problem: format!(
+                            "occupancy mask bit {bit} but slot occupied={occupied} \
+                             (mask drifted: occupancy changed outside install/take)"
+                        ),
+                    });
+                }
+                let Some(occ) = iu.vc(vc).occupant() else {
+                    continue;
+                };
+                if let (Some(Port::Dir(d)), Some(out_vc)) = (occ.route, occ.out_vc) {
+                    let loc = format!("{node} port {} vc {vc}", Port::from_index(p));
+                    if out_vc >= vcs {
+                        credits_in_range = false;
+                        errors.push(AuditError {
+                            location: loc,
+                            problem: format!("allocated downstream VC {out_vc} >= capacity {vcs}"),
+                        });
+                        continue;
+                    }
+                    if let Some(nbr) = core.mesh().neighbor(node, d) {
+                        let target = (nbr, Port::Dir(d.opposite()).index(), out_vc);
+                        if !reserved.insert(target) {
+                            errors.push(AuditError {
+                                location: loc,
+                                problem: format!(
+                                    "downstream VC {nbr} port {} vc {out_vc} reserved twice \
+                                     (credit double-spend)",
+                                    Port::Dir(d.opposite())
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Residency counting indexes downstream VCs, so it is only
+    // well-defined once every allocated credit is in range.
+    if credits_in_range {
+        let resident = core.resident_packets();
+        if live as usize != resident + overlay {
+            errors.push(AuditError {
+                location: "packet store".into(),
+                problem: format!(
+                    "{live} live packets but {resident} resident + {overlay} overlay \
+                     (a packet is in the store but nowhere in the system)"
+                ),
+            });
+        }
+    }
+    errors.sort();
+    errors
+}
+
+fn panic_on(what: &str, errors: &[AuditError]) {
+    assert!(
+        errors.is_empty(),
+        "{what} failed with {} violations:\n{}",
+        errors.len(),
+        errors
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 /// Panics with a readable report if the network fails the audit.
@@ -177,16 +300,20 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
 ///
 /// Panics when [`audit`] finds any violation.
 pub fn assert_clean(core: &NetworkCore) {
-    let errors = audit(core);
-    assert!(
-        errors.is_empty(),
-        "network audit failed with {} violations:\n{}",
-        errors.len(),
-        errors
-            .iter()
-            .map(|e| format!("  {e}"))
-            .collect::<Vec<_>>()
-            .join("\n")
+    panic_on("network audit", &audit(core));
+}
+
+/// Runs both the structural audit and the conservation audit, panicking
+/// with a readable report on any violation.
+///
+/// # Panics
+///
+/// Panics when [`audit`] or [`audit_conservation`] finds any violation.
+pub fn assert_conserved(core: &NetworkCore, overlay: usize, delivered: u64) {
+    panic_on("network audit", &audit(core));
+    panic_on(
+        "conservation audit",
+        &audit_conservation(core, overlay, delivered),
     );
 }
 
@@ -284,6 +411,114 @@ mod tests {
         c.router_mut(NodeId::new(2)).eject_lock = Some((0, 0));
         let errors = audit(&c);
         assert!(errors.iter().any(|e| e.problem.contains("empty")));
+    }
+
+    #[test]
+    fn conservation_holds_without_consumption() {
+        let mut c = core();
+        let mut policy = FullyAdaptive::new(5);
+        for i in 0..6 {
+            c.generate(Packet::new(
+                NodeId::new(i),
+                NodeId::new(15 - i),
+                MessageClass::Request,
+                2,
+                0,
+            ));
+        }
+        for _ in 0..100 {
+            advance(&mut c, &mut policy, &AdvanceCtx::default());
+            c.advance_cycle();
+        }
+        // Nothing consumed, no overlay: every created packet is resident.
+        assert_conserved(&c, 0, 0);
+    }
+
+    #[test]
+    fn conservation_flags_a_leaked_packet() {
+        let mut c = core();
+        let id = c.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(5),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        c.store.remove(id); // vanished without being consumed
+        let errors = audit_conservation(&c, 0, 0);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.problem.contains("without being consumed")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn conservation_flags_credit_double_spend() {
+        use noc_core::topology::Direction;
+        let mut c = core();
+        let ids: Vec<PacketId> = (0..2)
+            .map(|i| {
+                c.generate(Packet::new(
+                    NodeId::new(i),
+                    NodeId::new(6),
+                    MessageClass::Request,
+                    1,
+                    0,
+                ))
+            })
+            .collect();
+        // Two occupants at node 5 both claim downstream VC 0 east.
+        for (vc, id) in ids.into_iter().enumerate() {
+            let mut occ = VcOccupant::reserved(id, 1, 0);
+            occ.arrived = 1;
+            occ.route = Some(Port::Dir(Direction::East));
+            occ.out_vc = Some(0);
+            c.router_mut(NodeId::new(5)).inputs[Port::Local.index()].install(vc, occ);
+        }
+        let errors = audit_conservation(&c, 0, 0);
+        assert!(
+            errors.iter().any(|e| e.problem.contains("reserved twice")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn conservation_flags_out_of_range_credit() {
+        use noc_core::topology::Direction;
+        let mut c = core();
+        let id = c.generate(Packet::new(
+            NodeId::new(0),
+            NodeId::new(6),
+            MessageClass::Request,
+            1,
+            0,
+        ));
+        let mut occ = VcOccupant::reserved(id, 1, 0);
+        occ.arrived = 1;
+        occ.route = Some(Port::Dir(Direction::East));
+        occ.out_vc = Some(63); // far beyond the configured VC capacity
+        c.router_mut(NodeId::new(5)).inputs[Port::Local.index()].install(0, occ);
+        let errors = audit_conservation(&c, 0, 0);
+        assert!(
+            errors.iter().any(|e| e.problem.contains("capacity")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn audit_output_is_sorted() {
+        let mut c = core();
+        // Two independent stale eject locks at different nodes; the
+        // report must come out in node order regardless of traversal.
+        c.router_mut(NodeId::new(9)).eject_lock = Some((0, 0));
+        c.router_mut(NodeId::new(2)).eject_lock = Some((0, 0));
+        let errors = audit(&c);
+        assert_eq!(errors.len(), 2);
+        let mut sorted = errors.clone();
+        sorted.sort();
+        assert_eq!(errors, sorted);
     }
 
     #[test]

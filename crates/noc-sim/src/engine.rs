@@ -160,6 +160,20 @@ impl Simulation {
         self.core.resident_packets() + self.scheme.overlay_packets()
     }
 
+    /// Runs the full structural audit plus the global conservation
+    /// checks (packet and credit conservation, occupancy-mask
+    /// consistency), panicking with a readable report on any violation.
+    ///
+    /// Engine-level tests end with this; it is also the first thing to
+    /// reach for when a scheme under development misbehaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any audit check fails.
+    pub fn assert_conserved(&self) {
+        crate::audit::assert_conserved(&self.core, self.scheme.overlay_packets(), self.consumed);
+    }
+
     fn consume(&mut self) {
         let now = self.core.cycle();
         for node in self.core.mesh().nodes() {
@@ -173,7 +187,11 @@ impl Simulation {
                 let Some(_) = self.core.ni(node).ej_consumable(class, now) else {
                     continue;
                 };
-                let entry = self.core.ni_mut(node).pop_ej(class).unwrap();
+                let entry = self
+                    .core
+                    .ni_mut(node)
+                    .pop_ej(class)
+                    .expect("ej_consumable promised a waiting packet");
                 let pkt = self.core.store.remove(entry.pkt);
                 self.core.stats.record_delivered(&pkt);
                 self.workload.on_consumed(&mut self.core, &pkt);
@@ -346,6 +364,13 @@ mod tests {
         )
     }
 
+    /// End-of-test conservation gate: every engine-level test that runs
+    /// a simulation finishes here, proving no packet or credit leaked
+    /// and the occupancy masks never drifted.
+    fn finish(s: &Simulation) {
+        s.assert_conserved();
+    }
+
     #[test]
     fn low_load_delivers_everything_quickly() {
         let mut s = sim(0.02);
@@ -357,6 +382,7 @@ mod tests {
             "low-load latency should be near zero-load: {lat}"
         );
         assert!(s.starvation_cycles() < 100);
+        finish(&s);
     }
 
     #[test]
@@ -368,6 +394,7 @@ mod tests {
         assert!(stats.avg_latency() > 50.0);
         // But the network keeps moving (XY is deadlock-free).
         assert!(s.starvation_cycles() < 100);
+        finish(&s);
     }
 
     #[test]
@@ -379,6 +406,7 @@ mod tests {
         s.reset_stats();
         assert_eq!(s.core.stats.delivered(), 0);
         assert_eq!(s.core.stats.cycles, 0);
+        finish(&s);
     }
 
     #[test]
@@ -386,6 +414,7 @@ mod tests {
         let run = || {
             let mut s = sim(0.1);
             let st = s.run_windows(1_000, 2_000);
+            finish(&s);
             (st.delivered(), st.avg_latency())
         };
         assert_eq!(run(), run());
@@ -490,6 +519,7 @@ mod tests {
             stats.generated
         );
         assert_eq!(stats.window_start, 1_000);
+        finish(&s);
     }
 
     #[test]
@@ -505,5 +535,10 @@ mod tests {
         assert!(rate > 0.01, "XY on 4×4 saturates above the floor probe");
         assert!(rate < 0.8, "and below the ceiling");
         assert!(thpt > 0.0);
+        // The search consumes its probe sims; re-run one at the found
+        // saturation rate and prove conservation held there too.
+        let mut s = sim(rate);
+        let _ = s.run_windows(1_000, 2_000);
+        finish(&s);
     }
 }

@@ -118,7 +118,7 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
                     let occ = core.router_mut(node).inputs[p]
                         .vc_mut(vc)
                         .occupant_mut()
-                        .unwrap();
+                        .expect("occupant observed earlier this iteration");
                     occ.route = Some(Port::Local);
                 }
                 Port::Dir(d) => {
@@ -136,7 +136,7 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
                     let occ = core.router_mut(node).inputs[p]
                         .vc_mut(vc)
                         .occupant_mut()
-                        .unwrap();
+                        .expect("occupant observed earlier this iteration");
                     occ.route = Some(Port::Dir(d));
                     occ.out_vc = Some(dec.out_vc);
                 }
@@ -298,7 +298,11 @@ fn eject_stage(
         return;
     };
     let (p, vc) = core.router(node).sa_decode(winner);
-    let pkt_id = core.router(node).inputs[p].vc(vc).occupant().unwrap().pkt;
+    let pkt_id = core.router(node).inputs[p]
+        .vc(vc)
+        .occupant()
+        .expect("switch-allocation winner must be occupied")
+        .pkt;
     let class = core.store.get(pkt_id).class;
     core.ni_mut(node).ej_begin(class, pkt_id);
     core.router_mut(node).eject_lock = Some((p, vc));
@@ -313,7 +317,7 @@ fn eject_flit(core: &mut NetworkCore, node: NodeId, p: usize, vc: usize) {
         let occ = core.router_mut(node).inputs[p]
             .vc_mut(vc)
             .occupant_mut()
-            .unwrap();
+            .expect("ejecting VC must be occupied");
         occ.sent += 1;
         occ.last_progress = cycle;
         (occ.pkt, occ.drained())
@@ -348,7 +352,10 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
     if let Some(stream) = core.ni(node).inj_stream {
         core.stage_flit(node, Port::Local, stream.vc);
         let ni = core.ni_mut(node);
-        let s = ni.inj_stream.as_mut().unwrap();
+        let s = ni
+            .inj_stream
+            .as_mut()
+            .expect("stream checked Some immediately above");
         s.flits_sent += 1;
         if s.flits_sent == s.len {
             ni.inj_stream = None;

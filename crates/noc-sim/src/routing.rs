@@ -152,7 +152,11 @@ impl RoutingPolicy for DorXy {
         if req.dst == req.at {
             vec![Port::Local]
         } else {
-            vec![Port::Dir(core.mesh().xy_next(req.at, req.dst).unwrap())]
+            vec![Port::Dir(
+                core.mesh()
+                    .xy_next(req.at, req.dst)
+                    .expect("non-local packet always has an XY next hop"),
+            )]
         }
     }
 }
@@ -182,7 +186,11 @@ impl RoutingPolicy for DorYx {
         if req.dst == req.at {
             vec![Port::Local]
         } else {
-            vec![Port::Dir(core.mesh().yx_next(req.at, req.dst).unwrap())]
+            vec![Port::Dir(
+                core.mesh()
+                    .yx_next(req.at, req.dst)
+                    .expect("non-local packet always has a YX next hop"),
+            )]
         }
     }
 }

@@ -14,10 +14,10 @@ use crate::network::NetworkCore;
 use crate::routing::{RouteReq, RoutingPolicy};
 use noc_core::packet::PacketId;
 use noc_core::topology::{NodeId, Port, NUM_PORTS};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A buffered packet's position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BufferPos {
     /// Router holding the packet.
     pub node: NodeId,
@@ -32,7 +32,7 @@ pub struct BufferPos {
 pub struct WaitGraph {
     verts: Vec<(BufferPos, PacketId)>,
     edges: Vec<Vec<usize>>,
-    index: HashMap<BufferPos, usize>,
+    index: BTreeMap<BufferPos, usize>,
 }
 
 impl WaitGraph {
@@ -46,7 +46,7 @@ impl WaitGraph {
         let now = core.cycle();
         let vcs = core.router(NodeId::new(0)).vcs_per_port();
         let mut verts = Vec::new();
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         for node in core.mesh().nodes() {
             let router = core.router(node);
             for port in 0..NUM_PORTS {
@@ -132,14 +132,21 @@ impl WaitGraph {
         path.push(start);
         iters.push(0);
         while let Some(&v) = path.last() {
-            let i = *iters.last().unwrap();
+            let i = *iters
+                .last()
+                .expect("iters parallels the non-empty path stack");
             if i < self.edges[v].len() {
-                *iters.last_mut().unwrap() += 1;
+                *iters
+                    .last_mut()
+                    .expect("iters parallels the non-empty path stack") += 1;
                 let w = self.edges[v][i];
                 match mark[w] {
                     Mark::Gray => {
                         // Cycle: the path suffix from w's position.
-                        let at = path.iter().position(|&x| x == w).unwrap();
+                        let at = path
+                            .iter()
+                            .position(|&x| x == w)
+                            .expect("gray vertex is on the current DFS path");
                         return Some(path[at..].to_vec());
                     }
                     Mark::White => {

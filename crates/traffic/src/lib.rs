@@ -14,6 +14,8 @@
 //! * [`trace`] — record/replay of packet traces for reproducible
 //!   regression workloads.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod protocol;
 pub mod synthetic;

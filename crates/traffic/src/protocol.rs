@@ -87,7 +87,7 @@ pub struct ProtocolWorkload {
     next_txn: u64,
     /// Original requester per open transaction (the directory state that
     /// lets a forwarded owner respond to the right core).
-    requesters: std::collections::HashMap<u64, NodeId>,
+    requesters: std::collections::BTreeMap<u64, NodeId>,
     /// Messages generated but not yet consumed (drain tracking for
     /// closed-loop completion).
     open: usize,
@@ -101,7 +101,7 @@ impl ProtocolWorkload {
             cores: vec![CoreState::default(); nodes],
             cfg,
             next_txn: 0,
-            requesters: std::collections::HashMap::new(),
+            requesters: std::collections::BTreeMap::new(),
             open: 0,
         }
     }

@@ -24,6 +24,8 @@
 //! * `--warmup/--cycles <n>` — window lengths; `--quota <n>` — closed-loop
 //!   transactions per core; `--seed <n>`; `--json` for machine output.
 
+#![forbid(unsafe_code)]
+
 use fastpass_noc::baselines::{
     drain::DrainConfig, pitstop::PitstopConfig, spin::SpinConfig, swap::SwapConfig, CreditVct,
     Drain, EscapeVc, MinBd, Pitstop, Spin, Swap, Tfc,

@@ -14,6 +14,8 @@
 //!
 //! See `examples/quickstart.rs` for a complete, runnable walk-through.
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use fastpass;
 pub use noc_core as core;
