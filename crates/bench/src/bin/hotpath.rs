@@ -19,9 +19,17 @@
 //! over all repetitions is reported alongside for context.
 //! `BENCH_hotpath.json` at the repo root records the before/after pair
 //! for the rewrite.
+//!
+//! `--trace-overhead` instead measures the cost of the tracing hooks:
+//! the same sweep is timed with tracing disabled, at counters level and
+//! at full event level, and a JSON comparison (the source of
+//! `BENCH_trace_overhead.json`) is printed. The disabled number is the
+//! zero-overhead claim: hooks compile to a branch on a disabled tracer,
+//! so it must sit within noise of the plain hot-path figure.
 
 use bench::runner::make_sim;
 use bench::SchemeId;
+use noc_trace::{TraceConfig, TraceLevel};
 use std::time::Instant;
 use traffic::SyntheticPattern;
 
@@ -37,9 +45,40 @@ const SCHEMES: [SchemeId; 2] = [SchemeId::FastPass, SchemeId::Vct];
 const REPS: u64 = 20;
 
 fn main() {
-    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    if arg == "--trace-overhead" {
+        trace_overhead();
+        return;
+    }
+    let label = arg;
     // Warm the allocator/caches with one throwaway sweep.
-    run_sweep();
+    run_sweep(None);
+    let m = measure(None);
+    println!(
+        "{{\n  \"label\": \"{label}\",\n  \"command\": \"cargo run --release -p bench --bin hotpath\",\n  \
+         \"workload\": \"smoke sweep x{REPS}: {{FastPass, VCT}} x rates {RATES:?}, {MESH_SIZE}x{MESH_SIZE} mesh, warmup {WARMUP} + measure {MEASURE}, seed {SEED}\",\n  \
+         \"total_cycles\": {},\n  \"total_delivered\": {},\n  \
+         \"elapsed_ms\": {:.1},\n  \"best_rep_ms\": {:.1},\n  \
+         \"cycles_per_sec\": {:.0},\n  \"cycles_per_sec_mean\": {:.0}\n}}",
+        m.total_cycles,
+        m.total_delivered,
+        m.total_secs * 1e3,
+        m.best * 1e3,
+        m.cps_best,
+        m.cps_mean,
+    );
+}
+
+struct Measurement {
+    total_cycles: u64,
+    total_delivered: u64,
+    total_secs: f64,
+    best: f64,
+    cps_best: f64,
+    cps_mean: f64,
+}
+
+fn measure(trace: Option<TraceLevel>) -> Measurement {
     let mut total_cycles = 0u64;
     let mut total_delivered = 0u64;
     let mut total_secs = 0f64;
@@ -47,7 +86,7 @@ fn main() {
     let mut sweep_cycles = 0u64;
     for _ in 0..REPS {
         let start = Instant::now();
-        let (cycles, delivered) = run_sweep();
+        let (cycles, delivered) = run_sweep(trace);
         let secs = start.elapsed().as_secs_f64();
         total_cycles += cycles;
         total_delivered += delivered;
@@ -55,25 +94,56 @@ fn main() {
         best = best.min(secs);
         sweep_cycles = cycles;
     }
-    let cps_best = sweep_cycles as f64 / best;
-    let cps_mean = total_cycles as f64 / total_secs;
+    Measurement {
+        total_cycles,
+        total_delivered,
+        total_secs,
+        best,
+        cps_best: sweep_cycles as f64 / best,
+        cps_mean: total_cycles as f64 / total_secs,
+    }
+}
+
+/// `--trace-overhead`: the same sweep at three tracing configurations —
+/// hooks compiled in but tracer disabled (the default for every normal
+/// run), counters level, and full event level.
+fn trace_overhead() {
+    run_sweep(None); // warm up
+    let off = measure(None);
+    let counters = measure(Some(TraceLevel::Counters));
+    let full = measure(Some(TraceLevel::Full));
+    let pct = |m: &Measurement| 100.0 * (off.cps_best / m.cps_best - 1.0);
     println!(
-        "{{\n  \"label\": \"{label}\",\n  \"command\": \"cargo run --release -p bench --bin hotpath\",\n  \
-         \"workload\": \"smoke sweep x{REPS}: {{FastPass, VCT}} x rates {RATES:?}, {MESH_SIZE}x{MESH_SIZE} mesh, warmup {WARMUP} + measure {MEASURE}, seed {SEED}\",\n  \
-         \"total_cycles\": {total_cycles},\n  \"total_delivered\": {total_delivered},\n  \
-         \"elapsed_ms\": {:.1},\n  \"best_rep_ms\": {:.1},\n  \
-         \"cycles_per_sec\": {cps_best:.0},\n  \"cycles_per_sec_mean\": {cps_mean:.0}\n}}",
-        total_secs * 1e3,
-        best * 1e3,
+        "{{\n  \"benchmark\": \"tracing overhead on the regular-pass hot loop\",\n  \
+         \"command\": \"cargo run --release -p bench --bin hotpath -- --trace-overhead\",\n  \
+         \"workload\": \"smoke sweep x{REPS}: {{FastPass, VCT}} x rates {RATES:?}, {MESH_SIZE}x{MESH_SIZE} mesh, warmup {WARMUP} + measure {MEASURE}, seed {SEED}, serial and uncached\",\n  \
+         \"methodology\": \"fastest of {REPS} timed repetitions per level; off = hooks compiled in, tracer disabled (every untraced run pays exactly this)\",\n  \
+         \"off\": {{ \"cycles_per_sec\": {:.0}, \"best_rep_ms\": {:.1} }},\n  \
+         \"counters\": {{ \"cycles_per_sec\": {:.0}, \"best_rep_ms\": {:.1}, \"slowdown_pct\": {:.1} }},\n  \
+         \"full\": {{ \"cycles_per_sec\": {:.0}, \"best_rep_ms\": {:.1}, \"slowdown_pct\": {:.1} }}\n}}",
+        off.cps_best,
+        off.best * 1e3,
+        counters.cps_best,
+        counters.best * 1e3,
+        pct(&counters),
+        full.cps_best,
+        full.best * 1e3,
+        pct(&full),
     );
 }
 
-fn run_sweep() -> (u64, u64) {
+fn run_sweep(trace: Option<TraceLevel>) -> (u64, u64) {
     let mut cycles = 0u64;
     let mut delivered = 0u64;
     for id in SCHEMES {
         for rate in RATES {
             let mut sim = make_sim(id, SyntheticPattern::Uniform, rate, MESH_SIZE, FP_VCS, SEED);
+            if let Some(level) = trace {
+                sim.set_trace(&TraceConfig {
+                    level,
+                    ..TraceConfig::default()
+                });
+            }
             let stats = sim.run_windows(WARMUP, MEASURE);
             cycles += WARMUP + stats.cycles;
             delivered += stats.delivered();

@@ -4,11 +4,39 @@
 //! Exercises the whole stack — registry, work-queue scheduler, result
 //! cache, JSON emission — end to end in a few seconds, and fails loudly
 //! if any point produces a non-finite latency or delivers nothing.
+//!
+//! `--trace[=level]` (default level `full`) additionally re-runs two
+//! traced points — one low-load uniform point and one high-load FastPass
+//! transpose point that actually exercises the bypass lanes — and writes
+//! Chrome trace / metrics / lifetime artifacts into `trace/` (override
+//! with `FP_TRACE_OUT`). Traced runs never touch the sweep cache, so the
+//! cache-hit accounting of the untraced sweep is unchanged.
 
+use bench::trace_out::{run_traced_point, trace_out_dir};
 use bench::{emit_json, run_sweep_parallel, SchemeId, SweepOptions, SweepSpec};
+use noc_trace::{TraceConfig, TraceLevel};
 use traffic::SyntheticPattern;
 
+fn parse_trace_flag() -> Option<TraceLevel> {
+    for arg in std::env::args().skip(1) {
+        if arg == "--trace" {
+            return Some(TraceLevel::Full);
+        }
+        if let Some(level) = arg.strip_prefix("--trace=") {
+            match TraceLevel::parse(level) {
+                Ok(l) => return Some(l),
+                Err(e) => {
+                    eprintln!("smoke: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn main() {
+    let trace_level = parse_trace_flag();
     let rates = vec![0.02, 0.05, 0.08];
     let specs: Vec<SweepSpec> = [SchemeId::FastPass, SchemeId::Vct]
         .iter()
@@ -49,4 +77,36 @@ fn main() {
     }
     let path = emit_json("smoke", &results).expect("write results");
     println!("smoke sweep OK — JSON written to {}", path.display());
+
+    if let Some(level) = trace_level {
+        run_traced_smoke(level, &specs[0]);
+    }
+}
+
+/// Traces one low-load point from the untraced sweep plus one high-load
+/// FastPass transpose point (rate 0.3, single-VC buffers) where upgrades
+/// demonstrably fire, so the artifacts contain both regular `link` and
+/// bypass `lane` traversals for `trace_check --require-bypass`.
+fn run_traced_smoke(level: TraceLevel, low_load: &SweepSpec) {
+    let cfg = TraceConfig {
+        level,
+        ..TraceConfig::default()
+    };
+    let bypass_spec = SweepSpec {
+        id: SchemeId::FastPass,
+        pattern: SyntheticPattern::Transpose,
+        rates: vec![0.3],
+        size: 4,
+        fp_vcs: 1,
+        warmup: 2_000,
+        measure: 8_000,
+        seed: 9,
+    };
+    let dir = trace_out_dir();
+    for (spec, rate) in [(low_load, 0.05), (&bypass_spec, 0.3)] {
+        let paths = run_traced_point(spec, rate, &cfg, &dir).expect("traced point");
+        for p in &paths {
+            println!("traced {} — {}", spec.id.name(), p.display());
+        }
+    }
 }

@@ -1,0 +1,83 @@
+//! Validates Chrome `trace_event` JSON files produced by traced runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --bin trace_check -- [--require-bypass] <file.json>...
+//! ```
+//!
+//! Each file must be a well-formed trace-event array (see
+//! [`bench::check_chrome_trace`] for the exact rules). With
+//! `--require-bypass`, at least one file must contain *both* regular
+//! link traversals and bypass lane traversals — the CI smoke gate uses
+//! this to prove the pipeline keeps the two traffic kinds apart.
+//!
+//! Exits 0 when every file validates (and the bypass requirement, if
+//! requested, is met across the set); prints the first problem and
+//! exits 1 otherwise.
+
+use bench::check_chrome_trace;
+
+fn main() {
+    let mut require_bypass = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-bypass" => require_bypass = true,
+            "--help" | "-h" => {
+                eprintln!("usage: trace_check [--require-bypass] <file.json>...");
+                return;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!(
+            "trace_check: no input files (usage: trace_check [--require-bypass] <file.json>...)"
+        );
+        std::process::exit(1);
+    }
+    let mut any_bypass_pair = false;
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_check: {f}: {e}");
+                std::process::exit(1);
+            }
+        };
+        // Per-file validation is structural only; the bypass requirement
+        // is checked across the whole set below.
+        match check_chrome_trace(&text, false) {
+            Ok(s) => {
+                println!(
+                    "{f}: OK — {} events ({} complete, {} instants, {} metadata){}",
+                    s.events,
+                    s.complete,
+                    s.instants,
+                    s.metadata,
+                    if s.has_regular_link && s.has_bypass_lane {
+                        ", regular + bypass traffic"
+                    } else if s.has_bypass_lane {
+                        ", bypass traffic only"
+                    } else {
+                        ", regular traffic only"
+                    }
+                );
+                any_bypass_pair |= s.has_regular_link && s.has_bypass_lane;
+            }
+            Err(e) => {
+                eprintln!("trace_check: {f}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if require_bypass && !any_bypass_pair {
+        eprintln!(
+            "trace_check: no file contains both regular (`link`) and bypass (`lane`) \
+             traversals — bypass traffic is indistinguishable or absent"
+        );
+        std::process::exit(1);
+    }
+    println!("trace_check: {} file(s) valid", files.len());
+}

@@ -11,15 +11,19 @@
 //! * `NOC_JOBS` — worker threads for parallel sweeps (default: available
 //!   cores);
 //! * `FP_CACHE` — completed-point cache directory (default
-//!   `results/cache/`; set to `off` to disable).
+//!   `results/cache/`; set to `off` to disable);
+//! * `FP_TRACE_OUT` — directory for traced-run artifacts (default
+//!   `trace/`; used by `smoke --trace`).
 
 #![forbid(unsafe_code)]
 
 pub mod registry;
 pub mod runner;
+pub mod trace_out;
 
 pub use registry::{SchemeId, ALL_SCHEMES};
 pub use runner::{
     emit_json, env_u64, num_jobs, parallel_map, parallel_map_with, point_cache_key,
     run_sweep_parallel, LatencyPoint, SweepOptions, SweepResult, SweepSpec, CACHE_SCHEMA_VERSION,
 };
+pub use trace_out::{check_chrome_trace, run_traced_point, trace_out_dir, TraceCheckSummary};

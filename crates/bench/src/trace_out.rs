@@ -1,0 +1,325 @@
+//! Traced sweep points: artifact emission and Chrome-trace validation.
+//!
+//! A traced point re-runs one `(spec, rate)` simulation with a live
+//! [`Tracer`] and writes three artifacts per point into a trace
+//! directory (default `trace/`, override with `FP_TRACE_OUT`):
+//!
+//! * `<point>.trace.json` — Chrome `trace_event` JSON, loadable in
+//!   Perfetto / `chrome://tracing` (one track per router, one per
+//!   FastPass lane endpoint);
+//! * `<point>.metrics.json` — the serialized [`MetricsReport`]
+//!   (occupancy integrals, per-class inject/eject counts, stall-cause
+//!   breakdown, lane-occupancy histogram);
+//! * `<point>.lifetimes.txt` — the textual per-packet lifetime report.
+//!
+//! Traced points never touch the sweep result cache: tracing wants a
+//! fresh simulation every time (the cache stores only [`LatencyPoint`]
+//! aggregates anyway), and keeping traced runs out of the cache keeps
+//! the smoke sweep's hit-count assertions in CI exact.
+//!
+//! [`check_chrome_trace`] is the validation half — the `trace_check`
+//! binary is a thin wrapper over it so CI failures reproduce in a unit
+//! test.
+//!
+//! [`LatencyPoint`]: crate::runner::LatencyPoint
+
+use crate::runner::{make_sim, SweepSpec};
+use noc_trace::{chrome_trace_json, packet_lifetimes, TraceConfig, Tracer};
+use serde::Content;
+use std::path::{Path, PathBuf};
+
+/// Summary of one validated Chrome trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheckSummary {
+    /// Total events in the trace array.
+    pub events: usize,
+    /// Complete ("X") duration events — link/lane traversals.
+    pub complete: usize,
+    /// Instant ("i") events.
+    pub instants: usize,
+    /// Metadata ("M") events naming processes/threads.
+    pub metadata: usize,
+    /// Regular link-traversal events present (`name == "link"`).
+    pub has_regular_link: bool,
+    /// Bypass lane-traversal events present (`name == "lane"`).
+    pub has_bypass_lane: bool,
+}
+
+fn map_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Validates a Chrome `trace_event` JSON document produced by
+/// [`chrome_trace_json`]: a top-level array whose every element carries
+/// a `name`, a known phase (`X`/`i`/`M`), integral `pid`/`tid`, a
+/// timestamp on non-metadata events, a positive duration on complete
+/// events and an instant scope on instants.
+///
+/// With `require_bypass`, the trace must additionally contain both
+/// regular link traversals (`"link"`) and bypass lane traversals
+/// (`"lane"`) — the property the whole pipeline exists to show.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending event and what is wrong
+/// with it.
+pub fn check_chrome_trace(json: &str, require_bypass: bool) -> Result<TraceCheckSummary, String> {
+    let doc: Content = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let Content::Seq(events) = doc else {
+        return Err("top level must be a JSON array of trace events".to_string());
+    };
+    let mut summary = TraceCheckSummary {
+        events: events.len(),
+        complete: 0,
+        instants: 0,
+        metadata: 0,
+        has_regular_link: false,
+        has_bypass_lane: false,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let Content::Map(entries) = ev else {
+            return Err(format!("event #{i} is not a JSON object"));
+        };
+        let name = map_get(entries, "name")
+            .and_then(Content::as_str)
+            .ok_or_else(|| format!("event #{i} has no string `name`"))?;
+        let ph = map_get(entries, "ph")
+            .and_then(Content::as_str)
+            .ok_or_else(|| format!("event #{i} ({name}) has no string `ph`"))?;
+        if map_get(entries, "pid").and_then(Content::as_u64).is_none() {
+            return Err(format!("event #{i} ({name}) has no integral `pid`"));
+        }
+        // `tid` is optional only on process-scoped metadata
+        // (`process_name` has no thread); everything else needs a track.
+        let has_tid = map_get(entries, "tid").and_then(Content::as_u64).is_some();
+        let process_scoped = ph == "M" && name == "process_name";
+        if !has_tid && !process_scoped {
+            return Err(format!("event #{i} ({name}) has no integral `tid`"));
+        }
+        match ph {
+            "M" => summary.metadata += 1,
+            "X" | "i" => {
+                if map_get(entries, "ts").and_then(Content::as_u64).is_none() {
+                    return Err(format!("event #{i} ({name}) has no integral `ts`"));
+                }
+                if ph == "X" {
+                    summary.complete += 1;
+                    match map_get(entries, "dur").and_then(Content::as_u64) {
+                        Some(d) if d >= 1 => {}
+                        _ => return Err(format!("complete event #{i} ({name}) needs `dur` >= 1")),
+                    }
+                } else {
+                    summary.instants += 1;
+                    if map_get(entries, "s").and_then(Content::as_str).is_none() {
+                        return Err(format!("instant event #{i} ({name}) has no scope `s`"));
+                    }
+                }
+                match name {
+                    "link" => summary.has_regular_link = true,
+                    "lane" => summary.has_bypass_lane = true,
+                    _ => {}
+                }
+            }
+            other => {
+                return Err(format!(
+                    "event #{i} ({name}) has unknown phase {other:?} (expected X, i or M)"
+                ))
+            }
+        }
+    }
+    if summary.events == summary.metadata {
+        return Err("trace holds only metadata — no simulation events recorded".to_string());
+    }
+    if require_bypass {
+        if !summary.has_regular_link {
+            return Err("no regular link traversals (`link`) in trace".to_string());
+        }
+        if !summary.has_bypass_lane {
+            return Err(
+                "no bypass lane traversals (`lane`) in trace — bypass and regular \
+                 traffic must be distinguishable"
+                    .to_string(),
+            );
+        }
+    }
+    Ok(summary)
+}
+
+/// Trace output directory: `FP_TRACE_OUT`, default `trace/`.
+pub fn trace_out_dir() -> PathBuf {
+    PathBuf::from(std::env::var("FP_TRACE_OUT").unwrap_or_else(|_| "trace".to_string()))
+}
+
+/// A filesystem-safe stem for one traced point:
+/// `<scheme>_<pattern>_<size>x<size>_r<rate>` with `.` → `p`.
+pub fn point_stem(spec: &SweepSpec, rate: f64) -> String {
+    let raw = format!(
+        "{}_{}_{}x{}_r{rate:.3}",
+        spec.id.name(),
+        spec.pattern.name(),
+        spec.size,
+        spec.size
+    );
+    raw.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '-' => c,
+            '.' => 'p',
+            _ => '-',
+        })
+        .collect()
+}
+
+/// Runs one `(spec, rate)` point with tracing enabled and writes the
+/// three artifacts into `dir`. Returns the paths written (trace JSON
+/// first).
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating the directory or writing any
+/// artifact.
+pub fn run_traced_point(
+    spec: &SweepSpec,
+    rate: f64,
+    cfg: &TraceConfig,
+    dir: &Path,
+) -> std::io::Result<Vec<PathBuf>> {
+    let mut sim = make_sim(
+        spec.id,
+        spec.pattern,
+        rate,
+        spec.size,
+        spec.fp_vcs,
+        spec.seed,
+    );
+    sim.set_trace(cfg);
+    sim.run_windows(spec.warmup, spec.measure);
+    write_artifacts(dir, &point_stem(spec, rate), sim.tracer())
+}
+
+fn write_artifacts(dir: &Path, stem: &str, tracer: &Tracer) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let io_err = |what: &str| std::io::Error::other(format!("{what} failed to serialize"));
+    let chrome = dir.join(format!("{stem}.trace.json"));
+    std::fs::write(&chrome, chrome_trace_json(tracer))?;
+    let metrics = dir.join(format!("{stem}.metrics.json"));
+    let report = serde_json::to_string_pretty(&tracer.metrics_report())
+        .map_err(|_| io_err("metrics report"))?;
+    std::fs::write(&metrics, report)?;
+    let lifetimes = dir.join(format!("{stem}.lifetimes.txt"));
+    std::fs::write(&lifetimes, packet_lifetimes(tracer))?;
+    Ok(vec![chrome, metrics, lifetimes])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SchemeId;
+    use noc_trace::TraceLevel;
+    use traffic::SyntheticPattern;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            id: SchemeId::FastPass,
+            pattern: SyntheticPattern::Uniform,
+            rates: vec![0.05],
+            size: 4,
+            fp_vcs: 2,
+            warmup: 200,
+            measure: 800,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn traced_point_produces_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join(format!("fp_trace_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths =
+            run_traced_point(&spec(), 0.05, &TraceConfig::full(), &dir).expect("traced run");
+        assert_eq!(paths.len(), 3);
+        let json = std::fs::read_to_string(&paths[0]).unwrap();
+        let summary = check_chrome_trace(&json, false).expect("trace validates");
+        assert!(summary.has_regular_link, "uniform load crosses links");
+        assert!(summary.metadata > 0, "process/thread names present");
+        let metrics = std::fs::read_to_string(&paths[1]).unwrap();
+        assert!(metrics.contains("stalls"), "metrics report has stall map");
+        let lifetimes = std::fs::read_to_string(&paths[2]).unwrap();
+        assert!(
+            lifetimes.contains("packet P"),
+            "lifetime report has packets"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checker_rejects_malformed_documents() {
+        assert!(check_chrome_trace("not json", false).is_err());
+        assert!(
+            check_chrome_trace("{\"a\":1}", false).is_err(),
+            "top level must be an array"
+        );
+        assert!(
+            check_chrome_trace("[1,2]", false).is_err(),
+            "events must be objects"
+        );
+        let no_phase = r#"[{"name":"x","pid":0,"tid":0}]"#;
+        assert!(check_chrome_trace(no_phase, false).is_err());
+        let bad_phase = r#"[{"name":"x","ph":"Q","pid":0,"tid":0}]"#;
+        assert!(check_chrome_trace(bad_phase, false).is_err());
+        let x_without_dur = r#"[{"name":"link","ph":"X","pid":0,"tid":0,"ts":1}]"#;
+        assert!(check_chrome_trace(x_without_dur, false).is_err());
+        let only_metadata = r#"[{"name":"process_name","ph":"M","pid":0,"tid":0}]"#;
+        assert!(check_chrome_trace(only_metadata, false).is_err());
+    }
+
+    #[test]
+    fn checker_accepts_minimal_valid_trace() {
+        let ok = r#"[
+            {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"routers"}},
+            {"name":"link","ph":"X","pid":0,"tid":3,"ts":10,"dur":1},
+            {"name":"inject","ph":"i","pid":0,"tid":3,"ts":9,"s":"t"}
+        ]"#;
+        let s = check_chrome_trace(ok, false).expect("valid");
+        assert_eq!((s.events, s.complete, s.instants, s.metadata), (3, 1, 1, 1));
+        assert!(s.has_regular_link && !s.has_bypass_lane);
+    }
+
+    #[test]
+    fn require_bypass_demands_both_traffic_kinds() {
+        let regular_only = r#"[{"name":"link","ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]"#;
+        assert!(check_chrome_trace(regular_only, false).is_ok());
+        let err = check_chrome_trace(regular_only, true).unwrap_err();
+        assert!(err.contains("lane"), "{err}");
+        let both = r#"[
+            {"name":"link","ph":"X","pid":0,"tid":0,"ts":1,"dur":1},
+            {"name":"lane","ph":"X","pid":1,"tid":0,"ts":2,"dur":1}
+        ]"#;
+        assert!(check_chrome_trace(both, true).is_ok());
+    }
+
+    #[test]
+    fn counters_level_produces_metrics_but_empty_event_trace() {
+        let dir = std::env::temp_dir().join(format!("fp_trace_cnt_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = TraceConfig {
+            level: TraceLevel::Counters,
+            ..TraceConfig::default()
+        };
+        let paths = run_traced_point(&spec(), 0.05, &cfg, &dir).expect("traced run");
+        let json = std::fs::read_to_string(&paths[0]).unwrap();
+        let err = check_chrome_trace(&json, false).unwrap_err();
+        assert!(err.contains("only metadata"), "{err}");
+        let metrics = std::fs::read_to_string(&paths[1]).unwrap();
+        assert!(metrics.contains("occupancy_integral"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn point_stem_is_filesystem_safe() {
+        let s = point_stem(&spec(), 0.05);
+        assert_eq!(s, "FastPass_uniform_4x4_r0p050");
+        assert!(s
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+    }
+}

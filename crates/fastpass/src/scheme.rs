@@ -48,10 +48,11 @@ use noc_core::config::SimConfig;
 use noc_core::packet::{MessageClass, PacketId, CLASSES};
 use noc_core::topology::{LinkId, NodeId, Port, NUM_PORTS};
 use noc_sim::network::{LinkSet, NetworkCore};
-use noc_sim::ni::EjectEntry;
+use noc_sim::ni::{EjRefusal, EjectEntry};
 use noc_sim::regular::{advance, AdvanceCtx};
 use noc_sim::routing::FullyAdaptive;
 use noc_sim::scheme::{Scheme, SchemeProperties};
+use noc_trace::{trace, BypassOutcome, StallCause, TraceEvent};
 
 /// Tunables for [`FastPass`].
 #[derive(Debug, Clone, Copy)]
@@ -203,6 +204,9 @@ impl FastPass {
                                 core.ni_mut(f.dst).ej_begin(class, f.pkt);
                                 f.begin_eject(cycle);
                             } else {
+                                if core.trace.counters_on() {
+                                    trace_bypass_rejected(core, f.dst, f.pkt, class);
+                                }
                                 // Rejected: pro-actively reserve the queue
                                 // (first come, first reserved) and head
                                 // home (§III-C4).
@@ -229,6 +233,9 @@ impl FastPass {
                             };
                             core.ni_mut(f.dst)
                                 .ej_commit(class, EjectEntry { pkt: f.pkt, ready });
+                            if core.trace.counters_on() {
+                                trace_bypass_ejected(core, f.dst, f.pkt, class.index());
+                            }
                             self.counters.completed += 1;
                             done = true;
                         }
@@ -241,6 +248,9 @@ impl FastPass {
                                 pkt.bufferless_cycles += cycle + 1 - f.launch;
                             }
                             let (prime, pkt) = (f.prime, f.pkt);
+                            if core.trace.events_on() {
+                                trace_bypass_returned(core, prime, pkt);
+                            }
                             Self::park_rejected(core, &mut self.counters, prime, pkt);
                             done = true;
                         }
@@ -335,6 +345,9 @@ impl FastPass {
             self.counters.upgrades += 1;
             self.last_launch[p] = Some((cycle, len));
             self.flights[p].push(Flight::new(core.mesh(), pkt_id, prime, dst, len, cycle));
+            if core.trace.counters_on() {
+                trace_bypass_launch(core, prime, pkt_id, dst);
+            }
         }
     }
 
@@ -425,6 +438,9 @@ impl FastPass {
                 );
                 // Each busy link-cycle carries exactly one lane flit.
                 core.count_link_flit(l);
+                if core.trace.counters_on() {
+                    trace_bypass_link(core, l, f.pkt);
+                }
             }
             if f.ejecting_at(cycle) {
                 self.eject_blocked[f.dst.index()] = true;
@@ -468,6 +484,9 @@ impl Scheme for FastPass {
         self.advance_flights(core);
         self.launch_flights(core);
         self.build_suppression(core);
+        if core.trace.counters_on() {
+            core.trace.sample_lanes(self.active_flights() as u64);
+        }
         let ctx = AdvanceCtx {
             suppressed: Some(&self.suppressed),
             eject_blocked: Some(&self.eject_blocked),
@@ -479,6 +498,67 @@ impl Scheme for FastPass {
     fn overlay_packets(&self) -> usize {
         self.active_flights()
     }
+}
+
+// ---- tracing helpers ------------------------------------------------------
+//
+// Cold, never-inlined, and reached only through `counters_on()` /
+// `events_on()` gates at the call sites, so the per-cycle overlay code
+// pays one predicted branch per site when tracing is off.
+
+/// Records a rejected bypass arrival: the ejection-refusal stall cause
+/// plus the `BypassExit(Rejected)` event.
+#[cold]
+#[inline(never)]
+fn trace_bypass_rejected(core: &mut NetworkCore, dst: NodeId, pkt: PacketId, class: MessageClass) {
+    let cause = match core.ni(dst).ej_refusal(class, pkt) {
+        Some(EjRefusal::Reserved) => StallCause::EjReserved,
+        _ => StallCause::EjBackpressure,
+    };
+    core.trace.count_stall(dst, cause);
+    trace!(core.trace, dst, || TraceEvent::BypassExit {
+        pkt,
+        outcome: BypassOutcome::Rejected,
+    });
+}
+
+/// Records a successful bypass ejection (counter + exit event).
+#[cold]
+#[inline(never)]
+fn trace_bypass_ejected(core: &mut NetworkCore, dst: NodeId, pkt: PacketId, class: usize) {
+    core.trace.count_eject(dst, class);
+    trace!(core.trace, dst, || TraceEvent::BypassExit {
+        pkt,
+        outcome: BypassOutcome::Ejected,
+    });
+}
+
+/// Records a flight returning to its prime after rejection.
+#[cold]
+#[inline(never)]
+fn trace_bypass_returned(core: &mut NetworkCore, prime: NodeId, pkt: PacketId) {
+    trace!(core.trace, prime, || TraceEvent::BypassExit {
+        pkt,
+        outcome: BypassOutcome::Returned,
+    });
+}
+
+/// Records an upgrade launch at a prime router (counter + enter event).
+#[cold]
+#[inline(never)]
+fn trace_bypass_launch(core: &mut NetworkCore, prime: NodeId, pkt: PacketId, dst: NodeId) {
+    core.trace.count_bypass_launch(prime);
+    trace!(core.trace, prime, || TraceEvent::BypassEnter { pkt, dst });
+}
+
+/// Counts a lane flit on busy link `l` and records its event at the
+/// link's source router.
+#[cold]
+#[inline(never)]
+fn trace_bypass_link(core: &mut NetworkCore, l: LinkId, pkt: PacketId) {
+    let (from, _) = core.mesh().link_endpoints(l);
+    core.trace.count_link(from, true);
+    trace!(core.trace, from, || TraceEvent::BypassLink { pkt, link: l });
 }
 
 #[cfg(test)]

@@ -30,7 +30,8 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         HOT_LOOP_ALLOC,
-        "no heap allocation, collect(), String construction or clones in per-cycle hot paths",
+        "no heap allocation, collect(), String construction or clones in per-cycle hot paths; \
+         trace events only through the branch-gated trace! macro",
     ),
     (
         OCCUPANCY,
@@ -44,7 +45,14 @@ pub const RULES: &[(&str, &str)] = &[
 
 /// Crates whose non-test code feeds statistics or arbitration and must
 /// therefore be bit-reproducible.
-const SIM_CRATES: &[&str] = &["noc-core", "noc-sim", "fastpass", "baselines", "traffic"];
+const SIM_CRATES: &[&str] = &[
+    "noc-core",
+    "noc-sim",
+    "fastpass",
+    "baselines",
+    "traffic",
+    "noc-trace",
+];
 
 /// Crates held to the no-bare-`unwrap()` standard (the simulator crates
 /// plus the power model and the root facade; the bench harness's CLI
@@ -56,6 +64,7 @@ const PANIC_CRATES: &[&str] = &[
     "baselines",
     "traffic",
     "noc-power",
+    "noc-trace",
     "",
 ];
 
@@ -64,11 +73,12 @@ const HOT_FILES: &[&str] = &["crates/noc-sim/src/regular.rs"];
 
 /// Function names whose bodies are per-cycle hot paths wherever they
 /// appear in scheme/substrate crates: the regular pass (`advance`),
-/// scheme steps (`step`) and the staged-move applier (`apply_staged`).
-const HOT_FNS: &[&str] = &["advance", "step", "apply_staged"];
+/// scheme steps (`step`), the staged-move applier (`apply_staged`) and
+/// the tracer's event sink (`push_event`, reached every traced event).
+const HOT_FNS: &[&str] = &["advance", "step", "apply_staged", "push_event"];
 
 /// Crates whose `advance`/`step` implementations are hot.
-const HOT_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines"];
+const HOT_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines", "noc-trace"];
 
 /// Crates subject to the occupancy-discipline rule.
 const OCC_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines"];
@@ -200,6 +210,13 @@ fn check_determinism(tokens: &[Token], mask: &[bool], path: &str, diags: &mut Ve
 /// per-packet copying: `vec![…]`, `Vec::new`, `.collect(…)`, `format!`,
 /// `String::new/from`, `.to_string()`, `.to_owned()`, `.to_vec()`,
 /// `Box::new`, `.clone()`.
+///
+/// Tracing gets one extra constraint: direct `.push_event(…)` calls are
+/// banned in hot scopes — events must go through the `trace!` macro,
+/// whose expansion branches on `events_on()` before even building the
+/// event (the macro call itself is allowed anywhere; a closure body that
+/// allocates still trips the bans above, since the closure's tokens sit
+/// inside the hot scope like any other code).
 fn check_hot_loop(
     info: &PathInfo<'_>,
     tokens: &[Token],
@@ -221,6 +238,19 @@ fn check_hot_loop(
             }
             let t = &tokens[i];
             if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if t.text == "push_event" && is_method_call(tokens, i) {
+                push(
+                    diags,
+                    HOT_LOOP_ALLOC,
+                    info.rel,
+                    t,
+                    "direct `.push_event(…)` in a hot path: record through \
+                     `trace!(tracer, node, || …)` so the event is only built when \
+                     event tracing is enabled (keep the closure body alloc-free)"
+                        .to_string(),
+                );
                 continue;
             }
             let complaint = match t.text.as_str() {

@@ -105,6 +105,50 @@ fn hot_loop_silent_outside_hot_fns() {
 }
 
 #[test]
+fn hot_loop_flags_direct_push_event_in_hot_fn() {
+    // Events must flow through the `trace!` macro's branch gate; a raw
+    // `.push_event(…)` in a hot scope pays the call even when disabled.
+    let src =
+        "impl S { fn step(&mut self, core: &mut Core) { core.trace.push_event(node, ev); } }\n";
+    let diags = lint_source("crates/fastpass/src/foo.rs", src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "hot-loop-alloc" && d.message.contains("trace!")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn hot_loop_flags_alloc_inside_trace_closure() {
+    // The macro form is allowed, but its closure body sits in the hot
+    // scope like any other tokens — a `format!` inside it still fires.
+    let src = "pub fn helper(core: &mut Core) { trace!(core.trace, node, || Ev::Note { msg: format!(\"p{}\", i) }); }\n";
+    let diags = lint_source("crates/noc-sim/src/regular.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "hot-loop-alloc"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn hot_loop_silent_on_trace_macro_with_copy_closure() {
+    let src = "pub fn helper(core: &mut Core) { trace!(core.trace, node, || Ev::Inject { pkt, vc: 0 }); }\n";
+    assert!(
+        !rules_fired("crates/noc-sim/src/regular.rs", src).contains(&"hot-loop-alloc"),
+        "a plain struct-literal closure allocates nothing"
+    );
+}
+
+#[test]
+fn hot_loop_permits_push_event_outside_hot_scopes() {
+    // The tracer's own plumbing (and any cold-path caller) may call the
+    // sink directly; only hot scopes are gated.
+    let src = "pub fn record(t: &mut Tracer) { t.push_event(node, ev); }\n";
+    assert!(rules_fired("crates/noc-trace/src/foo.rs", src).is_empty());
+}
+
+#[test]
 fn hot_loop_out_of_scope_in_noc_core() {
     let src = "pub fn advance() { let v = vec![1]; drop(v); }\n";
     assert!(

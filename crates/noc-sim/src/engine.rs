@@ -6,6 +6,7 @@ use noc_core::config::SimConfig;
 use noc_core::packet::{MessageClass, Packet, CLASSES};
 use noc_core::stats::NetStats;
 use noc_core::topology::NodeId;
+use noc_trace::{trace, TraceConfig, TraceEvent, Tracer};
 
 /// A traffic workload driving a simulation.
 ///
@@ -95,6 +96,20 @@ impl Simulation {
     /// The scheme's display name.
     pub fn scheme_name(&self) -> &'static str {
         self.scheme.name()
+    }
+
+    /// Enables (or re-levels) tracing for all subsequent cycles.
+    ///
+    /// Tracing is observational only: a traced run produces bitwise
+    /// identical [`NetStats`] to an untraced one (enforced by the
+    /// `trace_gate` integration test).
+    pub fn set_trace(&mut self, cfg: &TraceConfig) {
+        self.core.enable_trace(cfg);
+    }
+
+    /// The tracer (disabled unless [`set_trace`](Self::set_trace) ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.trace
     }
 
     /// Simulates one cycle: workload tick → scheme step → NI consumption.
@@ -193,6 +208,9 @@ impl Simulation {
                     .pop_ej(class)
                     .expect("ej_consumable promised a waiting packet");
                 let pkt = self.core.store.remove(entry.pkt);
+                trace!(self.core.trace, node, || TraceEvent::Consume {
+                    pkt: entry.pkt,
+                });
                 self.core.stats.record_delivered(&pkt);
                 self.workload.on_consumed(&mut self.core, &pkt);
                 self.last_consumption = now;

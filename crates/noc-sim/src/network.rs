@@ -13,6 +13,7 @@ use noc_core::packet::{PacketId, PacketSeed, PacketStore};
 use noc_core::rng::DetRng;
 use noc_core::stats::NetStats;
 use noc_core::topology::{LinkId, Mesh, NodeId, Port};
+use noc_trace::{TraceConfig, Tracer};
 
 /// A set of directed links, used for FastPass lane suppression and for
 /// collision assertions.
@@ -84,6 +85,12 @@ pub struct NetworkCore {
     /// Aggregate statistics. Public: the engine and schemes update
     /// counters as events occur.
     pub stats: NetStats,
+    /// Event tracer. Public: pipeline stages and schemes record through
+    /// the `noc_trace::trace!` macro and the tracer's `count_*` hooks.
+    /// Disabled (and storage-free) unless
+    /// [`enable_trace`](Self::enable_trace) is called; recording never
+    /// influences simulation behavior.
+    pub trace: Tracer,
     cycle: u64,
     staged: Vec<StagedArrival>,
     drained: Vec<StagedArrival>,
@@ -119,6 +126,7 @@ impl NetworkCore {
                 .collect(),
             store: PacketStore::new(),
             stats: NetStats::new(n),
+            trace: Tracer::disabled(),
             cycle: 0,
             staged: Vec::new(),
             drained: Vec::new(),
@@ -157,7 +165,31 @@ impl NetworkCore {
             self.staged.is_empty() && self.drained.is_empty(),
             "advance_cycle called with staged moves pending; call apply_staged first"
         );
+        if self.trace.counters_on() {
+            self.sample_occupancy_all();
+        }
         self.cycle += 1;
+        self.trace.set_now(self.cycle);
+    }
+
+    /// End-of-cycle occupancy sample: one add per router into the
+    /// buffer-occupancy integral (read-only w.r.t. the network). Cold:
+    /// reached only with tracing counters enabled.
+    #[cold]
+    #[inline(never)]
+    fn sample_occupancy_all(&mut self) {
+        for (i, r) in self.routers.iter().enumerate() {
+            self.trace.sample_occupancy(i, r.occupied_vcs() as u64);
+        }
+    }
+
+    /// Enables tracing for the rest of the simulation. All trace storage
+    /// (event rings, counters) is allocated here, once; afterwards the
+    /// hot path never allocates regardless of level. Any previously
+    /// recorded trace data is discarded.
+    pub fn enable_trace(&mut self, cfg: &TraceConfig) {
+        self.trace = Tracer::new(cfg, self.mesh.num_nodes());
+        self.trace.set_now(self.cycle);
     }
 
     /// Shared access to a router.

@@ -39,6 +39,18 @@ pub struct InjStream {
     pub len: u8,
 }
 
+/// Why an ejection queue refuses a packet right now (the trace
+/// subsystem maps these onto stall causes; see
+/// [`NiState::ej_refusal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EjRefusal {
+    /// No free slot at all (queue + in-flight streams exhaust capacity).
+    Full,
+    /// Exactly one slot is free but it is reserved for a rejected
+    /// FastPass-Packet (§III-C4), and this packet is not the owner.
+    Reserved,
+}
+
 /// Per-node network interface state.
 #[derive(Debug, Clone)]
 pub struct NiState {
@@ -212,6 +224,26 @@ impl NiState {
             Some(owner) if owner == pkt => free >= 1,
             Some(_) => free >= 2,
             None => free >= 1,
+        }
+    }
+
+    /// Classifies why [`ej_can_accept`](Self::ej_can_accept) is false
+    /// for `(class, pkt)` — `None` means the packet would be accepted.
+    /// Pure observation for stall attribution; computes the same
+    /// free-slot arithmetic as the admission check.
+    pub fn ej_refusal(&self, class: MessageClass, pkt: PacketId) -> Option<EjRefusal> {
+        if self.ej_can_accept(class, pkt) {
+            return None;
+        }
+        let c = class.index();
+        let free = self
+            .ej_cap
+            .saturating_sub(self.ej[c].len() + self.ej_inflight[c] as usize);
+        match self.ej_reserved[c] {
+            // A reservation held by someone else is only the binding
+            // refusal when a slot actually exists for the owner.
+            Some(owner) if owner != pkt && free >= 1 => Some(EjRefusal::Reserved),
+            _ => Some(EjRefusal::Full),
         }
     }
 
@@ -503,6 +535,46 @@ mod tests {
         assert_eq!(ni.inj_head(MessageClass::Request), Some(req));
         assert_eq!(ni.inj_head(MessageClass::Response), Some(resp));
         assert_eq!(ni.resident_packets(), 2);
+    }
+
+    #[test]
+    fn ej_refusal_classifies_full_vs_reserved() {
+        let mut store = PacketStore::new();
+        let mut ni = NiState::new(2, 2);
+        let owner = pkt(&mut store, MessageClass::Response);
+        let other = pkt(&mut store, MessageClass::Response);
+        // Empty queue: accepted, no refusal.
+        assert_eq!(ni.ej_refusal(MessageClass::Response, other), None);
+        // One slot taken, the other reserved for `owner`: a stranger is
+        // refused because of the reservation, the owner is accepted.
+        ni.ej_begin(MessageClass::Response, other);
+        ni.ej_commit(
+            MessageClass::Response,
+            EjectEntry {
+                pkt: other,
+                ready: 0,
+            },
+        );
+        ni.reserve_ej(MessageClass::Response, owner);
+        let third = pkt(&mut store, MessageClass::Response);
+        assert_eq!(
+            ni.ej_refusal(MessageClass::Response, third),
+            Some(EjRefusal::Reserved)
+        );
+        assert_eq!(ni.ej_refusal(MessageClass::Response, owner), None);
+        // Fill the reserved slot with the owner: now genuinely full.
+        ni.ej_begin(MessageClass::Response, owner);
+        ni.ej_commit(
+            MessageClass::Response,
+            EjectEntry {
+                pkt: owner,
+                ready: 0,
+            },
+        );
+        assert_eq!(
+            ni.ej_refusal(MessageClass::Response, third),
+            Some(EjRefusal::Full)
+        );
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! movement during drain epochs.
 
 use crate::network::{LinkSet, NetworkCore};
-use crate::ni::{EjectEntry, InjStream};
+use crate::ni::{EjRefusal, EjectEntry, InjStream};
 use crate::routing::{RouteReq, RoutingPolicy};
 use crate::vc::VcOccupant;
-use noc_core::packet::MessageClass;
-use noc_core::topology::{NodeId, Port, DIRECTIONS, NUM_PORTS};
+use noc_core::packet::{MessageClass, PacketId};
+use noc_core::topology::{Direction, LinkId, NodeId, Port, DIRECTIONS, NUM_PORTS};
+use noc_trace::{trace, StallCause, TraceEvent};
 
 /// Per-cycle context handed to [`advance`] by the owning scheme.
 #[derive(Debug, Clone, Copy, Default)]
@@ -110,6 +111,9 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
             // One store lookup for the fields routing reads; no clone.
             let req = RouteReq::new(core, node, Port::from_index(p), vc, pkt_id);
             let Some(dec) = policy.route(core, &req) else {
+                if core.trace.counters_on() {
+                    trace_route_blocked(core, node, pkt_id);
+                }
                 continue;
             };
             match dec.out_port {
@@ -120,6 +124,9 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
                         .occupant_mut()
                         .expect("occupant observed earlier this iteration");
                     occ.route = Some(Port::Local);
+                    if core.trace.events_on() {
+                        trace_vc_alloc(core, node, pkt_id, Port::Local.index() as u8, 0);
+                    }
                 }
                 Port::Dir(d) => {
                     let nbr = core
@@ -139,6 +146,15 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
                         .expect("occupant observed earlier this iteration");
                     occ.route = Some(Port::Dir(d));
                     occ.out_vc = Some(dec.out_vc);
+                    if core.trace.events_on() {
+                        trace_vc_alloc(
+                            core,
+                            node,
+                            pkt_id,
+                            Port::Dir(d).index() as u8,
+                            dec.out_vc as u8,
+                        );
+                    }
                 }
             }
         }
@@ -170,6 +186,9 @@ fn switch_traversal(
             continue;
         };
         if ctx.link_suppressed(core, node, d) {
+            if core.trace.counters_on() {
+                trace_suppressed_stalls(core, node, d);
+            }
             continue;
         }
         // Gather requests: flits with an allocated route through `d`,
@@ -202,6 +221,9 @@ fn switch_traversal(
         let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(reqs) else {
             continue;
         };
+        if core.trace.counters_on() {
+            trace_sa_losers(core, node, reqs, winner);
+        }
         let (p, vc) = core.router(node).sa_decode(winner);
         input_used[p] = true;
         send_flit(core, node, p, vc, nbr, d);
@@ -234,9 +256,15 @@ fn send_flit(
     };
     if first {
         core.store.get_mut(pkt_id).hops += 1;
+        if core.trace.events_on() {
+            trace_sa_grant(core, node, pkt_id, Port::Dir(d).index() as u8);
+        }
     }
     if let Some(l) = core.mesh().link(node, d) {
         core.count_link_flit(l);
+        if core.trace.counters_on() {
+            trace_link_traverse(core, node, pkt_id, l);
+        }
     }
     core.stage_flit(nbr, Port::Dir(d.opposite()), out_vc);
     if drained {
@@ -253,6 +281,9 @@ fn eject_stage(
     reqs: &mut Vec<bool>,
 ) {
     if ctx.eject_blocked_at(node) {
+        if core.trace.counters_on() {
+            trace_eject_preempted(core, node);
+        }
         return; // Preempted by an overlay packet; the lock (if any) stalls.
     }
     if let Some((p, vc)) = core.router(node).eject_lock {
@@ -268,6 +299,9 @@ fn eject_stage(
         return; // Port held until the tail leaves.
     }
     // New grant.
+    if core.trace.counters_on() {
+        trace_eject_stalls(core, node);
+    }
     let vcs = core.router(node).vcs_per_port();
     let router = core.router(node);
     reqs.clear();
@@ -297,6 +331,9 @@ fn eject_stage(
     let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(reqs) else {
         return;
     };
+    if core.trace.counters_on() {
+        trace_sa_losers(core, node, reqs, winner);
+    }
     let (p, vc) = core.router(node).sa_decode(winner);
     let pkt_id = core.router(node).inputs[p]
         .vc(vc)
@@ -306,6 +343,9 @@ fn eject_stage(
     let class = core.store.get(pkt_id).class;
     core.ni_mut(node).ej_begin(class, pkt_id);
     core.router_mut(node).eject_lock = Some((p, vc));
+    if core.trace.events_on() {
+        trace_sa_grant(core, node, pkt_id, Port::Local.index() as u8);
+    }
     eject_flit(core, node, p, vc);
     input_used[p] = true;
 }
@@ -333,6 +373,9 @@ fn eject_flit(core: &mut NetworkCore, node: NodeId, p: usize, vc: usize) {
         core.ni_mut(node)
             .ej_commit(class, EjectEntry { pkt: pkt_id, ready });
         core.router_mut(node).eject_lock = None;
+        if core.trace.counters_on() {
+            trace_ejected(core, node, pkt_id, class.index());
+        }
     }
 }
 
@@ -368,11 +411,14 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
     let mut reqs = [false; noc_core::packet::NUM_CLASSES];
     for (c, req) in reqs.iter_mut().enumerate() {
         let class = MessageClass::from_index(c);
-        if core.ni(node).inj_head(class).is_some() {
+        if let Some(head) = core.ni(node).inj_head(class) {
             let range = core.cfg().vc_range_for_class(c);
             *req = core.router(node).inputs[Port::Local.index()]
                 .free_vc_in(range)
                 .is_some();
+            if !*req && core.trace.counters_on() {
+                trace_no_free_vc(core, node, head);
+            }
         }
     }
     let Some(c) = core.router_mut(node).inj_class_rr.grant(&reqs) else {
@@ -395,6 +441,9 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
     core.router_mut(node).inputs[Port::Local.index()]
         .install(vc, VcOccupant::reserved(pkt_id, len, cycle));
     core.stage_flit(node, Port::Local, vc);
+    if core.trace.counters_on() {
+        trace_injected(core, node, pkt_id, c, vc as u8);
+    }
     core.ni_mut(node).inj_stream = if len > 1 {
         Some(InjStream {
             pkt: pkt_id,
@@ -405,6 +454,180 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
     } else {
         None
     };
+}
+
+// ---- tracing helpers ------------------------------------------------------
+//
+// Every hook below is `#[cold] #[inline(never)]` and reached only through
+// a `counters_on()` / `events_on()` gate at the call site, so the hot
+// functions pay exactly one predicted-not-taken branch per site when
+// tracing is off — the event/counter code never bloats their bodies.
+
+/// Records a `RouteBlocked` stall: the routing policy found no grantable
+/// output for a parked head this cycle.
+#[cold]
+#[inline(never)]
+fn trace_route_blocked(core: &mut NetworkCore, node: NodeId, pkt: PacketId) {
+    core.trace.count_stall(node, StallCause::RouteBlocked);
+    trace!(core.trace, node, || TraceEvent::Stall {
+        pkt,
+        cause: StallCause::RouteBlocked,
+    });
+}
+
+/// Records a `VcAlloc` event (route computed + downstream VC reserved).
+#[cold]
+#[inline(never)]
+fn trace_vc_alloc(core: &mut NetworkCore, node: NodeId, pkt: PacketId, out_port: u8, out_vc: u8) {
+    trace!(core.trace, node, || TraceEvent::VcAlloc {
+        pkt,
+        out_port,
+        out_vc,
+    });
+}
+
+/// Records an `SaGrant` event (first flit of a packet wins an output).
+#[cold]
+#[inline(never)]
+fn trace_sa_grant(core: &mut NetworkCore, node: NodeId, pkt: PacketId, out_port: u8) {
+    trace!(core.trace, node, || TraceEvent::SaGrant { pkt, out_port });
+}
+
+/// Counts a regular-pipeline link traversal and records its event.
+#[cold]
+#[inline(never)]
+fn trace_link_traverse(core: &mut NetworkCore, node: NodeId, pkt: PacketId, link: LinkId) {
+    core.trace.count_link(node, false);
+    trace!(core.trace, node, || TraceEvent::LinkTraverse { pkt, link });
+}
+
+/// Counts a completed tail ejection and records its event.
+#[cold]
+#[inline(never)]
+fn trace_ejected(core: &mut NetworkCore, node: NodeId, pkt: PacketId, class: usize) {
+    core.trace.count_eject(node, class);
+    trace!(core.trace, node, || TraceEvent::Eject { pkt });
+}
+
+/// Counts a packet injection and records its event.
+#[cold]
+#[inline(never)]
+fn trace_injected(core: &mut NetworkCore, node: NodeId, pkt: PacketId, class: usize, vc: u8) {
+    core.trace.count_inject(node, class);
+    trace!(core.trace, node, || TraceEvent::Inject { pkt, vc });
+}
+
+/// Records a `NoFreeVc` stall: a class head is waiting on a Local VC.
+#[cold]
+#[inline(never)]
+fn trace_no_free_vc(core: &mut NetworkCore, node: NodeId, pkt: PacketId) {
+    core.trace.count_stall(node, StallCause::NoFreeVc);
+    trace!(core.trace, node, || TraceEvent::Stall {
+        pkt,
+        cause: StallCause::NoFreeVc,
+    });
+}
+
+/// Records a `LinkSuppressed` stall for every flit that was ready to
+/// cross the suppressed link `node → d` this cycle. Cold: only reached
+/// when tracing counters are enabled, and alloc-free like the rest of
+/// the file (each iteration copies occupant fields out so the router
+/// borrow ends before the tracer is touched).
+#[cold]
+#[inline(never)]
+fn trace_suppressed_stalls(core: &mut NetworkCore, node: NodeId, d: Direction) {
+    for p in 0..NUM_PORTS {
+        let mut mask = core.router(node).inputs[p].occ_mask();
+        while mask != 0 {
+            let vc = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let stalled = core.router(node).inputs[p]
+                .vc(vc)
+                .occupant()
+                .map(|occ| (occ.pkt, occ.route == Some(Port::Dir(d)) && occ.flit_ready()));
+            if let Some((pkt, true)) = stalled {
+                core.trace.count_stall(node, StallCause::LinkSuppressed);
+                trace!(core.trace, node, || TraceEvent::Stall {
+                    pkt,
+                    cause: StallCause::LinkSuppressed,
+                });
+            }
+        }
+    }
+}
+
+/// Records an `SaLost` stall for every requester that lost this output
+/// port's switch arbitration to `winner`. Cold: tracing-only.
+#[cold]
+#[inline(never)]
+fn trace_sa_losers(core: &mut NetworkCore, node: NodeId, reqs: &[bool], winner: usize) {
+    for (idx, req) in reqs.iter().enumerate() {
+        if !req || idx == winner {
+            continue;
+        }
+        let (p, vc) = core.router(node).sa_decode(idx);
+        let pkt = core.router(node).inputs[p].vc(vc).occupant().map(|o| o.pkt);
+        if let Some(pkt) = pkt {
+            core.trace.count_stall(node, StallCause::SaLost);
+            trace!(core.trace, node, || TraceEvent::Stall {
+                pkt,
+                cause: StallCause::SaLost,
+            });
+        }
+    }
+}
+
+/// Records `EjBackpressure` / `EjReserved` stalls for arrived packets
+/// whose ejection the NI refused this cycle. Cold: tracing-only.
+#[cold]
+#[inline(never)]
+fn trace_eject_stalls(core: &mut NetworkCore, node: NodeId) {
+    for p in 0..NUM_PORTS {
+        let mut mask = core.router(node).inputs[p].occ_mask();
+        while mask != 0 {
+            let vc = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let candidate = core.router(node).inputs[p]
+                .vc(vc)
+                .occupant()
+                .and_then(|occ| {
+                    if occ.route == Some(Port::Local) && occ.flit_ready() {
+                        Some(occ.pkt)
+                    } else {
+                        None
+                    }
+                });
+            let Some(pkt) = candidate else { continue };
+            let class = core.store.get(pkt).class;
+            let Some(refusal) = core.ni(node).ej_refusal(class, pkt) else {
+                continue;
+            };
+            let cause = match refusal {
+                EjRefusal::Full => StallCause::EjBackpressure,
+                EjRefusal::Reserved => StallCause::EjReserved,
+            };
+            core.trace.count_stall(node, cause);
+            trace!(core.trace, node, || TraceEvent::Stall { pkt, cause });
+        }
+    }
+}
+
+/// Records an `EjPreempted` stall for the locked ejection stream (if
+/// any) while the overlay holds the port. Cold: tracing-only.
+#[cold]
+#[inline(never)]
+fn trace_eject_preempted(core: &mut NetworkCore, node: NodeId) {
+    let Some((p, vc)) = core.router(node).eject_lock else {
+        return;
+    };
+    let pkt = core.router(node).inputs[p].vc(vc).occupant().map(|o| o.pkt);
+    if let Some(pkt) = pkt {
+        core.trace.count_stall(node, StallCause::EjPreempted);
+        trace!(core.trace, node, || TraceEvent::Stall {
+            pkt,
+            cause: StallCause::EjPreempted,
+        });
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,534 @@
+//! Zero-overhead flit-level tracing and per-router metrics.
+//!
+//! The simulator's observability subsystem, designed around one hard
+//! constraint from `ROADMAP.md`: **it must cost nothing when off**. The
+//! pieces:
+//!
+//! * [`TraceEvent`] — a compact `Copy` event vocabulary (inject, VC
+//!   alloc, SA grant, link traversal, bypass enter/exit, eject,
+//!   stall-with-reason);
+//! * [`EventRing`] — pre-allocated per-node overwrite-oldest ring
+//!   buffers the events are recorded into;
+//! * [`RouterMetrics`] — per-router/per-class counters (occupancy
+//!   integrals, stall-cause breakdown, lane-occupancy histogram);
+//! * [`Tracer`] — the recording façade owned by the network core, with
+//!   a three-position [`TraceLevel`] switch;
+//! * exporters — Chrome `trace_event` JSON ([`chrome_trace_json`]) and
+//!   a textual per-packet lifetime report ([`packet_lifetimes`]).
+//!
+//! # The no-alloc hook contract
+//!
+//! Instrumentation in per-cycle hot paths goes through the [`trace!`]
+//! macro, which compiles to
+//!
+//! ```text
+//! if tracer.events_on() {            // one load + branch when off
+//!     let ev = (<closure>)();        // event built only when tracing
+//!     tracer.push_event(node, ev);   // indexed store into a ring
+//! }
+//! ```
+//!
+//! The closure body must be allocation-free (it runs inside the hot
+//! loop whenever full tracing is on), and direct `push_event` calls in
+//! hot scopes are rejected by `noc-lint` so the branch gate cannot be
+//! bypassed by accident. Counters use the same pattern through
+//! [`Tracer::counters_on`] internally: every `count_*` method is a
+//! no-op branch in off mode.
+//!
+//! Recording never mutates simulation state: enabling any trace level
+//! leaves `NetStats` bitwise identical (gated by `tests/trace_gate.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod report;
+pub mod ring;
+
+pub use chrome::chrome_trace_json;
+pub use event::{BypassOutcome, StallCause, TraceEvent, TraceRecord};
+pub use metrics::{MetricsReport, RouterMetrics};
+pub use report::{packet_lifetime, packet_lifetimes};
+pub use ring::EventRing;
+
+use noc_core::topology::NodeId;
+
+/// How much the tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Record nothing. Every hook is a single load-and-branch.
+    #[default]
+    Off,
+    /// Bump per-router counters only (no event rings).
+    Counters,
+    /// Counters plus full event records into per-node rings.
+    Full,
+}
+
+impl TraceLevel {
+    /// Parses `off` / `counters` / `full` (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input as the error.
+    pub fn parse(s: &str) -> Result<TraceLevel, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(TraceLevel::Off),
+            "counters" => Ok(TraceLevel::Counters),
+            "full" => Ok(TraceLevel::Full),
+            other => Err(format!(
+                "unknown trace level `{other}` (expected off|counters|full)"
+            )),
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Counters => "counters",
+            TraceLevel::Full => "full",
+        }
+    }
+}
+
+/// Tracer configuration handed to `Simulation::set_trace`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Recording level.
+    pub level: TraceLevel,
+    /// Half-open cycle window `[start, end)` outside which nothing is
+    /// recorded (`None` = always).
+    pub window: Option<(u64, u64)>,
+    /// Restrict full-event recording to these nodes (`None` = all).
+    /// Counters are always kept for every router — the per-router
+    /// metrics table is only meaningful complete.
+    pub nodes: Option<Vec<NodeId>>,
+    /// Per-node event-ring capacity (0 picks the default, 4096).
+    pub ring_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default per-node ring capacity.
+    pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+    /// Counters-only configuration.
+    pub fn counters() -> Self {
+        TraceConfig {
+            level: TraceLevel::Counters,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Full-event configuration with default capacity and no filters.
+    pub fn full() -> Self {
+        TraceConfig {
+            level: TraceLevel::Full,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// The recording façade. One lives inside the simulator's network core;
+/// a disabled tracer ([`Tracer::disabled`]) owns no storage at all.
+#[derive(Debug)]
+pub struct Tracer {
+    level: TraceLevel,
+    window: Option<(u64, u64)>,
+    /// Per-node full-event enable flags (empty = all nodes).
+    node_mask: Vec<bool>,
+    /// Mirror of the core's cycle counter, synced by the owner at each
+    /// cycle boundary so hooks never need a second borrow of the core.
+    now: u64,
+    seq: u64,
+    rings: Vec<EventRing>,
+    metrics: Vec<RouterMetrics>,
+    lane_hist: Vec<u64>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing and owns no buffers (the default
+    /// state of every simulation).
+    pub fn disabled() -> Self {
+        Tracer {
+            level: TraceLevel::Off,
+            window: None,
+            node_mask: Vec::new(),
+            now: 0,
+            seq: 0,
+            rings: Vec::new(),
+            metrics: Vec::new(),
+            lane_hist: Vec::new(),
+        }
+    }
+
+    /// Builds a tracer for a network of `num_nodes` nodes. All storage
+    /// (rings, counters, histograms) is allocated here, once.
+    pub fn new(cfg: &TraceConfig, num_nodes: usize) -> Self {
+        let cap = if cfg.ring_capacity == 0 {
+            TraceConfig::DEFAULT_RING_CAPACITY
+        } else {
+            cfg.ring_capacity
+        };
+        let full = matches!(cfg.level, TraceLevel::Full);
+        let any = !matches!(cfg.level, TraceLevel::Off);
+        let node_mask = match &cfg.nodes {
+            Some(sel) => {
+                let mut mask = vec![false; num_nodes];
+                for n in sel {
+                    mask[n.index()] = true;
+                }
+                mask
+            }
+            None => Vec::new(),
+        };
+        Tracer {
+            level: cfg.level,
+            window: cfg.window,
+            node_mask,
+            now: 0,
+            seq: 0,
+            rings: if full {
+                (0..num_nodes).map(|_| EventRing::new(cap)).collect()
+            } else {
+                Vec::new()
+            },
+            metrics: if any {
+                vec![RouterMetrics::default(); num_nodes]
+            } else {
+                Vec::new()
+            },
+            lane_hist: if any {
+                vec![0; num_nodes + 1]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    // ---- hot-path gates ---------------------------------------------------
+
+    /// Whether full event recording is on (the `trace!` macro's gate).
+    #[inline]
+    pub fn events_on(&self) -> bool {
+        matches!(self.level, TraceLevel::Full)
+    }
+
+    /// Whether counters (and therefore any recording at all) are on.
+    #[inline]
+    pub fn counters_on(&self) -> bool {
+        !matches!(self.level, TraceLevel::Off)
+    }
+
+    /// Syncs the tracer's cycle mirror (called by the core at each cycle
+    /// boundary).
+    #[inline]
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    #[inline]
+    fn in_window(&self) -> bool {
+        match self.window {
+            Some((start, end)) => self.now >= start && self.now < end,
+            None => true,
+        }
+    }
+
+    #[inline]
+    fn node_selected(&self, node: NodeId) -> bool {
+        self.node_mask.is_empty() || self.node_mask[node.index()]
+    }
+
+    // ---- recording --------------------------------------------------------
+
+    /// Records one event at `node`. Allocation-free: a filtered indexed
+    /// store into the node's pre-allocated ring.
+    ///
+    /// Do not call this directly from hot code — go through [`trace!`],
+    /// which wraps the call in the branch-on-disabled gate (`noc-lint`
+    /// enforces this in hot scopes).
+    pub fn push_event(&mut self, node: NodeId, event: TraceEvent) {
+        if !self.events_on() || !self.in_window() || !self.node_selected(node) {
+            return;
+        }
+        let rec = TraceRecord {
+            cycle: self.now,
+            seq: self.seq,
+            node,
+            event,
+        };
+        self.seq += 1;
+        self.rings[node.index()].push(rec);
+    }
+
+    /// Counts a packet injection at `node` (class-indexed).
+    #[inline]
+    pub fn count_inject(&mut self, node: NodeId, class: usize) {
+        if self.counters_on() && self.in_window() {
+            self.metrics[node.index()].injected[class] += 1;
+        }
+    }
+
+    /// Counts a tail ejection at `node` (class-indexed).
+    #[inline]
+    pub fn count_eject(&mut self, node: NodeId, class: usize) {
+        if self.counters_on() && self.in_window() {
+            self.metrics[node.index()].ejected[class] += 1;
+        }
+    }
+
+    /// Counts one stall cycle at `node`.
+    #[inline]
+    pub fn count_stall(&mut self, node: NodeId, cause: StallCause) {
+        if self.counters_on() && self.in_window() {
+            self.metrics[node.index()].stalls[cause.index()] += 1;
+        }
+    }
+
+    /// Counts one flit leaving `node` over a link (`bypass` selects the
+    /// lane counter instead of the regular-pipeline counter).
+    #[inline]
+    pub fn count_link(&mut self, node: NodeId, bypass: bool) {
+        if self.counters_on() && self.in_window() {
+            let m = &mut self.metrics[node.index()];
+            if bypass {
+                m.link_flits_bypass += 1;
+            } else {
+                m.link_flits_regular += 1;
+            }
+        }
+    }
+
+    /// Counts a FastPass upgrade launched at prime router `node`.
+    #[inline]
+    pub fn count_bypass_launch(&mut self, node: NodeId) {
+        if self.counters_on() && self.in_window() {
+            self.metrics[node.index()].bypass_launches += 1;
+        }
+    }
+
+    /// Adds one cycle's occupied-VC count for router `node_idx` to its
+    /// occupancy integral.
+    #[inline]
+    pub fn sample_occupancy(&mut self, node_idx: usize, occupied: u64) {
+        if self.counters_on() && self.in_window() {
+            let m = &mut self.metrics[node_idx];
+            m.occupancy_integral += occupied;
+            m.cycles_sampled += 1;
+        }
+    }
+
+    /// Samples the number of concurrently active FastPass flights for
+    /// the lane-occupancy histogram (last bucket aggregates overflow).
+    #[inline]
+    pub fn sample_lanes(&mut self, active: u64) {
+        if self.counters_on() && self.in_window() {
+            let last = self.lane_hist.len() - 1;
+            let bucket = (active as usize).min(last);
+            self.lane_hist[bucket] += 1;
+        }
+    }
+
+    // ---- inspection -------------------------------------------------------
+
+    /// Nodes this tracer was sized for (0 when disabled).
+    pub fn num_nodes(&self) -> usize {
+        self.metrics.len().max(self.rings.len())
+    }
+
+    /// Per-router counters (empty when level is off).
+    pub fn metrics(&self) -> &[RouterMetrics] {
+        &self.metrics
+    }
+
+    /// The event ring of one node (full mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if full tracing is not enabled.
+    pub fn ring(&self, node: NodeId) -> &EventRing {
+        &self.rings[node.index()]
+    }
+
+    /// Full-mode events lost to ring overwriting, across all nodes.
+    pub fn dropped_events(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Events ever recorded (before any ring eviction).
+    pub fn total_events(&self) -> u64 {
+        self.rings.iter().map(|r| r.total_recorded()).sum()
+    }
+
+    /// All held records merged across nodes, in exact recording order
+    /// (sorted by the global sequence number). Cold path; allocates.
+    pub fn records_in_order(&self) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = self.rings.iter().flat_map(|r| r.iter().copied()).collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Assembles the metrics report (routers + histograms).
+    pub fn metrics_report(&self) -> MetricsReport {
+        MetricsReport {
+            routers: self.metrics.clone(),
+            lane_occupancy: self.lane_hist.clone(),
+            dropped_events: self.dropped_events(),
+        }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+/// Records a trace event from a hot path, compiling to a single
+/// load-and-branch when full tracing is off.
+///
+/// The event expression must be a zero-argument closure returning a
+/// [`TraceEvent`]; it is invoked only when recording is live, so any
+/// field reads it performs are free in off/counters mode. Its body must
+/// not allocate (`noc-lint`'s `hot-loop-alloc` rule scans it like any
+/// other hot-scope code).
+///
+/// ```
+/// # use noc_trace::{trace, Tracer, TraceConfig, TraceEvent};
+/// # use noc_core::topology::NodeId;
+/// # use noc_core::packet::{Packet, PacketStore, MessageClass};
+/// # let mut store = PacketStore::new();
+/// # let pkt = store.insert(Packet::new(NodeId::new(0), NodeId::new(1), MessageClass::Request, 1, 0));
+/// let mut tracer = Tracer::new(&TraceConfig::full(), 4);
+/// let node = NodeId::new(0);
+/// trace!(tracer, node, || TraceEvent::Eject { pkt });
+/// assert_eq!(tracer.records_in_order().len(), 1);
+/// ```
+#[macro_export]
+macro_rules! trace {
+    ($tracer:expr, $node:expr, $ev:expr) => {
+        if $tracer.events_on() {
+            let __noc_trace_event = ($ev)();
+            $tracer.push_event($node, __noc_trace_event);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::packet::{MessageClass, Packet, PacketId, PacketStore};
+
+    fn pkt(store: &mut PacketStore) -> PacketId {
+        store.insert(Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            1,
+            0,
+        ))
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_owns_nothing() {
+        let mut store = PacketStore::new();
+        let p = pkt(&mut store);
+        let mut t = Tracer::disabled();
+        assert!(!t.events_on() && !t.counters_on());
+        // The macro's gate means push_event is never reached; even a
+        // direct call is a filtered no-op.
+        t.push_event(NodeId::new(0), TraceEvent::Eject { pkt: p });
+        t.count_stall(NodeId::new(0), StallCause::SaLost);
+        t.sample_occupancy(0, 3);
+        assert_eq!(t.num_nodes(), 0);
+        assert!(t.metrics().is_empty());
+        assert_eq!(t.records_in_order().len(), 0);
+    }
+
+    #[test]
+    fn counters_mode_counts_but_keeps_no_events() {
+        let mut store = PacketStore::new();
+        let p = pkt(&mut store);
+        let mut t = Tracer::new(&TraceConfig::counters(), 4);
+        assert!(t.counters_on() && !t.events_on());
+        t.count_inject(NodeId::new(2), 0);
+        t.count_stall(NodeId::new(2), StallCause::NoFreeVc);
+        trace!(t, NodeId::new(2), || TraceEvent::Eject { pkt: p });
+        assert_eq!(t.metrics()[2].injected[0], 1);
+        assert_eq!(t.metrics()[2].stalls[StallCause::NoFreeVc.index()], 1);
+        assert_eq!(t.total_events(), 0, "no rings in counters mode");
+    }
+
+    #[test]
+    fn event_ordering_is_global_across_nodes() {
+        let mut store = PacketStore::new();
+        let p = pkt(&mut store);
+        let q = pkt(&mut store);
+        let mut t = Tracer::new(&TraceConfig::full(), 4);
+        t.set_now(10);
+        // Interleave nodes; the merged order must match recording order,
+        // not node order.
+        t.push_event(NodeId::new(3), TraceEvent::Inject { pkt: p, vc: 0 });
+        t.push_event(NodeId::new(0), TraceEvent::Inject { pkt: q, vc: 1 });
+        t.set_now(11);
+        t.push_event(NodeId::new(3), TraceEvent::Eject { pkt: p });
+        let recs = t.records_in_order();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.node.index()).collect::<Vec<_>>(),
+            vec![3, 0, 3]
+        );
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(recs[0].cycle, 10);
+        assert_eq!(recs[2].cycle, 11);
+    }
+
+    #[test]
+    fn window_and_node_filters_apply() {
+        let mut store = PacketStore::new();
+        let p = pkt(&mut store);
+        let cfg = TraceConfig {
+            level: TraceLevel::Full,
+            window: Some((100, 200)),
+            nodes: Some(vec![NodeId::new(1)]),
+            ring_capacity: 16,
+        };
+        let mut t = Tracer::new(&cfg, 4);
+        t.set_now(50); // before window
+        t.push_event(NodeId::new(1), TraceEvent::Eject { pkt: p });
+        t.count_stall(NodeId::new(1), StallCause::SaLost);
+        t.set_now(150); // inside window
+        t.push_event(NodeId::new(1), TraceEvent::Eject { pkt: p });
+        t.push_event(NodeId::new(2), TraceEvent::Eject { pkt: p }); // filtered node
+        t.count_stall(NodeId::new(2), StallCause::SaLost); // counters ignore node filter
+        t.set_now(200); // past window (half-open)
+        t.push_event(NodeId::new(1), TraceEvent::Eject { pkt: p });
+        let recs = t.records_in_order();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].cycle, 150);
+        assert_eq!(t.metrics()[1].stalls[StallCause::SaLost.index()], 0);
+        assert_eq!(t.metrics()[2].stalls[StallCause::SaLost.index()], 1);
+    }
+
+    #[test]
+    fn lane_histogram_clamps_to_last_bucket() {
+        let mut t = Tracer::new(&TraceConfig::counters(), 2);
+        t.sample_lanes(0);
+        t.sample_lanes(1);
+        t.sample_lanes(50); // way past the 3-bucket histogram
+        let report = t.metrics_report();
+        assert_eq!(report.lane_occupancy, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn trace_level_parses() {
+        assert_eq!(TraceLevel::parse("full"), Ok(TraceLevel::Full));
+        assert_eq!(TraceLevel::parse("OFF"), Ok(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse("Counters"), Ok(TraceLevel::Counters));
+        assert!(TraceLevel::parse("verbose").is_err());
+        assert_eq!(TraceLevel::Full.name(), "full");
+    }
+}

@@ -1,0 +1,168 @@
+//! Fixed-capacity event rings.
+//!
+//! Each node records into its own [`EventRing`]: a pre-allocated,
+//! overwrite-oldest circular buffer. Pushing is a bounds-checked indexed
+//! store — no allocation ever happens after construction, which is what
+//! lets the `trace!` hook live inside the simulator's hot loop.
+
+use crate::event::TraceRecord;
+
+/// A pre-allocated overwrite-oldest ring of [`TraceRecord`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    /// Write cursor: the slot the next record lands in once the ring is
+    /// full (always 0 while still filling).
+    next: usize,
+    /// Records ever pushed (≥ `len`; the difference is how many were
+    /// overwritten).
+    total: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `cap` records (`cap ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "event ring capacity must be at least 1");
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest record when full. Never
+    /// allocates: the backing storage was reserved at construction.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity the ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records ever pushed (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Records lost to overwriting (oldest-first eviction).
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Iterates the held records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (older, newer) = self.buf.split_at(self.next.min(self.buf.len()));
+        newer.iter().chain(older.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{StallCause, TraceEvent};
+    use noc_core::packet::{MessageClass, Packet, PacketStore};
+    use noc_core::topology::NodeId;
+
+    fn rec(store: &mut PacketStore, cycle: u64, seq: u64) -> TraceRecord {
+        let pkt = store.insert(Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            1,
+            cycle,
+        ));
+        TraceRecord {
+            cycle,
+            seq,
+            node: NodeId::new(0),
+            event: TraceEvent::Stall {
+                pkt,
+                cause: StallCause::SaLost,
+            },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut store = PacketStore::new();
+        let mut ring = EventRing::new(4);
+        for i in 0..7u64 {
+            ring.push(rec(&mut store, i, i));
+        }
+        // Capacity 4, 7 pushed: records 3..=6 survive, oldest first.
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 7);
+        assert_eq!(ring.dropped(), 3);
+        let seqs: Vec<u64> = ring.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_push_order() {
+        let mut store = PacketStore::new();
+        let mut ring = EventRing::new(8);
+        for i in 0..3u64 {
+            ring.push(rec(&mut store, i, i));
+        }
+        assert_eq!(ring.dropped(), 0);
+        let seqs: Vec<u64> = ring.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wraparound_is_stable_over_many_generations() {
+        let mut store = PacketStore::new();
+        let mut ring = EventRing::new(3);
+        for i in 0..100u64 {
+            ring.push(rec(&mut store, i, i));
+        }
+        let seqs: Vec<u64> = ring.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![97, 98, 99]);
+        assert_eq!(ring.dropped(), 97);
+    }
+
+    #[test]
+    fn push_never_grows_the_backing_buffer() {
+        let mut store = PacketStore::new();
+        let mut ring = EventRing::new(5);
+        let cap_before = ring.buf.capacity();
+        for i in 0..50u64 {
+            ring.push(rec(&mut store, i, i));
+        }
+        assert_eq!(
+            ring.buf.capacity(),
+            cap_before,
+            "ring must never reallocate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::new(0);
+    }
+}

@@ -57,6 +57,40 @@ impl Content {
             _ => None,
         }
     }
+
+    /// The string value, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one (accepts integral
+    /// floats, matching the numeric coercions of the typed impls).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U128(v) => u64::try_from(v).ok(),
+            Content::I128(v) => u64::try_from(v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+}
+
+// Identity impls: `Content` is its own serialized form, so generic
+// consumers (schema validators, pretty-printers) can parse arbitrary
+// JSON via `serde_json::from_str::<Content>` without a typed schema.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
 }
 
 /// Deserialization error: a human-readable description of the mismatch.

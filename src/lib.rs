@@ -9,6 +9,7 @@
 //! * [`baselines`] — EscapeVC, SPIN, SWAP, DRAIN, Pitstop, MinBD, TFC.
 //! * [`traffic`] — synthetic patterns, protocol closed loop, app models.
 //! * [`power`] — the analytical area/power model behind Fig. 11.
+//! * [`trace`] — flit-level event tracing and per-router metrics.
 //!
 //! # Quickstart
 //!
@@ -21,4 +22,5 @@ pub use fastpass;
 pub use noc_core as core;
 pub use noc_power as power;
 pub use noc_sim as sim;
+pub use noc_trace as trace;
 pub use traffic;
