@@ -21,6 +21,7 @@
 //!   routing with a side buffer and destination reassembly.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod drain;
 pub mod escape_vc;

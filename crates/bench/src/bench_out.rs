@@ -1,0 +1,161 @@
+//! Shared writer for `BENCH_*.json` benchmark reports.
+//!
+//! Every benchmark report carries the same correlation header —
+//! `bench`, `schema_version`, `git_sha` — so `perfwatch` (and humans
+//! diffing reports across commits) can line runs up without parsing
+//! free-text labels. Benchmarks build a [`BenchReport`], append their
+//! own fields in order, and either [`write`](BenchReport::write) the
+//! canonical `BENCH_<name>.json` file or print
+//! [`to_json_pretty`](BenchReport::to_json_pretty) to stdout.
+
+use serde::Content;
+use std::path::PathBuf;
+
+/// Version of the `BENCH_*.json` header contract. Bump when the header
+/// fields change meaning; benchmark-specific payload fields are owned by
+/// each benchmark.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The current commit hash for report stamping.
+///
+/// Resolution order: `GIT_SHA`, then `GITHUB_SHA` (set by CI), then
+/// `git rev-parse HEAD`, then the literal `"unknown"` — a report from a
+/// tarball checkout is still valid, just uncorrelated.
+pub fn git_sha() -> String {
+    for var in ["GIT_SHA", "GITHUB_SHA"] {
+        if let Ok(v) = std::env::var(var) {
+            let v = v.trim().to_string();
+            if !v.is_empty() {
+                return v;
+            }
+        }
+    }
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output();
+    if let Ok(out) = out {
+        if out.status.success() {
+            if let Ok(s) = String::from_utf8(out.stdout) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    return s;
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+/// An ordered JSON benchmark report with the standard header.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, Content)>,
+}
+
+impl BenchReport {
+    /// Starts a report for benchmark `name`, stamping the header
+    /// (`bench`, `schema_version`, `git_sha`).
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            fields: vec![
+                ("bench".to_string(), Content::Str(name.to_string())),
+                (
+                    "schema_version".to_string(),
+                    Content::U128(BENCH_SCHEMA_VERSION as u128),
+                ),
+                ("git_sha".to_string(), Content::Str(git_sha())),
+            ],
+        }
+    }
+
+    /// Appends an arbitrary field (order is preserved in the output).
+    pub fn push(&mut self, key: &str, value: Content) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn push_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push(key, Content::Str(value.to_string()))
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn push_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push(key, Content::U128(value as u128))
+    }
+
+    /// Appends a float field.
+    pub fn push_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.push(key, Content::F64(value))
+    }
+
+    /// The report as a pretty-printed JSON object.
+    pub fn to_json_pretty(&self) -> String {
+        let doc = Content::Map(self.fields.clone());
+        serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_comes_first_and_is_complete() {
+        let mut r = BenchReport::new("unit");
+        r.push_u64("total", 42)
+            .push_f64("rate", 0.5)
+            .push_str("k", "v");
+        let json = r.to_json_pretty();
+        let doc: Content = serde_json::from_str(&json).expect("valid JSON");
+        let map = doc.as_map().expect("object");
+        let keys: Vec<&str> = map.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["bench", "schema_version", "git_sha", "total", "rate", "k"]
+        );
+        assert_eq!(
+            serde::field(map, "schema_version").expect("field").as_u64(),
+            Some(BENCH_SCHEMA_VERSION as u64)
+        );
+        assert_eq!(
+            serde::field(map, "bench").expect("field").as_str(),
+            Some("unit")
+        );
+        let sha = serde::field(map, "git_sha").expect("field").as_str();
+        assert!(sha.is_some_and(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn git_sha_honors_env_override() {
+        // Avoid mutating this process's env (other tests run in
+        // parallel): just assert the fallback chain produces something.
+        let sha = git_sha();
+        assert!(!sha.is_empty());
+    }
+
+    #[test]
+    fn write_creates_canonical_filename() {
+        let dir = std::env::temp_dir().join(format!("fp_bench_out_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = BenchReport::new("writer_test").write(&dir).expect("write");
+        assert!(path.ends_with("BENCH_writer_test.json"));
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"git_sha\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,154 +1,145 @@
 //! Cycles-per-second microbenchmark of the regular-pass hot path.
 //!
-//! Runs the low-load smoke sweep points (FastPass + plain VCT on a 4×4
-//! mesh, three rates) *serially and uncached*, so the measured wall-clock
-//! is pure simulator time — exactly the per-cycle loop the active-set
-//! optimisation targets. Low load is the interesting regime: most sweep
-//! probes (zero-load latency, saturation bisection floors) run there, and
-//! it is where a topology-proportional loop wastes the most work.
+//! Runs the shared hot-path sweep ([`bench::hotbench`]: FastPass + plain
+//! VCT on a 4×4 mesh, three rates) *serially and uncached*, so the
+//! measured wall-clock is pure simulator time — exactly the per-cycle
+//! loop the active-set optimisation targets. Low load is the interesting
+//! regime: most sweep probes (zero-load latency, saturation bisection
+//! floors) run there, and it is where a topology-proportional loop
+//! wastes the most work.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p bench --bin hotpath [-- label]
+//! cargo run --release -p bench --bin hotpath -- --trace-overhead
+//! cargo run --release -p bench --bin hotpath -- --phases
 //! ```
 //!
-//! Each sweep repetition is timed separately and the *fastest* repetition
-//! is the headline number: on shared machines the minimum is the best
-//! estimator of true cost (interference only ever adds time). The mean
-//! over all repetitions is reported alongside for context.
-//! `BENCH_hotpath.json` at the repo root records the before/after pair
-//! for the rewrite.
+//! The default mode prints a `BENCH_*`-style JSON report (stamped with
+//! `git_sha` and `schema_version`) for the hand-kept
+//! `BENCH_hotpath.json` at the repo root.
 //!
 //! `--trace-overhead` instead measures the cost of the tracing hooks:
 //! the same sweep is timed with tracing disabled, at counters level and
-//! at full event level, and a JSON comparison (the source of
-//! `BENCH_trace_overhead.json`) is printed. The disabled number is the
-//! zero-overhead claim: hooks compile to a branch on a disabled tracer,
-//! so it must sit within noise of the plain hot-path figure.
+//! at full event level. The disabled number is the zero-overhead claim:
+//! hooks compile to a branch on a disabled tracer, so it must sit within
+//! noise of the plain hot-path figure.
+//!
+//! `--phases` attaches the wall-clock [`WallProbe`] to every simulation
+//! and reports where the cycles/sec go, phase by phase (self time, no
+//! double counting across nested phases), then prints a windowed
+//! telemetry sparkline of the highest-load FastPass point. Probed runs
+//! are slower than the headline number by construction — the hooks are
+//! no longer empty — so this mode never reports cycles/sec.
 
+use bench::hotbench::{self, Measurement, DEFAULT_REPS, MEASURE, WARMUP};
 use bench::runner::make_sim;
-use bench::SchemeId;
-use noc_trace::{TraceConfig, TraceLevel};
-use std::time::Instant;
+use bench::{BenchReport, SchemeId, WallProbe};
+use noc_sim::SamplerConfig;
+use noc_trace::TraceLevel;
 use traffic::SyntheticPattern;
-
-const MESH_SIZE: usize = 4;
-const FP_VCS: usize = 2;
-const SEED: u64 = 5;
-const WARMUP: u64 = 1_000;
-const MEASURE: u64 = 3_000;
-const RATES: [f64; 3] = [0.02, 0.05, 0.08];
-const SCHEMES: [SchemeId; 2] = [SchemeId::FastPass, SchemeId::Vct];
-/// Repetitions of the whole sweep, to push the measurement well past
-/// timer noise on fast machines.
-const REPS: u64 = 20;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "current".into());
-    if arg == "--trace-overhead" {
-        trace_overhead();
-        return;
+    match arg.as_str() {
+        "--trace-overhead" => trace_overhead(),
+        "--phases" => phases(),
+        label => headline(label),
     }
-    let label = arg;
+}
+
+fn push_measurement(report: &mut BenchReport, prefix: &str, m: &Measurement) {
+    report
+        .push_f64(&format!("{prefix}cycles_per_sec"), m.cps_best.round())
+        .push_f64(&format!("{prefix}cycles_per_sec_mean"), m.cps_mean.round())
+        .push_f64(&format!("{prefix}best_rep_ms"), m.best * 1e3)
+        .push_f64(&format!("{prefix}elapsed_ms"), m.total_secs * 1e3);
+}
+
+fn headline(label: &str) {
     // Warm the allocator/caches with one throwaway sweep.
-    run_sweep(None);
-    let m = measure(None);
-    println!(
-        "{{\n  \"label\": \"{label}\",\n  \"command\": \"cargo run --release -p bench --bin hotpath\",\n  \
-         \"workload\": \"smoke sweep x{REPS}: {{FastPass, VCT}} x rates {RATES:?}, {MESH_SIZE}x{MESH_SIZE} mesh, warmup {WARMUP} + measure {MEASURE}, seed {SEED}\",\n  \
-         \"total_cycles\": {},\n  \"total_delivered\": {},\n  \
-         \"elapsed_ms\": {:.1},\n  \"best_rep_ms\": {:.1},\n  \
-         \"cycles_per_sec\": {:.0},\n  \"cycles_per_sec_mean\": {:.0}\n}}",
-        m.total_cycles,
-        m.total_delivered,
-        m.total_secs * 1e3,
-        m.best * 1e3,
-        m.cps_best,
-        m.cps_mean,
-    );
-}
-
-struct Measurement {
-    total_cycles: u64,
-    total_delivered: u64,
-    total_secs: f64,
-    best: f64,
-    cps_best: f64,
-    cps_mean: f64,
-}
-
-fn measure(trace: Option<TraceLevel>) -> Measurement {
-    let mut total_cycles = 0u64;
-    let mut total_delivered = 0u64;
-    let mut total_secs = 0f64;
-    let mut best = f64::INFINITY;
-    let mut sweep_cycles = 0u64;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let (cycles, delivered) = run_sweep(trace);
-        let secs = start.elapsed().as_secs_f64();
-        total_cycles += cycles;
-        total_delivered += delivered;
-        total_secs += secs;
-        best = best.min(secs);
-        sweep_cycles = cycles;
-    }
-    Measurement {
-        total_cycles,
-        total_delivered,
-        total_secs,
-        best,
-        cps_best: sweep_cycles as f64 / best,
-        cps_mean: total_cycles as f64 / total_secs,
-    }
+    hotbench::run_sweep(None);
+    let m = hotbench::measure(None, DEFAULT_REPS);
+    let mut report = BenchReport::new("hotpath");
+    report
+        .push_str("label", label)
+        .push_str("command", "cargo run --release -p bench --bin hotpath")
+        .push_str("workload", &hotbench::workload_description(DEFAULT_REPS))
+        .push_u64("total_cycles", m.total_cycles)
+        .push_u64("total_delivered", m.total_delivered);
+    push_measurement(&mut report, "", &m);
+    println!("{}", report.to_json_pretty());
 }
 
 /// `--trace-overhead`: the same sweep at three tracing configurations —
 /// hooks compiled in but tracer disabled (the default for every normal
 /// run), counters level, and full event level.
 fn trace_overhead() {
-    run_sweep(None); // warm up
-    let off = measure(None);
-    let counters = measure(Some(TraceLevel::Counters));
-    let full = measure(Some(TraceLevel::Full));
+    hotbench::run_sweep(None); // warm up
+    let off = hotbench::measure(None, DEFAULT_REPS);
+    let counters = hotbench::measure(Some(TraceLevel::Counters), DEFAULT_REPS);
+    let full = hotbench::measure(Some(TraceLevel::Full), DEFAULT_REPS);
     let pct = |m: &Measurement| 100.0 * (off.cps_best / m.cps_best - 1.0);
-    println!(
-        "{{\n  \"benchmark\": \"tracing overhead on the regular-pass hot loop\",\n  \
-         \"command\": \"cargo run --release -p bench --bin hotpath -- --trace-overhead\",\n  \
-         \"workload\": \"smoke sweep x{REPS}: {{FastPass, VCT}} x rates {RATES:?}, {MESH_SIZE}x{MESH_SIZE} mesh, warmup {WARMUP} + measure {MEASURE}, seed {SEED}, serial and uncached\",\n  \
-         \"methodology\": \"fastest of {REPS} timed repetitions per level; off = hooks compiled in, tracer disabled (every untraced run pays exactly this)\",\n  \
-         \"off\": {{ \"cycles_per_sec\": {:.0}, \"best_rep_ms\": {:.1} }},\n  \
-         \"counters\": {{ \"cycles_per_sec\": {:.0}, \"best_rep_ms\": {:.1}, \"slowdown_pct\": {:.1} }},\n  \
-         \"full\": {{ \"cycles_per_sec\": {:.0}, \"best_rep_ms\": {:.1}, \"slowdown_pct\": {:.1} }}\n}}",
-        off.cps_best,
-        off.best * 1e3,
-        counters.cps_best,
-        counters.best * 1e3,
-        pct(&counters),
-        full.cps_best,
-        full.best * 1e3,
-        pct(&full),
-    );
+    let mut report = BenchReport::new("trace_overhead");
+    report
+        .push_str("benchmark", "tracing overhead on the regular-pass hot loop")
+        .push_str(
+            "command",
+            "cargo run --release -p bench --bin hotpath -- --trace-overhead",
+        )
+        .push_str("workload", &hotbench::workload_description(DEFAULT_REPS))
+        .push_str(
+            "methodology",
+            "fastest of the timed repetitions per level; off = hooks compiled in, \
+             tracer disabled (every untraced run pays exactly this)",
+        );
+    push_measurement(&mut report, "off_", &off);
+    push_measurement(&mut report, "counters_", &counters);
+    report.push_f64("counters_slowdown_pct", pct(&counters));
+    push_measurement(&mut report, "full_", &full);
+    report.push_f64("full_slowdown_pct", pct(&full));
+    println!("{}", report.to_json_pretty());
 }
 
-fn run_sweep(trace: Option<TraceLevel>) -> (u64, u64) {
-    let mut cycles = 0u64;
-    let mut delivered = 0u64;
-    for id in SCHEMES {
-        for rate in RATES {
-            let mut sim = make_sim(id, SyntheticPattern::Uniform, rate, MESH_SIZE, FP_VCS, SEED);
-            if let Some(level) = trace {
-                sim.set_trace(&TraceConfig {
-                    level,
-                    ..TraceConfig::default()
-                });
-            }
-            let stats = sim.run_windows(WARMUP, MEASURE);
-            cycles += WARMUP + stats.cycles;
-            delivered += stats.delivered();
-            assert!(stats.delivered() > 0, "{} delivered nothing", id.name());
-        }
+/// `--phases`: one probed sweep repetition with self-time attribution,
+/// plus a windowed telemetry profile of the busiest point.
+fn phases() {
+    let (probe, times) = WallProbe::new();
+    drop(probe); // only the shared handle is needed; probes are per-sim
+    let reps = 5;
+    for _ in 0..reps {
+        hotbench::run_sweep_with(None, |sim| {
+            sim.set_probe(Box::new(WallProbe::sharing(&times)));
+        });
     }
-    (cycles, delivered)
+    let t = times.lock().expect("phase accumulator lock");
+    println!(
+        "phase self-time over {reps} probed sweep repetitions\n({})\n",
+        hotbench::workload_description(reps as u64)
+    );
+    print!("{}", t.report());
+    drop(t);
+
+    // Windowed telemetry of the highest-load FastPass point: where does
+    // congestion sit inside the measurement window?
+    let mut sim = make_sim(
+        SchemeId::FastPass,
+        SyntheticPattern::Uniform,
+        *hotbench::RATES.last().expect("rates nonempty"),
+        hotbench::MESH_SIZE,
+        hotbench::FP_VCS,
+        hotbench::SEED,
+    );
+    sim.set_sampler(&SamplerConfig {
+        sample_every: MEASURE / 60,
+        max_windows: 128,
+    });
+    sim.run_windows(WARMUP, MEASURE);
+    sim.finish_sampling();
+    println!();
+    print!(
+        "{}",
+        bench::series_summary(sim.sampler().expect("sampler installed"))
+    );
 }

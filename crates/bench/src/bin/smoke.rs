@@ -12,8 +12,10 @@
 //! with `FP_TRACE_OUT`). Traced runs never touch the sweep cache, so the
 //! cache-hit accounting of the untraced sweep is unchanged.
 
+use bench::runner::make_sim;
 use bench::trace_out::{run_traced_point, trace_out_dir};
 use bench::{emit_json, run_sweep_parallel, SchemeId, SweepOptions, SweepSpec};
+use noc_sim::SamplerConfig;
 use noc_trace::{TraceConfig, TraceLevel};
 use traffic::SyntheticPattern;
 
@@ -77,10 +79,39 @@ fn main() {
     }
     let path = emit_json("smoke", &results).expect("write results");
     println!("smoke sweep OK — JSON written to {}", path.display());
+    print_telemetry_summary(&specs[0]);
 
     if let Some(level) = trace_level {
         run_traced_smoke(level, &specs[0]);
     }
+}
+
+/// Re-runs the highest-rate point of `spec` with the windowed sampler
+/// and prints a sparkline summary — a glance at how delivery, latency
+/// and in-flight population evolve inside the measurement window. Runs
+/// outside the parallel executor (samplers are per-simulation state),
+/// so sweep cache accounting is untouched.
+fn print_telemetry_summary(spec: &SweepSpec) {
+    let rate = spec.rates.last().copied().expect("spec has rates");
+    let mut sim = make_sim(
+        spec.id,
+        spec.pattern,
+        rate,
+        spec.size,
+        spec.fp_vcs,
+        spec.seed,
+    );
+    sim.set_sampler(&SamplerConfig {
+        sample_every: (spec.measure / 60).max(1),
+        max_windows: 128,
+    });
+    sim.run_windows(spec.warmup, spec.measure);
+    sim.finish_sampling();
+    println!(
+        "\n{} rate {rate} — {}",
+        spec.id.name(),
+        bench::series_summary(sim.sampler().expect("sampler installed"))
+    );
 }
 
 /// Traces one low-load point from the untraced sweep plus one high-load

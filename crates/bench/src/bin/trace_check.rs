@@ -3,29 +3,36 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p bench --bin trace_check -- [--require-bypass] <file.json>...
+//! cargo run -p bench --bin trace_check -- \
+//!     [--require-bypass] [--require-counters] <file.json>...
 //! ```
 //!
 //! Each file must be a well-formed trace-event array (see
 //! [`bench::check_chrome_trace`] for the exact rules). With
 //! `--require-bypass`, at least one file must contain *both* regular
 //! link traversals and bypass lane traversals — the CI smoke gate uses
-//! this to prove the pipeline keeps the two traffic kinds apart.
+//! this to prove the pipeline keeps the two traffic kinds apart. With
+//! `--require-counters`, every file must carry at least one telemetry
+//! counter (`"C"`) track, proving the windowed-sampler merge ran.
 //!
-//! Exits 0 when every file validates (and the bypass requirement, if
-//! requested, is met across the set); prints the first problem and
+//! Exits 0 when every file validates (and the bypass/counter
+//! requirements, if requested, are met); prints the first problem and
 //! exits 1 otherwise.
 
-use bench::check_chrome_trace;
+use bench::check_chrome_trace_full;
 
 fn main() {
     let mut require_bypass = false;
+    let mut require_counters = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-bypass" => require_bypass = true,
+            "--require-counters" => require_counters = true,
             "--help" | "-h" => {
-                eprintln!("usage: trace_check [--require-bypass] <file.json>...");
+                eprintln!(
+                    "usage: trace_check [--require-bypass] [--require-counters] <file.json>..."
+                );
                 return;
             }
             _ => files.push(arg),
@@ -33,7 +40,8 @@ fn main() {
     }
     if files.is_empty() {
         eprintln!(
-            "trace_check: no input files (usage: trace_check [--require-bypass] <file.json>...)"
+            "trace_check: no input files (usage: trace_check [--require-bypass] \
+             [--require-counters] <file.json>...)"
         );
         std::process::exit(1);
     }
@@ -46,16 +54,17 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        // Per-file validation is structural only; the bypass requirement
-        // is checked across the whole set below.
-        match check_chrome_trace(&text, false) {
+        // Bypass is checked across the whole set below; the counter
+        // requirement is per file (every trace gets its own merge).
+        match check_chrome_trace_full(&text, false, require_counters) {
             Ok(s) => {
                 println!(
-                    "{f}: OK — {} events ({} complete, {} instants, {} metadata){}",
+                    "{f}: OK — {} events ({} complete, {} instants, {} metadata, {} counters){}",
                     s.events,
                     s.complete,
                     s.instants,
                     s.metadata,
+                    s.counters,
                     if s.has_regular_link && s.has_bypass_lane {
                         ", regular + bypass traffic"
                     } else if s.has_bypass_lane {

@@ -16,14 +16,26 @@
 //!   `trace/`; used by `smoke --trace`).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
+pub mod bench_out;
+pub mod hotbench;
+pub mod perfwatch;
+pub mod phases;
 pub mod registry;
 pub mod runner;
+pub mod telemetry;
 pub mod trace_out;
 
+pub use bench_out::{git_sha, BenchReport, BENCH_SCHEMA_VERSION};
+pub use hotbench::Measurement;
+pub use phases::{PhaseTimes, WallProbe};
 pub use registry::{SchemeId, ALL_SCHEMES};
 pub use runner::{
     emit_json, env_u64, num_jobs, parallel_map, parallel_map_with, point_cache_key,
     run_sweep_parallel, LatencyPoint, SweepOptions, SweepResult, SweepSpec, CACHE_SCHEMA_VERSION,
 };
-pub use trace_out::{check_chrome_trace, run_traced_point, trace_out_dir, TraceCheckSummary};
+pub use telemetry::{merge_counter_tracks, series_summary, sparkline, windows_json};
+pub use trace_out::{
+    check_chrome_trace, check_chrome_trace_full, run_traced_point, trace_out_dir, TraceCheckSummary,
+};

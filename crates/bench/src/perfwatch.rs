@@ -1,0 +1,266 @@
+//! Perf-history bookkeeping for the `perfwatch` regression gate.
+//!
+//! `perfwatch` (the binary) measures the shared hot-path sweep
+//! ([`crate::hotbench`]) and appends one row per metric to an
+//! append-only JSONL history file (`results/perf_history.jsonl` by
+//! default, one JSON object per line). Before appending, it compares
+//! the fresh measurement against the most recent prior row for the same
+//! `(bench, metric)` pair and fails the build when a
+//! higher-is-better metric regressed by more than the threshold.
+//!
+//! The file format is JSONL rather than a single JSON document so CI
+//! can append with plain redirection, partial writes damage at most one
+//! line, and `git log`-style tooling (grep, tail) works directly.
+
+use serde::Content;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Default regression threshold: fail when the metric drops more than
+/// this fraction below the baseline.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One measurement row in the perf history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRow {
+    /// Commit the measurement was taken at.
+    pub git_sha: String,
+    /// Benchmark name (e.g. `"hotpath"`).
+    pub bench_name: String,
+    /// Metric name (e.g. `"cycles_per_sec"`). Higher is better.
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl PerfRow {
+    /// The row as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let doc = Content::Map(vec![
+            ("git_sha".to_string(), Content::Str(self.git_sha.clone())),
+            ("bench".to_string(), Content::Str(self.bench_name.clone())),
+            ("metric".to_string(), Content::Str(self.metric.clone())),
+            ("value".to_string(), Content::F64(self.value)),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    fn from_content(doc: &Content) -> Option<PerfRow> {
+        let map = doc.as_map()?;
+        let text = |k: &str| {
+            serde::field(map, k)
+                .ok()
+                .and_then(Content::as_str)
+                .map(str::to_string)
+        };
+        let value = match serde::field(map, "value").ok()? {
+            Content::F64(v) => *v,
+            Content::U128(v) => *v as f64,
+            Content::I128(v) => *v as f64,
+            _ => return None,
+        };
+        Some(PerfRow {
+            git_sha: text("git_sha")?,
+            bench_name: text("bench")?,
+            metric: text("metric")?,
+            value,
+        })
+    }
+}
+
+/// Parses a JSONL history document. Unparseable lines are skipped (the
+/// history survives a corrupted line) and blank lines are ignored.
+pub fn parse_history(text: &str) -> Vec<PerfRow> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<Content>(l).ok())
+        .filter_map(|doc| PerfRow::from_content(&doc))
+        .collect()
+}
+
+/// Loads the history file; a missing file is an empty history.
+///
+/// # Errors
+///
+/// Propagates read errors other than `NotFound`.
+pub fn load_history(path: &Path) -> std::io::Result<Vec<PerfRow>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(parse_history(&text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Appends one row to the history file, creating parent directories as
+/// needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_row(path: &Path, row: &PerfRow) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", row.to_json_line())
+}
+
+/// The most recent prior row for `(bench, metric)` — the baseline a
+/// fresh measurement is judged against. Rows from the same commit also
+/// count (re-running on one commit compares against the first run,
+/// which must pass: same code, same speed).
+pub fn baseline_for<'a>(history: &'a [PerfRow], bench: &str, metric: &str) -> Option<&'a PerfRow> {
+    history
+        .iter()
+        .rev()
+        .find(|r| r.bench_name == bench && r.metric == metric)
+}
+
+/// Outcome of comparing a fresh measurement against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// No prior row — this run records the first baseline.
+    NoBaseline,
+    /// Within threshold (or an improvement). `ratio` is new/old.
+    Ok {
+        /// Baseline value the measurement was compared against.
+        baseline: f64,
+        /// `new / old`; 1.0 means unchanged, >1.0 an improvement.
+        ratio: f64,
+    },
+    /// Regressed more than the threshold below baseline.
+    Regression {
+        /// Baseline value the measurement was compared against.
+        baseline: f64,
+        /// `new / old`, below `1.0 - threshold`.
+        ratio: f64,
+    },
+}
+
+impl Verdict {
+    /// True when this verdict should fail the build.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regression { .. })
+    }
+}
+
+/// Judges `value` against the most recent baseline in `history` for a
+/// higher-is-better metric. A non-finite or non-positive baseline is
+/// treated as absent (it cannot anchor a ratio).
+pub fn judge(
+    history: &[PerfRow],
+    bench: &str,
+    metric: &str,
+    value: f64,
+    threshold: f64,
+) -> Verdict {
+    match baseline_for(history, bench, metric) {
+        Some(b) if b.value.is_finite() && b.value > 0.0 => {
+            let ratio = value / b.value;
+            if ratio < 1.0 - threshold {
+                Verdict::Regression {
+                    baseline: b.value,
+                    ratio,
+                }
+            } else {
+                Verdict::Ok {
+                    baseline: b.value,
+                    ratio,
+                }
+            }
+        }
+        _ => Verdict::NoBaseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(sha: &str, value: f64) -> PerfRow {
+        PerfRow {
+            git_sha: sha.to_string(),
+            bench_name: "hotpath".to_string(),
+            metric: "cycles_per_sec".to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_through_jsonl() {
+        let rows = [row("aaa", 250_000.0), row("bbb", 260_000.5)];
+        let text = rows
+            .iter()
+            .map(PerfRow::to_json_line)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_history(&text);
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let text = format!(
+            "{}\nnot json at all\n\n{}",
+            row("a", 1.0).to_json_line(),
+            row("b", 2.0).to_json_line()
+        );
+        let parsed = parse_history(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].git_sha, "b");
+    }
+
+    #[test]
+    fn baseline_is_most_recent_matching_row() {
+        let mut history = vec![row("old", 100.0), row("new", 200.0)];
+        history.push(PerfRow {
+            metric: "other".to_string(),
+            ..row("newest", 7.0)
+        });
+        let b = baseline_for(&history, "hotpath", "cycles_per_sec").expect("baseline");
+        assert_eq!(b.git_sha, "new");
+        assert!(baseline_for(&history, "hotpath", "missing").is_none());
+    }
+
+    #[test]
+    fn judge_passes_same_commit_rerun_and_fails_injected_slowdown() {
+        let history = vec![row("base", 300_000.0)];
+        // Re-run on the same commit: tiny jitter either way is fine.
+        assert!(!judge(&history, "hotpath", "cycles_per_sec", 298_000.0, 0.10).is_regression());
+        assert!(!judge(&history, "hotpath", "cycles_per_sec", 310_000.0, 0.10).is_regression());
+        // Injected 15% slowdown fixture: must fail a 10% gate.
+        let v = judge(&history, "hotpath", "cycles_per_sec", 255_000.0, 0.10);
+        assert!(v.is_regression(), "{v:?}");
+        if let Verdict::Regression { baseline, ratio } = v {
+            assert_eq!(baseline, 300_000.0);
+            assert!((ratio - 0.85).abs() < 1e-9);
+        }
+        // Exactly at the 10% boundary passes (strict inequality).
+        assert!(!judge(&history, "hotpath", "cycles_per_sec", 270_000.0, 0.10).is_regression());
+        // No baseline.
+        assert_eq!(
+            judge(&[], "hotpath", "cycles_per_sec", 1.0, 0.10),
+            Verdict::NoBaseline
+        );
+    }
+
+    #[test]
+    fn append_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("fp_perfwatch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("perf_history.jsonl");
+        assert!(load_history(&path)
+            .expect("missing file is empty")
+            .is_empty());
+        append_row(&path, &row("a", 1.5)).expect("append");
+        append_row(&path, &row("b", 2.5)).expect("append");
+        let loaded = load_history(&path).expect("load");
+        assert_eq!(loaded, vec![row("a", 1.5), row("b", 2.5)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,8 @@
 //! [`LatencyPoint`]: crate::runner::LatencyPoint
 
 use crate::runner::{make_sim, SweepSpec};
+use crate::telemetry::{merge_counter_tracks, windows_json};
+use noc_sim::SamplerConfig;
 use noc_trace::{chrome_trace_json, packet_lifetimes, TraceConfig, Tracer};
 use serde::Content;
 use std::path::{Path, PathBuf};
@@ -39,6 +41,8 @@ pub struct TraceCheckSummary {
     pub instants: usize,
     /// Metadata ("M") events naming processes/threads.
     pub metadata: usize,
+    /// Counter ("C") events — windowed telemetry tracks.
+    pub counters: usize,
     /// Regular link-traversal events present (`name == "link"`).
     pub has_regular_link: bool,
     /// Bypass lane-traversal events present (`name == "lane"`).
@@ -50,10 +54,11 @@ fn map_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Conten
 }
 
 /// Validates a Chrome `trace_event` JSON document produced by
-/// [`chrome_trace_json`]: a top-level array whose every element carries
-/// a `name`, a known phase (`X`/`i`/`M`), integral `pid`/`tid`, a
-/// timestamp on non-metadata events, a positive duration on complete
-/// events and an instant scope on instants.
+/// [`chrome_trace_json`] (plus merged telemetry counter tracks): a
+/// top-level array whose every element carries a `name`, a known phase
+/// (`X`/`i`/`M`/`C`), integral `pid`/`tid`, a timestamp on non-metadata
+/// events, a positive duration on complete events, an instant scope on
+/// instants, and an `args` object on counters.
 ///
 /// With `require_bypass`, the trace must additionally contain both
 /// regular link traversals (`"link"`) and bypass lane traversals
@@ -64,6 +69,23 @@ fn map_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Conten
 /// Returns a message naming the first offending event and what is wrong
 /// with it.
 pub fn check_chrome_trace(json: &str, require_bypass: bool) -> Result<TraceCheckSummary, String> {
+    check_chrome_trace_full(json, require_bypass, false)
+}
+
+/// [`check_chrome_trace`] with the counter-track requirement exposed:
+/// with `require_counters`, the trace must contain at least one counter
+/// (`"C"`) event — the CI trace-smoke gate uses this to prove the
+/// telemetry merge actually ran.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending event and what is wrong
+/// with it.
+pub fn check_chrome_trace_full(
+    json: &str,
+    require_bypass: bool,
+    require_counters: bool,
+) -> Result<TraceCheckSummary, String> {
     let doc: Content = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
     let Content::Seq(events) = doc else {
         return Err("top level must be a JSON array of trace events".to_string());
@@ -73,6 +95,7 @@ pub fn check_chrome_trace(json: &str, require_bypass: bool) -> Result<TraceCheck
         complete: 0,
         instants: 0,
         metadata: 0,
+        counters: 0,
         has_regular_link: false,
         has_bypass_lane: false,
     };
@@ -120,9 +143,23 @@ pub fn check_chrome_trace(json: &str, require_bypass: bool) -> Result<TraceCheck
                     _ => {}
                 }
             }
+            "C" => {
+                summary.counters += 1;
+                if map_get(entries, "ts").and_then(Content::as_u64).is_none() {
+                    return Err(format!("counter event #{i} ({name}) has no integral `ts`"));
+                }
+                match map_get(entries, "args") {
+                    Some(Content::Map(_)) => {}
+                    _ => {
+                        return Err(format!(
+                            "counter event #{i} ({name}) needs an `args` object of series"
+                        ))
+                    }
+                }
+            }
             other => {
                 return Err(format!(
-                    "event #{i} ({name}) has unknown phase {other:?} (expected X, i or M)"
+                    "event #{i} ({name}) has unknown phase {other:?} (expected X, i, M or C)"
                 ))
             }
         }
@@ -141,6 +178,12 @@ pub fn check_chrome_trace(json: &str, require_bypass: bool) -> Result<TraceCheck
                     .to_string(),
             );
         }
+    }
+    if require_counters && summary.counters == 0 {
+        return Err(
+            "no counter (`C`) events in trace — telemetry counter tracks were not merged"
+                .to_string(),
+        );
     }
     Ok(summary)
 }
@@ -169,9 +212,20 @@ pub fn point_stem(spec: &SweepSpec, rate: f64) -> String {
         .collect()
 }
 
-/// Runs one `(spec, rate)` point with tracing enabled and writes the
-/// three artifacts into `dir`. Returns the paths written (trace JSON
-/// first).
+/// Window size for the traced-point sampler: aim for ~64 windows over
+/// the measurement window so the counter tracks have visible shape.
+fn sampler_for(measure: u64) -> SamplerConfig {
+    SamplerConfig {
+        sample_every: (measure / 64).max(1),
+        max_windows: 256,
+    }
+}
+
+/// Runs one `(spec, rate)` point with tracing **and the windowed
+/// sampler** enabled, and writes four artifacts into `dir`: the Chrome
+/// trace (with telemetry counter tracks merged in), the metrics report,
+/// the lifetime report, and the `<point>.windows.json` time series.
+/// Returns the paths written (trace JSON first).
 ///
 /// # Errors
 ///
@@ -192,8 +246,22 @@ pub fn run_traced_point(
         spec.seed,
     );
     sim.set_trace(cfg);
+    sim.set_sampler(&sampler_for(spec.measure));
     sim.run_windows(spec.warmup, spec.measure);
-    write_artifacts(dir, &point_stem(spec, rate), sim.tracer())
+    sim.finish_sampling();
+    let stem = point_stem(spec, rate);
+    let mut paths = write_artifacts(dir, &stem, sim.tracer())?;
+    let sampler = sim.sampler().expect("sampler installed above");
+    // Merge the window series into the Chrome trace as counter tracks,
+    // and write the raw series alongside for offline plotting.
+    let chrome_path = &paths[0];
+    let chrome = std::fs::read_to_string(chrome_path)?;
+    let merged = merge_counter_tracks(&chrome, sampler).map_err(std::io::Error::other)?;
+    std::fs::write(chrome_path, merged)?;
+    let windows = dir.join(format!("{stem}.windows.json"));
+    std::fs::write(&windows, windows_json(sampler))?;
+    paths.push(windows);
+    Ok(paths)
 }
 
 fn write_artifacts(dir: &Path, stem: &str, tracer: &Tracer) -> std::io::Result<Vec<PathBuf>> {
@@ -236,11 +304,13 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let paths =
             run_traced_point(&spec(), 0.05, &TraceConfig::full(), &dir).expect("traced run");
-        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.len(), 4);
         let json = std::fs::read_to_string(&paths[0]).unwrap();
-        let summary = check_chrome_trace(&json, false).expect("trace validates");
+        let summary =
+            check_chrome_trace_full(&json, false, true).expect("trace validates with counters");
         assert!(summary.has_regular_link, "uniform load crosses links");
         assert!(summary.metadata > 0, "process/thread names present");
+        assert!(summary.counters > 0, "telemetry counter tracks merged in");
         let metrics = std::fs::read_to_string(&paths[1]).unwrap();
         assert!(metrics.contains("stalls"), "metrics report has stall map");
         let lifetimes = std::fs::read_to_string(&paths[2]).unwrap();
@@ -248,6 +318,9 @@ mod tests {
             lifetimes.contains("packet P"),
             "lifetime report has packets"
         );
+        let windows = std::fs::read_to_string(&paths[3]).unwrap();
+        assert!(paths[3].to_string_lossy().ends_with(".windows.json"));
+        assert!(windows.contains("\"windows\""), "window series present");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -270,6 +343,22 @@ mod tests {
         assert!(check_chrome_trace(x_without_dur, false).is_err());
         let only_metadata = r#"[{"name":"process_name","ph":"M","pid":0,"tid":0}]"#;
         assert!(check_chrome_trace(only_metadata, false).is_err());
+        let counter_without_args = r#"[{"name":"in_flight","ph":"C","pid":2,"tid":0,"ts":1}]"#;
+        assert!(check_chrome_trace(counter_without_args, false).is_err());
+    }
+
+    #[test]
+    fn require_counters_demands_a_counter_track() {
+        let no_counters = r#"[{"name":"link","ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]"#;
+        assert!(check_chrome_trace_full(no_counters, false, false).is_ok());
+        let err = check_chrome_trace_full(no_counters, false, true).unwrap_err();
+        assert!(err.contains("counter"), "{err}");
+        let with_counter = r#"[
+            {"name":"link","ph":"X","pid":0,"tid":0,"ts":1,"dur":1},
+            {"name":"in_flight","ph":"C","pid":2,"tid":0,"ts":5,"args":{"network":3}}
+        ]"#;
+        let s = check_chrome_trace_full(with_counter, false, true).expect("valid");
+        assert_eq!(s.counters, 1);
     }
 
     #[test]
@@ -298,7 +387,7 @@ mod tests {
     }
 
     #[test]
-    fn counters_level_produces_metrics_but_empty_event_trace() {
+    fn counters_level_produces_metrics_and_counter_only_trace() {
         let dir = std::env::temp_dir().join(format!("fp_trace_cnt_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = TraceConfig {
@@ -307,8 +396,11 @@ mod tests {
         };
         let paths = run_traced_point(&spec(), 0.05, &cfg, &dir).expect("traced run");
         let json = std::fs::read_to_string(&paths[0]).unwrap();
-        let err = check_chrome_trace(&json, false).unwrap_err();
-        assert!(err.contains("only metadata"), "{err}");
+        // No per-flit events at counters level, but the merged telemetry
+        // counter tracks make the trace valid and loadable on their own.
+        let s = check_chrome_trace_full(&json, false, true).expect("counters validate");
+        assert_eq!(s.complete, 0, "no flit events at counters level");
+        assert!(s.counters > 0);
         let metrics = std::fs::read_to_string(&paths[1]).unwrap();
         assert!(metrics.contains("occupancy_integral"));
         let _ = std::fs::remove_dir_all(&dir);

@@ -84,6 +84,138 @@ impl Distribution {
         self.sum += other.sum;
         self.sorted = false;
     }
+
+    /// Sum of all samples (exact, no overflow for realistic runs).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Whether the sample buffer is currently sorted, i.e. whether
+    /// [`percentile_sorted`](Self::percentile_sorted) may be called.
+    /// True after [`seal`](Self::seal) (or any `percentile` query) until
+    /// the next [`record`](Self::record)/[`merge`](Self::merge).
+    pub fn is_sealed(&self) -> bool {
+        self.sorted || self.samples.is_empty()
+    }
+
+    /// Sorts the samples so percentiles become readable through a shared
+    /// reference ([`percentile_sorted`](Self::percentile_sorted)).
+    ///
+    /// Readers that only hold `&Distribution` — the windowed sampler, or
+    /// any exporter walking a finished [`NetStats`] — cannot use the lazy
+    /// `&mut self` [`percentile`](Self::percentile) path. Sealing once at
+    /// the end of a run gives them the identical nearest-rank answers
+    /// without interior mutability or a defensive clone.
+    pub fn seal(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Exact percentile through a shared reference. Identical results to
+    /// [`percentile`](Self::percentile) (proven by a unit test), but
+    /// requires the distribution to be sealed first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 100]`, or if samples were recorded
+    /// since the last [`seal`](Self::seal) — answering from an unsorted
+    /// buffer would silently return garbage.
+    pub fn percentile_sorted(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!(
+            self.sorted,
+            "percentile_sorted on an unsealed Distribution; call seal() first"
+        );
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.saturating_sub(1).min(n - 1)])
+    }
+}
+
+/// A `Copy` snapshot of [`NetStats`]' additive counters, used by the
+/// windowed sampler to form per-window deltas without touching (or
+/// cloning) the live distributions.
+///
+/// Every field is monotonically non-decreasing over a run (statistics
+/// only ever accumulate between resets), so the difference of two
+/// snapshots taken from the same window is exact. Distributions are
+/// represented by their `(count, sum)` pair — enough for per-window
+/// means; exact window percentiles would require the samples themselves,
+/// which the no-allocation sampling contract rules out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Packets delivered via regular pass only.
+    pub delivered_regular: u64,
+    /// Packets delivered after a FastPass upgrade.
+    pub delivered_fastpass: u64,
+    /// Flits delivered.
+    pub flits_delivered: u64,
+    /// Packets generated.
+    pub generated: u64,
+    /// Drop events.
+    pub dropped: u64,
+    /// Unique delivered packets dropped at least once.
+    pub dropped_packets: u64,
+    /// FastPass ejection-queue rejections.
+    pub rejections: u64,
+    /// Deflections/misroutes.
+    pub deflections: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Number of end-to-end latency samples (== packets delivered with a
+    /// recorded latency).
+    pub latency_count: u64,
+    /// Sum of end-to-end latency samples, in cycles.
+    pub latency_sum: u128,
+    /// Number of hop-count samples.
+    pub hops_count: u64,
+    /// Sum of hop-count samples.
+    pub hops_sum: u128,
+}
+
+impl StatsSnapshot {
+    /// Total packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered_regular + self.delivered_fastpass
+    }
+
+    /// Field-wise `self - earlier` (saturating, so a stats reset between
+    /// snapshots degrades to zeros instead of wrapping).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            delivered_regular: self
+                .delivered_regular
+                .saturating_sub(earlier.delivered_regular),
+            delivered_fastpass: self
+                .delivered_fastpass
+                .saturating_sub(earlier.delivered_fastpass),
+            flits_delivered: self.flits_delivered.saturating_sub(earlier.flits_delivered),
+            generated: self.generated.saturating_sub(earlier.generated),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            dropped_packets: self.dropped_packets.saturating_sub(earlier.dropped_packets),
+            rejections: self.rejections.saturating_sub(earlier.rejections),
+            deflections: self.deflections.saturating_sub(earlier.deflections),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            latency_count: self.latency_count.saturating_sub(earlier.latency_count),
+            latency_sum: self.latency_sum.saturating_sub(earlier.latency_sum),
+            hops_count: self.hops_count.saturating_sub(earlier.hops_count),
+            hops_sum: self.hops_sum.saturating_sub(earlier.hops_sum),
+        }
+    }
+
+    /// Mean end-to-end latency over the snapshot (or delta), in cycles.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.latency_count == 0 {
+            None
+        } else {
+            Some(self.latency_sum as f64 / self.latency_count as f64)
+        }
+    }
 }
 
 /// Aggregate network statistics for one simulation run.
@@ -188,6 +320,27 @@ impl NetStats {
         self.delivered_regular + self.delivered_fastpass
     }
 
+    /// A `Copy` snapshot of every additive counter (allocation-free; see
+    /// [`StatsSnapshot`]). Two snapshots bracketing a window subtract to
+    /// the window's exact contribution.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            delivered_regular: self.delivered_regular,
+            delivered_fastpass: self.delivered_fastpass,
+            flits_delivered: self.flits_delivered,
+            generated: self.generated,
+            dropped: self.dropped,
+            dropped_packets: self.dropped_packets,
+            rejections: self.rejections,
+            deflections: self.deflections,
+            cycles: self.cycles,
+            latency_count: self.latency.count() as u64,
+            latency_sum: self.latency.sum(),
+            hops_count: self.hops.count() as u64,
+            hops_sum: self.hops.sum(),
+        }
+    }
+
     /// Delivered packets that were also *generated* inside this window
     /// (excludes warmup carryover). Always `<= generated` under open-loop
     /// traffic, which makes it the right numerator for offered-vs-accepted
@@ -289,6 +442,95 @@ mod tests {
         assert_eq!(d.percentile(100.0), Some(10));
         d.record(1);
         assert_eq!(d.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn percentile_sorted_matches_mut_percentile() {
+        // Adversarial sample set: duplicates, zeros, a huge outlier, and
+        // insertion order far from sorted.
+        let data: Vec<u64> = vec![7, 7, 0, 3, 1_000_000, 42, 7, 0, 13, 9, 9, 2];
+        let mut lazy = Distribution::new();
+        let mut sealed = Distribution::new();
+        for &v in &data {
+            lazy.record(v);
+            sealed.record(v);
+        }
+        assert!(!sealed.is_sealed());
+        sealed.seal();
+        assert!(sealed.is_sealed());
+        for p in [0.0, 1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(
+                lazy.percentile(p),
+                sealed.percentile_sorted(p),
+                "p = {p} diverged between the &mut and sealed paths"
+            );
+        }
+        // Sealing is idempotent and survives further queries.
+        sealed.seal();
+        assert_eq!(sealed.percentile_sorted(50.0), lazy.percentile(50.0));
+    }
+
+    #[test]
+    fn seal_invalidated_by_record() {
+        let mut d = Distribution::new();
+        d.record(5);
+        d.seal();
+        d.record(1);
+        assert!(!d.is_sealed());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsealed")]
+    fn percentile_sorted_rejects_unsealed() {
+        let mut d = Distribution::new();
+        d.record(2);
+        d.record(1);
+        let _ = d.percentile_sorted(50.0);
+    }
+
+    #[test]
+    fn percentile_sorted_empty_is_none_without_seal() {
+        let d = Distribution::new();
+        assert_eq!(d.percentile_sorted(99.0), None);
+        assert!(d.is_sealed(), "an empty distribution is trivially sorted");
+    }
+
+    #[test]
+    fn snapshot_delta_brackets_a_window() {
+        let mut store = PacketStore::new();
+        let mut s = NetStats::new(4);
+        s.generated = 3;
+        s.record_delivered(&delivered_packet(&mut store, false));
+        let before = s.snapshot();
+        assert_eq!(before.delivered(), 1);
+        assert_eq!(before.latency_count, 1);
+        s.generated = 7;
+        s.cycles = 50;
+        s.record_delivered(&delivered_packet(&mut store, true));
+        s.record_delivered(&delivered_packet(&mut store, false));
+        let after = s.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.delivered(), 2);
+        assert_eq!(d.delivered_fastpass, 1);
+        assert_eq!(d.generated, 4);
+        assert_eq!(d.cycles, 50);
+        assert_eq!(d.latency_count, 2);
+        assert_eq!(d.flits_delivered, 10);
+        // Window mean uses only the delta's samples: both packets in the
+        // window have latency 40.
+        assert_eq!(d.mean_latency(), Some(40.0));
+    }
+
+    #[test]
+    fn snapshot_delta_saturates_across_reset() {
+        let mut store = PacketStore::new();
+        let mut s = NetStats::new(4);
+        s.record_delivered(&delivered_packet(&mut store, false));
+        let before = s.snapshot();
+        let fresh = NetStats::new(4).snapshot();
+        let d = fresh.delta_since(&before);
+        assert_eq!(d.delivered(), 0, "reset must clamp, not wrap");
+        assert_eq!(d.latency_sum, 0);
     }
 
     fn delivered_packet(store: &mut PacketStore, fastpass: bool) -> Packet {

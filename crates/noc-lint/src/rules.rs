@@ -73,9 +73,19 @@ const HOT_FILES: &[&str] = &["crates/noc-sim/src/regular.rs"];
 
 /// Function names whose bodies are per-cycle hot paths wherever they
 /// appear in scheme/substrate crates: the regular pass (`advance`),
-/// scheme steps (`step`), the staged-move applier (`apply_staged`) and
-/// the tracer's event sink (`push_event`, reached every traced event).
-const HOT_FNS: &[&str] = &["advance", "step", "apply_staged", "push_event"];
+/// scheme steps (`step`), the staged-move applier (`apply_staged`), the
+/// tracer's event sink (`push_event`, reached every traced event) and
+/// the windowed sampler's recording paths (`sample_tick`,
+/// `record_window`, reached every cycle / every window boundary when
+/// sampling is on).
+const HOT_FNS: &[&str] = &[
+    "advance",
+    "step",
+    "apply_staged",
+    "push_event",
+    "sample_tick",
+    "record_window",
+];
 
 /// Crates whose `advance`/`step` implementations are hot.
 const HOT_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines", "noc-trace"];

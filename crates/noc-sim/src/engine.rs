@@ -1,6 +1,8 @@
 //! The simulation driver: workloads, measurement windows, sweeps.
 
 use crate::network::NetworkCore;
+use crate::probe::{Phase, PhaseProbe};
+use crate::sampler::{Sampler, SamplerConfig};
 use crate::scheme::Scheme;
 use noc_core::config::SimConfig;
 use noc_core::packet::{MessageClass, Packet, CLASSES};
@@ -55,6 +57,7 @@ pub struct Simulation {
     workload: Box<dyn Workload>,
     last_consumption: u64,
     consumed: u64,
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -90,6 +93,7 @@ impl Simulation {
             workload,
             last_consumption: 0,
             consumed: 0,
+            sampler: None,
         }
     }
 
@@ -112,13 +116,82 @@ impl Simulation {
         &self.core.trace
     }
 
+    /// Installs a windowed sampler for all subsequent cycles.
+    ///
+    /// Like tracing, sampling is observational only: a sampled run
+    /// produces bitwise identical [`NetStats`] to an unsampled one
+    /// (enforced by the `sampler_gate` integration test). The sampler's
+    /// delta baselines are re-based on the current counters here, and
+    /// again at every [`reset_stats`](Self::reset_stats), so the series
+    /// always covers exactly the live measurement window.
+    pub fn set_sampler(&mut self, cfg: &SamplerConfig) {
+        let mut s = Sampler::new(cfg);
+        s.resync(&self.core);
+        self.sampler = Some(s);
+    }
+
+    /// The installed sampler, if any.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Flushes the sampler's final partial window and returns the
+    /// sampler. Call after the last [`run`](Self::run) and before
+    /// reading [`Sampler::windows`]; otherwise counts accrued since the
+    /// last window boundary are missing and window sums will not
+    /// reconcile with end-of-run totals.
+    pub fn finish_sampling(&mut self) -> Option<&Sampler> {
+        let overlay = self.scheme.overlay_packets() as u64;
+        if let Some(s) = self.sampler.as_mut() {
+            s.flush(&self.core, overlay);
+        }
+        self.sampler.as_ref()
+    }
+
+    /// Installs a phase probe (see [`PhaseProbe`]); stages bracket
+    /// themselves with it until [`take_probe`](Self::take_probe).
+    pub fn set_probe(&mut self, probe: Box<dyn PhaseProbe>) {
+        self.core.set_probe(probe);
+    }
+
+    /// Uninstalls and returns the phase probe, if any.
+    pub fn take_probe(&mut self) -> Option<Box<dyn PhaseProbe>> {
+        self.core.take_probe()
+    }
+
     /// Simulates one cycle: workload tick → scheme step → NI consumption.
     pub fn step(&mut self) {
+        self.core.probe_begin(Phase::WorkloadTick);
         self.workload.tick(&mut self.core);
+        self.core.probe_end(Phase::WorkloadTick);
+        self.core.probe_begin(Phase::SchemeStep);
         self.scheme.step(&mut self.core);
+        self.core.probe_end(Phase::SchemeStep);
+        self.core.probe_begin(Phase::NiConsume);
         self.consume();
+        self.core.probe_end(Phase::NiConsume);
         self.core.stats.cycles += 1;
         self.core.advance_cycle();
+        if self.sampler.is_some() {
+            self.sample_tick();
+        }
+    }
+
+    /// Closes a sampling window when one is due. Cold: reached only with
+    /// a sampler installed; `step()` pays a single predicted branch.
+    #[cold]
+    #[inline(never)]
+    fn sample_tick(&mut self) {
+        let due = self
+            .sampler
+            .as_ref()
+            .is_some_and(|s| self.core.cycle() >= s.next_due());
+        if due {
+            let overlay = self.scheme.overlay_packets() as u64;
+            if let Some(s) = self.sampler.as_mut() {
+                s.record_window(&self.core, overlay);
+            }
+        }
     }
 
     /// Runs `cycles` cycles (or until a closed-loop workload finishes).
@@ -152,6 +225,9 @@ impl Simulation {
         let mut stats = NetStats::new(nodes);
         stats.window_start = self.core.cycle();
         self.core.stats = stats;
+        if let Some(s) = self.sampler.as_mut() {
+            s.resync(&self.core);
+        }
     }
 
     /// Cycles since an NI last consumed a packet — a large value while
@@ -538,6 +614,104 @@ mod tests {
         );
         assert_eq!(stats.window_start, 1_000);
         finish(&s);
+    }
+
+    #[test]
+    fn sampler_windows_reconcile_with_run_totals() {
+        let mut s = sim(0.1);
+        s.run(500);
+        s.reset_stats();
+        s.set_sampler(&crate::sampler::SamplerConfig {
+            sample_every: 64,
+            max_windows: 128,
+        });
+        s.run(1_000);
+        s.finish_sampling();
+        let stats_delivered = s.core.stats.delivered();
+        let stats_flits = s.core.stats.flits_delivered;
+        let sampler = s.sampler().expect("sampler installed");
+        assert_eq!(sampler.dropped_windows(), 0);
+        // 15 full 64-cycle windows plus one 40-cycle flush window.
+        assert_eq!(sampler.windows().len(), 16);
+        let sum_delivered: u64 = sampler.windows().iter().map(|w| w.delivered).sum();
+        let sum_flits: u64 = sampler.windows().iter().map(|w| w.flits_delivered).sum();
+        assert_eq!(sum_delivered, stats_delivered, "delivered reconciles");
+        assert_eq!(sum_flits, stats_flits, "flits reconcile");
+        assert!(stats_delivered > 0, "reconciliation must not be vacuous");
+        // Windows tile the measurement span without gaps or overlap.
+        let mut expect_start = 500;
+        for w in sampler.windows() {
+            assert_eq!(w.start_cycle, expect_start);
+            assert!(w.end_cycle > w.start_cycle);
+            expect_start = w.end_cycle;
+        }
+        assert_eq!(expect_start, 1_500);
+        finish(&s);
+    }
+
+    #[test]
+    fn sampler_series_saturates_instead_of_growing() {
+        let mut s = sim(0.1);
+        s.set_sampler(&crate::sampler::SamplerConfig {
+            sample_every: 16,
+            max_windows: 4,
+        });
+        s.run(640);
+        let sampler = s.sampler().expect("sampler installed");
+        assert_eq!(sampler.windows().len(), 4);
+        assert_eq!(sampler.dropped_windows(), 40 - 4);
+    }
+
+    #[test]
+    fn phase_probe_fires_balanced_and_is_transparent() {
+        use crate::probe::{CountingProbe, Phase, PhaseProbe};
+
+        // Baseline: unprobed run.
+        let mut plain = sim(0.1);
+        let baseline = plain.run_windows(500, 1_000);
+
+        // A probe sharing its accumulator with the test (the same
+        // pattern the bench wall-clock probe uses: no downcasting).
+        use std::sync::{Arc, Mutex};
+        struct Recording(Arc<Mutex<CountingProbe>>);
+        impl PhaseProbe for Recording {
+            fn begin(&mut self, p: Phase) {
+                self.0.lock().expect("probe lock").begin(p);
+            }
+            fn end(&mut self, p: Phase) {
+                self.0.lock().expect("probe lock").end(p);
+            }
+        }
+        let counts = Arc::new(Mutex::new(CountingProbe::default()));
+        let mut probed = sim(0.1);
+        probed.set_probe(Box::new(Recording(Arc::clone(&counts))));
+        let stats = probed.run_windows(500, 1_000);
+        assert_eq!(
+            serde_json::to_string(&stats).expect("serializes"),
+            serde_json::to_string(&baseline).expect("serializes"),
+            "a probed run must be bitwise identical to an unprobed one"
+        );
+        assert!(probed.take_probe().is_some(), "probe was installed");
+        let guard = counts.lock().expect("probe lock");
+        let c = &*guard;
+        for p in Phase::ALL {
+            assert_eq!(
+                c.begins[p.index()],
+                c.ends[p.index()],
+                "unbalanced begin/end for {:?}",
+                p
+            );
+        }
+        // Engine-level phases fire exactly once per cycle.
+        assert_eq!(c.begins[Phase::WorkloadTick.index()], 1_500);
+        assert_eq!(c.begins[Phase::SchemeStep.index()], 1_500);
+        assert_eq!(c.begins[Phase::NiConsume.index()], 1_500);
+        assert_eq!(c.begins[Phase::ApplyStaged.index()], 1_500);
+        // Eject nests inside SwitchAlloc: at least one per active router.
+        assert!(c.begins[Phase::Eject.index()] > 0);
+        assert!(c.max_depth >= 3, "Eject must nest under SchemeStep");
+        drop(guard);
+        finish(&probed);
     }
 
     #[test]

@@ -46,13 +46,17 @@ pub mod engine;
 pub mod inspect;
 pub mod network;
 pub mod ni;
+pub mod probe;
 pub mod regular;
 pub mod router;
 pub mod routing;
+pub mod sampler;
 pub mod scheme;
 pub mod vc;
 pub mod waitgraph;
 
 pub use engine::{Simulation, Workload};
 pub use network::{LinkSet, NetworkCore};
+pub use probe::{Phase, PhaseProbe};
+pub use sampler::{Sampler, SamplerConfig, WindowSample};
 pub use scheme::{Scheme, SchemeProperties};

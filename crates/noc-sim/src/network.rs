@@ -7,6 +7,7 @@
 //! buffers are freed only when the tail flit has left.
 
 use crate::ni::NiState;
+use crate::probe::{Phase, PhaseProbe};
 use crate::router::RouterState;
 use noc_core::config::SimConfig;
 use noc_core::packet::{PacketId, PacketSeed, PacketStore};
@@ -72,6 +73,19 @@ struct StagedArrival {
     vc: usize,
 }
 
+/// The installed phase probe, if any. Newtype so [`NetworkCore`] keeps
+/// its `#[derive(Debug)]` despite `dyn PhaseProbe` not being `Debug`.
+#[derive(Default)]
+struct ProbeSlot(Option<Box<dyn PhaseProbe>>);
+
+impl std::fmt::Debug for ProbeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ProbeSlot")
+            .field(&self.0.as_ref().map(|_| "installed"))
+            .finish()
+    }
+}
+
 /// The simulated network: all routers, NIs, links and packets.
 #[derive(Debug)]
 pub struct NetworkCore {
@@ -105,6 +119,7 @@ pub struct NetworkCore {
     scratch_reqs: Vec<bool>,
     rng: DetRng,
     link_flits: Vec<u64>,
+    probe: ProbeSlot,
 }
 
 impl NetworkCore {
@@ -136,6 +151,7 @@ impl NetworkCore {
             scratch_reqs: Vec::new(),
             rng: DetRng::new(cfg.seed),
             link_flits: vec![0; mesh.num_links()],
+            probe: ProbeSlot(None),
             mesh,
             cfg,
         }
@@ -190,6 +206,51 @@ impl NetworkCore {
     pub fn enable_trace(&mut self, cfg: &TraceConfig) {
         self.trace = Tracer::new(cfg, self.mesh.num_nodes());
         self.trace.set_now(self.cycle);
+    }
+
+    /// Installs a phase probe; subsequent pipeline stages bracket
+    /// themselves with its begin/end hooks. Probes observe only — a
+    /// probed run is bitwise identical to an unprobed one.
+    pub fn set_probe(&mut self, probe: Box<dyn PhaseProbe>) {
+        self.probe = ProbeSlot(Some(probe));
+    }
+
+    /// Uninstalls and returns the current probe, if any.
+    pub fn take_probe(&mut self) -> Option<Box<dyn PhaseProbe>> {
+        self.probe.0.take()
+    }
+
+    /// Phase-begin hook. With no probe installed this is one predicted
+    /// branch (the same zero-overhead discipline as the trace hooks).
+    #[inline]
+    pub fn probe_begin(&mut self, phase: Phase) {
+        if self.probe.0.is_some() {
+            self.probe_begin_cold(phase);
+        }
+    }
+
+    /// Phase-end hook; see [`probe_begin`](Self::probe_begin).
+    #[inline]
+    pub fn probe_end(&mut self, phase: Phase) {
+        if self.probe.0.is_some() {
+            self.probe_end_cold(phase);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn probe_begin_cold(&mut self, phase: Phase) {
+        if let Some(p) = self.probe.0.as_mut() {
+            p.begin(phase);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn probe_end_cold(&mut self, phase: Phase) {
+        if let Some(p) = self.probe.0.as_mut() {
+            p.end(phase);
+        }
     }
 
     /// Shared access to a router.

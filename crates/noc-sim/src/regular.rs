@@ -14,6 +14,7 @@
 
 use crate::network::{LinkSet, NetworkCore};
 use crate::ni::{EjRefusal, EjectEntry, InjStream};
+use crate::probe::Phase;
 use crate::routing::{RouteReq, RoutingPolicy};
 use crate::vc::VcOccupant;
 use noc_core::packet::{MessageClass, PacketId};
@@ -76,18 +77,26 @@ pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &Adv
         let (mut nodes, mut sa_reqs) = core.take_advance_scratch();
         nodes.clear();
         nodes.extend(core.nodes_rotating().filter(|&n| core.node_active(n)));
+        core.probe_begin(Phase::RouteAlloc);
         for &n in &nodes {
             route_and_allocate(core, policy, n);
         }
+        core.probe_end(Phase::RouteAlloc);
+        core.probe_begin(Phase::SwitchAlloc);
         for &n in &nodes {
             switch_traversal(core, ctx, n, &mut sa_reqs);
         }
+        core.probe_end(Phase::SwitchAlloc);
+        core.probe_begin(Phase::Inject);
         for &n in &nodes {
             injection(core, n);
         }
+        core.probe_end(Phase::Inject);
         core.put_advance_scratch(nodes, sa_reqs);
     }
+    core.probe_begin(Phase::ApplyStaged);
     core.apply_staged();
+    core.probe_end(Phase::ApplyStaged);
 }
 
 /// Route computation + downstream VC allocation for head packets that do
@@ -179,7 +188,9 @@ fn switch_traversal(
     let vcs = core.router(node).vcs_per_port();
     let mut input_used = [false; NUM_PORTS];
 
+    core.probe_begin(Phase::Eject);
     eject_stage(core, ctx, node, &mut input_used, reqs);
+    core.probe_end(Phase::Eject);
 
     for d in DIRECTIONS {
         let Some(nbr) = core.mesh().neighbor(node, d) else {

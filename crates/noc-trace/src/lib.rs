@@ -49,7 +49,7 @@ pub mod ring;
 
 pub use chrome::chrome_trace_json;
 pub use event::{BypassOutcome, StallCause, TraceEvent, TraceRecord};
-pub use metrics::{MetricsReport, RouterMetrics};
+pub use metrics::{MetricsReport, NetworkTotals, RouterMetrics};
 pub use report::{packet_lifetime, packet_lifetimes};
 pub use ring::EventRing;
 
@@ -342,6 +342,13 @@ impl Tracer {
     /// Per-router counters (empty when level is off).
     pub fn metrics(&self) -> &[RouterMetrics] {
         &self.metrics
+    }
+
+    /// Network-wide counter sums as one `Copy` value (all-zero when the
+    /// level is off). Allocation-free: this is the windowed sampler's
+    /// per-window read of the stall / link-utilization counters.
+    pub fn totals(&self) -> NetworkTotals {
+        NetworkTotals::accumulate(&self.metrics)
     }
 
     /// The event ring of one node (full mode only).

@@ -96,6 +96,80 @@ impl Serialize for RouterMetrics {
     }
 }
 
+/// Network-wide sums of [`RouterMetrics`] counters, as one `Copy` value.
+///
+/// This is the reuse point for the windowed sampler: every counter here
+/// is monotonically non-decreasing while tracing stays enabled, so two
+/// totals bracketing a window subtract to the window's exact stall /
+/// link-utilization contribution without walking per-router state twice.
+/// With tracing disabled (or at [`TraceLevel::Off`](crate::TraceLevel))
+/// all fields are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkTotals {
+    /// Sum of per-router occupancy integrals.
+    pub occupancy_integral: u64,
+    /// Packets injected, summed over routers and classes.
+    pub injected: u64,
+    /// Packets ejected, summed over routers and classes.
+    pub ejected: u64,
+    /// Stall cycles by cause, summed over routers.
+    pub stalls: [u64; StallCause::COUNT],
+    /// Regular-pipeline link flits, summed over routers.
+    pub link_flits_regular: u64,
+    /// FastPass-lane flit-cycles, summed over routers.
+    pub link_flits_bypass: u64,
+    /// FastPass upgrades launched, summed over routers.
+    pub bypass_launches: u64,
+}
+
+impl NetworkTotals {
+    /// Sums the given per-router counters.
+    pub fn accumulate(routers: &[RouterMetrics]) -> NetworkTotals {
+        let mut t = NetworkTotals::default();
+        for r in routers {
+            t.occupancy_integral += r.occupancy_integral;
+            t.injected += r.injected.iter().sum::<u64>();
+            t.ejected += r.ejected.iter().sum::<u64>();
+            for (acc, &s) in t.stalls.iter_mut().zip(r.stalls.iter()) {
+                *acc += s;
+            }
+            t.link_flits_regular += r.link_flits_regular;
+            t.link_flits_bypass += r.link_flits_bypass;
+            t.bypass_launches += r.bypass_launches;
+        }
+        t
+    }
+
+    /// Total stall cycles across all causes.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Field-wise `self - earlier` (saturating: a tracer re-arm between
+    /// totals degrades to zeros instead of wrapping).
+    pub fn delta_since(&self, earlier: &NetworkTotals) -> NetworkTotals {
+        let mut d = NetworkTotals {
+            occupancy_integral: self
+                .occupancy_integral
+                .saturating_sub(earlier.occupancy_integral),
+            injected: self.injected.saturating_sub(earlier.injected),
+            ejected: self.ejected.saturating_sub(earlier.ejected),
+            stalls: [0; StallCause::COUNT],
+            link_flits_regular: self
+                .link_flits_regular
+                .saturating_sub(earlier.link_flits_regular),
+            link_flits_bypass: self
+                .link_flits_bypass
+                .saturating_sub(earlier.link_flits_bypass),
+            bypass_launches: self.bypass_launches.saturating_sub(earlier.bypass_launches),
+        };
+        for (i, s) in d.stalls.iter_mut().enumerate() {
+            *s = self.stalls[i].saturating_sub(earlier.stalls[i]);
+        }
+        d
+    }
+}
+
 /// The full metrics section: every router plus network-wide histograms.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -139,6 +213,37 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.mean_occupancy(), 2.5);
+    }
+
+    #[test]
+    fn totals_accumulate_and_delta() {
+        let mut a = RouterMetrics::default();
+        a.stalls[StallCause::SaLost.index()] = 3;
+        a.injected[0] = 5;
+        a.link_flits_regular = 7;
+        let mut b = RouterMetrics::default();
+        b.stalls[StallCause::SaLost.index()] = 2;
+        b.ejected[1] = 4;
+        b.bypass_launches = 1;
+        let t = NetworkTotals::accumulate(&[a, b]);
+        assert_eq!(t.stalls[StallCause::SaLost.index()], 5);
+        assert_eq!(t.total_stalls(), 5);
+        assert_eq!(t.injected, 5);
+        assert_eq!(t.ejected, 4);
+        assert_eq!(t.link_flits_regular, 7);
+        assert_eq!(t.bypass_launches, 1);
+
+        let mut later = t;
+        later.stalls[StallCause::SaLost.index()] += 10;
+        later.link_flits_bypass += 6;
+        let d = later.delta_since(&t);
+        assert_eq!(d.stalls[StallCause::SaLost.index()], 10);
+        assert_eq!(d.link_flits_bypass, 6);
+        assert_eq!(d.injected, 0);
+        // Saturating across a re-arm: earlier bigger than later clamps.
+        assert_eq!(t.delta_since(&later).total_stalls(), 0);
+        // Disabled tracer shape: no routers, all-zero totals.
+        assert_eq!(NetworkTotals::accumulate(&[]), NetworkTotals::default());
     }
 
     #[test]

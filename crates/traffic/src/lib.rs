@@ -15,6 +15,7 @@
 //!   regression workloads.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod apps;
 pub mod protocol;

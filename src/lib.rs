@@ -16,6 +16,7 @@
 //! See `examples/quickstart.rs` for a complete, runnable walk-through.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use baselines;
 pub use fastpass;
