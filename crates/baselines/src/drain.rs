@@ -143,8 +143,7 @@ impl Drain {
                 let mut movable = vec![false; n];
                 let mut occupied = vec![false; n];
                 for i in 0..n {
-                    let slot = core.router(NodeId::new(i)).inputs[p].vc(vc);
-                    if let Some(occ) = slot.occupant() {
+                    if let Some(occ) = core.input(NodeId::new(i), p).occupant(vc) {
                         occupied[i] = true;
                         movable[i] = occ.quiescent() && occ.out_vc.is_none();
                     }
@@ -203,7 +202,7 @@ impl Drain {
                     }
                     let mut occ = VcOccupant::reserved(pkt, len, now);
                     occ.arrived = len;
-                    core.router_mut(node).inputs[p].install(vc, occ);
+                    core.input_mut(node, p).install(vc, occ);
                 }
             }
         }

@@ -122,7 +122,7 @@ impl Pitstop {
             }
             'found: for p in 0..NUM_PORTS {
                 for vc in 0..vcs {
-                    let Some(occ) = core.router(node).inputs[p].vc(vc).occupant() else {
+                    let Some(occ) = core.input(node, p).occupant(vc) else {
                         continue;
                     };
                     if !occ.quiescent()

@@ -66,10 +66,9 @@ impl Spin {
         let now = core.cycle();
         let vcs = core.cfg().vcs_per_port();
         core.mesh().nodes().any(|n| {
-            let router = core.router(n);
             (0..noc_core::topology::NUM_PORTS).any(|p| {
                 (0..vcs).any(|vc| {
-                    router.inputs[p].vc(vc).occupant().is_some_and(|o| {
+                    core.input(n, p).occupant(vc).is_some_and(|o| {
                         o.route.is_none()
                             && o.quiescent()
                             && o.blocked_for(now) >= self.cfg.detection_threshold

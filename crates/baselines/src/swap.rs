@@ -59,7 +59,7 @@ impl Swap {
         for node in nodes {
             'this_router: for p in 0..NUM_PORTS {
                 for vc in 0..vcs {
-                    let Some(occ) = core.router(node).inputs[p].vc(vc).occupant() else {
+                    let Some(occ) = core.input(node, p).occupant(vc) else {
                         continue;
                     };
                     if !occ.quiescent()
@@ -79,8 +79,7 @@ impl Swap {
                         let nbr_in = Port::Dir(d.opposite()).index();
                         let range = core.cfg().vc_range_for_class(req.class.index());
                         for nvc in range {
-                            let Some(victim) = core.router(nbr).inputs[nbr_in].vc(nvc).occupant()
-                            else {
+                            let Some(victim) = core.input(nbr, nbr_in).occupant(nvc) else {
                                 continue;
                             };
                             if !victim.quiescent() || victim.out_vc.is_some() {
@@ -95,10 +94,10 @@ impl Swap {
                             let back_len = core.store.get(back).len_flits;
                             let mut fwd_occ = VcOccupant::reserved(fwd, fwd_len, now);
                             fwd_occ.arrived = fwd_len;
-                            core.router_mut(nbr).inputs[nbr_in].install(nvc, fwd_occ);
+                            core.input_mut(nbr, nbr_in).install(nvc, fwd_occ);
                             let mut back_occ = VcOccupant::reserved(back, back_len, now);
                             back_occ.arrived = back_len;
-                            core.router_mut(node).inputs[p].install(vc, back_occ);
+                            core.input_mut(node, p).install(vc, back_occ);
                             {
                                 let f = core.store.get_mut(fwd);
                                 f.hops += 1;

@@ -1,0 +1,33 @@
+//! Diagnostic: decompose hot-path cost into fixed (idle) per-cycle
+//! overhead vs load-proportional work, per scheme.
+//!
+//! Runs single simulation points at increasing injection rates (0 =
+//! pure per-cycle fixed cost) and prints ns/cycle for each, so the
+//! hot-loop optimisation effort can be aimed at the dominant term.
+
+use bench::runner::make_sim;
+use bench::SchemeId;
+use std::time::Instant;
+use traffic::SyntheticPattern;
+
+fn time_point(id: SchemeId, rate: f64, cycles: u64) -> f64 {
+    let mut sim = make_sim(id, SyntheticPattern::Uniform, rate, 4, 2, 5);
+    sim.run(1_000); // warm
+    let t = Instant::now();
+    sim.run(cycles);
+    t.elapsed().as_secs_f64() * 1e9 / cycles as f64
+}
+
+fn main() {
+    const CYCLES: u64 = 200_000;
+    println!("{:>10} {:>6} {:>12}", "scheme", "rate", "ns/cycle");
+    for id in [SchemeId::Vct, SchemeId::FastPass] {
+        for rate in [0.0, 0.02, 0.05, 0.08] {
+            // Best of 3: interference only adds time.
+            let best = (0..3)
+                .map(|_| time_point(id, rate, CYCLES))
+                .fold(f64::INFINITY, f64::min);
+            println!("{:>10} {:>6.2} {:>12.1}", id.name(), rate, best);
+        }
+    }
+}

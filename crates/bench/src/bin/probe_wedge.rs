@@ -46,12 +46,12 @@ fn main() {
         for c in CLASSES {
             row += &format!(" {}:inj{} ej{}", c, ni.inj_len(c), ni.ej_len(c));
         }
-        let vcs = core.router(n).vcs_per_port();
+        let vcs = core.vcs_per_port();
         let mut buf = 0;
         let mut blocked = 0;
         for p in 0..NUM_PORTS {
             for vc in 0..vcs {
-                if let Some(occ) = core.router(n).inputs[p].vc(vc).occupant() {
+                if let Some(occ) = core.input(n, p).occupant(vc) {
                     buf += 1;
                     if occ.blocked_for(core.cycle()) > 1000 {
                         blocked += 1;
@@ -65,10 +65,10 @@ fn main() {
     // Per-class totals in VC buffers.
     let mut per_class = [0usize; 6];
     for n in core.mesh().nodes() {
-        let vcs = core.router(n).vcs_per_port();
+        let vcs = core.vcs_per_port();
         for p in 0..NUM_PORTS {
             for vc in 0..vcs {
-                if let Some(occ) = core.router(n).inputs[p].vc(vc).occupant() {
+                if let Some(occ) = core.input(n, p).occupant(vc) {
                     per_class[core.store.get(occ.pkt).class.index()] += 1;
                 }
             }

@@ -395,15 +395,15 @@ impl FastPass {
                 }
             }
         }
-        // Input ports, round-robin.
-        let router = core.router(prime);
-        let vcs = router.vcs_per_port();
+        // Input ports, round-robin. `occupied()` walks the same ascending
+        // VC order the dense loop did, so the pick is unchanged; it just
+        // skips empty slots via the occupancy word.
+        if core.occupied_vcs(prime) == 0 {
+            return None;
+        }
         for k in 0..NUM_PORTS {
             let port = (self.scan_rr[p] + k) % NUM_PORTS;
-            for vc in 0..vcs {
-                let Some(occ) = router.inputs[port].vc(vc).occupant() else {
-                    continue;
-                };
+            for (vc, occ) in core.input(prime, port).occupied() {
                 // Any fully buffered, unsent packet at the head of an
                 // input buffer is upgradeable (§III-C2); a downstream VC
                 // it may already hold is released at take time.

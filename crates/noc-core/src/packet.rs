@@ -94,6 +94,14 @@ impl fmt::Display for MessageClass {
 pub struct PacketId(u64);
 
 impl PacketId {
+    /// Filler value for pre-sized storage (flat arenas, scratch slots)
+    /// whose entries are guarded by a separate occupancy signal. Readers
+    /// must never interpret a slot's id without checking that signal: the
+    /// placeholder aliases a real id (`raw() == 0`) on purpose, so any
+    /// code path that trusts it unguarded fails loudly in conservation
+    /// audits rather than silently dropping traffic.
+    pub const PLACEHOLDER: PacketId = PacketId(0);
+
     /// Raw value (also the insertion order of the packet).
     pub fn raw(self) -> u64 {
         self.0

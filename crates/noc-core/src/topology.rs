@@ -188,6 +188,13 @@ impl fmt::Display for Port {
 pub struct LinkId(u32);
 
 impl LinkId {
+    /// Builds a link id from its dense index (the inverse of
+    /// [`LinkId::index`], in [`Mesh::link`]'s `from * 4 + direction`
+    /// numbering).
+    pub fn new(raw: usize) -> Self {
+        LinkId(raw as u32)
+    }
+
     /// Dense index usable for per-link vectors of size [`Mesh::num_links`].
     pub fn index(self) -> usize {
         self.0 as usize
@@ -410,6 +417,26 @@ impl ProductiveDirs {
     fn push(&mut self, d: Direction) {
         self.dirs[self.len as usize] = Some(d);
         self.len += 1;
+    }
+
+    /// Builds the productive set from coordinate deltas (`to − from`),
+    /// with the same ordering as [`Mesh::productive_dirs`]: the
+    /// horizontal correction (if any) followed by the vertical one.
+    /// Lets callers holding cached coordinates skip the per-call
+    /// index-to-coordinate division.
+    pub fn from_deltas(dx: isize, dy: isize) -> ProductiveDirs {
+        let mut dirs = ProductiveDirs::default();
+        if dx > 0 {
+            dirs.push(Direction::East);
+        } else if dx < 0 {
+            dirs.push(Direction::West);
+        }
+        if dy > 0 {
+            dirs.push(Direction::South);
+        } else if dy < 0 {
+            dirs.push(Direction::North);
+        }
+        dirs
     }
 
     /// Number of productive directions (0, 1 or 2).

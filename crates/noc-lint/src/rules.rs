@@ -35,7 +35,8 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         OCCUPANCY,
-        "VC occupant slots and occ_mask change only through InputUnit::install/take and whitelisted drain paths",
+        "VC occupant state (arena meta/occ/routed words, occ_mask, install/take) changes only \
+         inside the arena module and whitelisted pipeline/relocation paths",
     ),
     (
         PANIC_HYGIENE,
@@ -93,19 +94,32 @@ const HOT_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines", "noc-trace"];
 /// Crates subject to the occupancy-discipline rule.
 const OCC_CRATES: &[&str] = &["noc-sim", "fastpass", "baselines"];
 
-/// The only files allowed to touch occupant slots directly: the input
-/// unit itself, the regular pipeline, the staged-move applier, the
-/// wait-graph rotation (SPIN's synchronized relocation), and the two
-/// baselines whose published mechanism *is* packet relocation (DRAIN's
-/// ring circulation and SWAP's in-place exchange).
+/// The only files allowed to touch occupant slots directly: the SoA
+/// arena that owns the packed state (`arena.rs` — every occupancy word
+/// and meta byte lives there), the legacy input unit, the regular
+/// pipeline, the staged-move applier, the wait-graph rotation (SPIN's
+/// synchronized relocation), the read-only structural auditor, and the
+/// two baselines whose published mechanism *is* packet relocation
+/// (DRAIN's ring circulation and SWAP's in-place exchange).
 const OCC_WHITELIST: &[&str] = &[
+    "crates/noc-sim/src/arena.rs",
     "crates/noc-sim/src/vc.rs",
     "crates/noc-sim/src/regular.rs",
     "crates/noc-sim/src/network.rs",
     "crates/noc-sim/src/waitgraph.rs",
+    "crates/noc-sim/src/audit.rs",
     "crates/baselines/src/drain.rs",
     "crates/baselines/src/swap.rs",
 ];
+
+/// Arena word arrays: `.meta[…]` / `.occ[…]` / `.routed[…]` field
+/// indexing outside the whitelist is stray arena mutation (the lexical
+/// rule cannot tell reads from writes, and neither belongs outside the
+/// pipeline — cold code reads through `VcArena::get` / `InputRef`).
+const ARENA_WORD_FIELDS: &[&str] = &["meta", "occ", "routed"];
+
+/// Arena mutator entry points that only whitelisted files may name.
+const ARENA_MUTATORS: &[&str] = &["pack_meta", "set_route", "set_route_vc", "input_mut"];
 
 /// Workspace-relative path classification used by rule scoping.
 struct PathInfo<'a> {
@@ -302,9 +316,12 @@ fn check_hot_loop(
 }
 
 /// occupancy: outside the whitelisted files, no `occ_mask` access, no
-/// `occupant_mut()` calls, and no `install(…)`/`take(…)` on an indexed
-/// input unit (`inputs[p].install(…)`). Everything else must go through
-/// `NetworkCore::take_vc_packet` / staged moves.
+/// `occupant_mut()` calls, no `install(…)`/`take(…)` on an indexed
+/// input unit (`inputs[p].install(…)`), no arena word-array indexing
+/// (`.meta[…]` / `.occ[…]` / `.routed[…]`) and no arena mutator entry
+/// points ([`ARENA_MUTATORS`]). Everything else must go through
+/// `NetworkCore::take_vc_packet` / staged moves, or read through
+/// `VcArena::get` / `InputRef`.
 fn check_occupancy(tokens: &[Token], mask: &[bool], path: &str, diags: &mut Vec<Diagnostic>) {
     for (i, t) in tokens.iter().enumerate() {
         if mask[i] || t.kind != TokenKind::Ident {
@@ -313,6 +330,16 @@ fn check_occupancy(tokens: &[Token], mask: &[bool], path: &str, diags: &mut Vec<
         let complaint = match t.text.as_str() {
             "occ_mask" => Some("occupancy mask read/written outside the input unit"),
             "occupant_mut" => Some("direct occupant mutation"),
+            f if ARENA_WORD_FIELDS.contains(&f)
+                && i >= 1
+                && tokens[i - 1].is_punct('.')
+                && next_is(tokens, i, '[') =>
+            {
+                Some("arena occupancy/meta word indexed outside the arena module")
+            }
+            m if ARENA_MUTATORS.contains(&m) => {
+                Some("arena mutator named outside the whitelisted pipeline files")
+            }
             "install" | "take"
                 if is_method_call(tokens, i)
                     && i >= 2

@@ -221,6 +221,46 @@ fn occupancy_silent_in_whitelisted_drain() {
 }
 
 #[test]
+fn occupancy_flags_arena_word_indexing_outside_arena() {
+    // Stray arena mutation: indexing the packed word arrays directly
+    // from a scheme. Reads are flagged too — cold code goes through
+    // `VcArena::get` / `InputRef`.
+    let src = "pub fn poke(core: &mut Core, s: usize) { core.arena.meta[s] |= 1; let r = core.arena.routed[0]; drop(r); }\n";
+    let diags = lint_source("crates/fastpass/src/foo.rs", src);
+    let n = diags.iter().filter(|d| d.rule == "occupancy").count();
+    assert_eq!(n, 2, "meta and routed indexing must both fire: {diags:?}");
+}
+
+#[test]
+fn occupancy_flags_arena_mutator_call_outside_whitelist() {
+    let src = "pub fn hack(core: &mut Core) { core.arena.set_route_vc(0, 0, 0, out, 1); }\n";
+    let diags = lint_source("crates/baselines/src/foo.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "occupancy"), "{diags:?}");
+}
+
+#[test]
+fn occupancy_silent_in_arena_module_itself() {
+    // The arena owns the packed state: its own accessors name occ_mask,
+    // index meta/occ/routed and define the mutators without complaint.
+    let src = "impl VcArena { pub(crate) fn occ_mask(&self) -> u64 { self.occ[0] }\n    pub(crate) fn set_route_vc(&mut self, s: usize) { self.meta[s] |= 1; } }\n";
+    assert!(
+        !rules_fired("crates/noc-sim/src/arena.rs", src).contains(&"occupancy"),
+        "arena.rs is the canonical home of occupancy words"
+    );
+}
+
+#[test]
+fn occupancy_permits_plain_meta_field_without_indexing() {
+    // `meta` as an ordinary struct field (no `.meta[…]` indexing) is not
+    // arena state — e.g. a report carrying a `meta` section.
+    let src = "pub fn f(r: &Report) -> u32 { r.meta.version }\n";
+    assert!(
+        !rules_fired("crates/fastpass/src/foo.rs", src).contains(&"occupancy"),
+        "only indexed word-array access is arena mutation"
+    );
+}
+
+#[test]
 fn occupancy_silent_on_option_take_and_iterator_take() {
     // `.take()` with no argument is Option::take; `.take(n)` on a
     // non-indexed receiver is Iterator::take. Neither touches a VC.

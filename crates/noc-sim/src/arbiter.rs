@@ -47,7 +47,9 @@ impl RoundRobin {
     pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n, "request vector width mismatch");
         let winner = self.peek(requests)?;
-        self.next = (winner + 1) % self.n.max(1);
+        // `winner < n`, so the rotation wraps exactly when the last
+        // requester wins — a compare, not a runtime modulo.
+        self.next = if winner + 1 == self.n { 0 } else { winner + 1 };
         Some(winner)
     }
 
@@ -56,6 +58,63 @@ impl RoundRobin {
         (0..self.n)
             .map(|k| (self.next + k) % self.n)
             .find(|&i| requests[i])
+    }
+
+    /// Word-level [`grant`](Self::grant): the request vector is a bitmask
+    /// (`words[i / 64] >> (i % 64) & 1` is requester `i`), as produced by
+    /// the arena's occupancy words. Semantically identical to `grant`
+    /// over the expanded bool slice — same winner, same rotation, no
+    /// rotation when nothing is requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `ceil(n / 64)` words. Bits at
+    /// positions `>= n` must be clear.
+    pub fn grant_words(&mut self, words: &[u64]) -> Option<usize> {
+        let winner = self.peek_words(words)?;
+        self.next = if winner + 1 == self.n { 0 } else { winner + 1 };
+        Some(winner)
+    }
+
+    /// Like [`grant_words`](Self::grant_words) but without rotating the
+    /// priority.
+    pub fn peek_words(&self, words: &[u64]) -> Option<usize> {
+        assert_eq!(
+            words.len(),
+            self.n.div_ceil(64),
+            "request vector width mismatch"
+        );
+        if self.n == 0 {
+            return None;
+        }
+        let (start_w, start_b) = (self.next / 64, self.next % 64);
+        // Requesters at or above the priority pointer, lowest first: the
+        // tail of the pointer's word, then every later word.
+        let hi = words[start_w] & (!0u64 << start_b);
+        if hi != 0 {
+            return Some(start_w * 64 + hi.trailing_zeros() as usize);
+        }
+        for (i, &w) in words.iter().enumerate().skip(start_w + 1) {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        // Wrap: words below the pointer's word, then the bits below the
+        // pointer within its own word.
+        for (i, &w) in words.iter().enumerate().take(start_w) {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        let lo = if start_b == 0 {
+            0
+        } else {
+            words[start_w] & ((1u64 << start_b) - 1)
+        };
+        if lo != 0 {
+            return Some(start_w * 64 + lo.trailing_zeros() as usize);
+        }
+        None
     }
 
     /// Current priority position (the requester checked first).
@@ -129,5 +188,72 @@ mod tests {
     fn width_mismatch_panics() {
         let mut rr = RoundRobin::new(2);
         let _ = rr.grant(&[true]);
+    }
+
+    fn pack(bools: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; bools.len().div_ceil(64)];
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn grant_words_matches_grant_bitwise() {
+        // Exhaustive-ish cross-check at widths straddling word
+        // boundaries: both arbiters must agree on every winner and on the
+        // priority pointer after every step, including idle steps.
+        for n in [1usize, 3, 60, 64, 65, 128, 320] {
+            let mut a = RoundRobin::new(n);
+            let mut b = RoundRobin::new(n);
+            // Deterministic pseudo-request pattern (xorshift, fixed seed).
+            let mut s: u64 = 0x9E37_79B9_7F4A_7C15 ^ n as u64;
+            for step in 0..200 {
+                let reqs: Vec<bool> = (0..n)
+                    .map(|i| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        // Mix sparse, dense and empty vectors.
+                        (s >> (i % 64)) & 0b11 == (step % 4) as u64
+                    })
+                    .collect();
+                let words = pack(&reqs);
+                assert_eq!(
+                    a.grant(&reqs),
+                    b.grant_words(&words),
+                    "winner diverged at n={n} step={step}"
+                );
+                assert_eq!(a.priority(), b.priority(), "pointer diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn grant_words_wraps_below_pointer() {
+        let mut rr = RoundRobin::new(130);
+        rr.set_priority(100);
+        // Only requester 3 (below the pointer, in an earlier word).
+        let mut words = vec![0u64; 3];
+        words[0] = 1 << 3;
+        assert_eq!(rr.grant_words(&words), Some(3));
+        assert_eq!(rr.priority(), 4);
+    }
+
+    #[test]
+    fn grant_words_no_rotation_when_idle() {
+        let mut rr = RoundRobin::new(70);
+        rr.set_priority(5);
+        assert_eq!(rr.grant_words(&[0, 0]), None);
+        assert_eq!(rr.priority(), 5, "no rotation on idle");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn grant_words_width_mismatch_panics() {
+        let mut rr = RoundRobin::new(65);
+        let _ = rr.grant_words(&[0]);
     }
 }

@@ -1,0 +1,571 @@
+//! Struct-of-arrays storage for every VC buffer in the network.
+//!
+//! The active-set rewrite (PR 2) made the cycle loop proportional to
+//! *activity*; this layout makes the remaining work proportional to
+//! *cache lines*. All per-VC state lives in flat vectors indexed by a
+//! dense slot id — the five byte-sized fields (`len`, `arrived`, `sent`,
+//! `route`, `out_vc`) packed into one `meta` word per slot so every
+//! hot-path predicate is a single bounds-checked load —
+//!
+//! ```text
+//! slot(node, port, vc) = (node * NUM_PORTS + port) * vcs_per_port + vc
+//! ```
+//!
+//! and occupancy lives in one bitmask word per `(node, port)` (word index
+//! `node * NUM_PORTS + port`), so route allocation, switch allocation and
+//! the active-set scan operate word-at-a-time instead of chasing
+//! `Option<VcOccupant>`s through nested per-router structs.
+//!
+//! Three word-level invariants are maintained by construction and checked
+//! by the conservation audit:
+//!
+//! * **occupancy** — bit `vc` of `occ[word(n, p)]` is set iff slot
+//!   `(n, p, vc)` holds a packet; every field array entry is meaningful
+//!   only under a set bit.
+//! * **routed** — `routed[w] ⊆ occ[w]`, and bit `vc` of `routed[w]` is
+//!   set iff the occupant's route has been computed. Route allocation
+//!   scans `occ & !routed`; switch allocation scans `occ & routed`.
+//! * **counts** — `node_occupied[n]` equals the population count of node
+//!   `n`'s five occupancy words (the router half of the active-set
+//!   predicate, now O(1) per node).
+//!
+//! Mutator locality: occupants enter and leave slots *only* through
+//! [`VcArena::install`] / [`VcArena::take`] (wrapped for external crates
+//! by [`InputMut`]), so the masks can never drift from the fields they
+//! summarize. `noc-lint`'s occupancy rule enforces that call sites stay
+//! inside the relocation whitelist.
+
+use crate::vc::VcOccupant;
+use noc_core::packet::PacketId;
+use noc_core::topology::{Port, NUM_PORTS};
+
+/// `route` field sentinel: no route allocated.
+pub(crate) const NO_ROUTE: u8 = u8::MAX;
+/// `out_vc` field sentinel: no downstream VC allocated.
+pub(crate) const NO_OUT_VC: u8 = u8::MAX;
+
+/// Bit offset of the `len` byte in a packed meta word.
+pub(crate) const M_LEN: u32 = 0;
+/// Bit offset of the `arrived` byte in a packed meta word.
+pub(crate) const M_ARRIVED: u32 = 8;
+/// Bit offset of the `sent` byte in a packed meta word.
+pub(crate) const M_SENT: u32 = 16;
+/// Bit offset of the `route` byte in a packed meta word.
+pub(crate) const M_ROUTE: u32 = 24;
+/// Bit offset of the `out_vc` byte in a packed meta word.
+pub(crate) const M_OUT_VC: u32 = 32;
+
+/// `len` byte of a packed meta word.
+#[inline]
+pub(crate) fn m_len(m: u64) -> u8 {
+    (m >> M_LEN) as u8
+}
+
+/// `arrived` byte of a packed meta word.
+#[inline]
+pub(crate) fn m_arrived(m: u64) -> u8 {
+    (m >> M_ARRIVED) as u8
+}
+
+/// `sent` byte of a packed meta word.
+#[inline]
+pub(crate) fn m_sent(m: u64) -> u8 {
+    (m >> M_SENT) as u8
+}
+
+/// `route` byte of a packed meta word ([`NO_ROUTE`] when unrouted).
+#[inline]
+pub(crate) fn m_route(m: u64) -> u8 {
+    (m >> M_ROUTE) as u8
+}
+
+/// `out_vc` byte of a packed meta word ([`NO_OUT_VC`] when unallocated).
+#[inline]
+pub(crate) fn m_out_vc(m: u64) -> u8 {
+    (m >> M_OUT_VC) as u8
+}
+
+/// Packs the five per-slot byte fields into one meta word.
+#[inline]
+pub(crate) fn pack_meta(len: u8, arrived: u8, sent: u8, route: u8, out_vc: u8) -> u64 {
+    (len as u64) << M_LEN
+        | (arrived as u64) << M_ARRIVED
+        | (sent as u64) << M_SENT
+        | (route as u64) << M_ROUTE
+        | (out_vc as u64) << M_OUT_VC
+}
+
+/// Flat struct-of-arrays storage for all `(node, port, vc)` buffers.
+///
+/// Field vectors are `pub(crate)`: the hot pipeline (`regular`,
+/// `network`) reads and advances flit counters in place; everything else
+/// goes through [`InputRef`] / [`InputMut`] views obtained from
+/// [`NetworkCore`](crate::network::NetworkCore).
+#[derive(Debug, Clone)]
+pub struct VcArena {
+    vcs: usize,
+    /// Resident packet per slot (valid only under a set occupancy bit).
+    pub(crate) pkt: Vec<PacketId>,
+    /// Packed per-slot flit state, one word per slot: `len`, `arrived`,
+    /// `sent`, `route` and `out_vc` bytes at the [`M_LEN`]..[`M_OUT_VC`]
+    /// offsets. One load serves every hot-path predicate on a slot, and
+    /// `arrived`/`sent` advance by adding `1 << M_ARRIVED` /
+    /// `1 << M_SENT` (no carry can escape a byte: both are bounded by
+    /// `len < 255`).
+    pub(crate) meta: Vec<u64>,
+    /// Cycle the head flit arrived (blocked-time bookkeeping).
+    pub(crate) head_arrival: Vec<u64>,
+    /// Cycle of the last forward progress from the slot.
+    pub(crate) last_progress: Vec<u64>,
+    /// Occupancy bitmask, one word per `(node, port)`.
+    pub(crate) occ: Vec<u64>,
+    /// Routed-occupant bitmask (`routed ⊆ occ`), one word per
+    /// `(node, port)`.
+    pub(crate) routed: Vec<u64>,
+    /// Occupied-VC count per node (popcount of its five `occ` words).
+    node_occupied: Vec<u32>,
+}
+
+impl VcArena {
+    /// Creates an empty arena for `num_nodes` routers with
+    /// `vcs_per_port` VCs on each of their [`NUM_PORTS`] input ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs_per_port > 64` (occupancy is one word per port).
+    pub(crate) fn new(num_nodes: usize, vcs_per_port: usize) -> Self {
+        assert!(vcs_per_port <= 64, "at most 64 VCs per input port");
+        let slots = num_nodes * NUM_PORTS * vcs_per_port;
+        let words = num_nodes * NUM_PORTS;
+        VcArena {
+            vcs: vcs_per_port,
+            pkt: vec![PacketId::PLACEHOLDER; slots],
+            meta: vec![pack_meta(0, 0, 0, NO_ROUTE, NO_OUT_VC); slots],
+            head_arrival: vec![0; slots],
+            last_progress: vec![0; slots],
+            occ: vec![0; words],
+            routed: vec![0; words],
+            node_occupied: vec![0; num_nodes],
+        }
+    }
+
+    /// VCs per input port.
+    #[inline]
+    pub fn vcs_per_port(&self) -> usize {
+        self.vcs
+    }
+
+    /// Occupancy-word index of `(node, port)`.
+    #[inline]
+    pub(crate) fn word(&self, node: usize, port: usize) -> usize {
+        node * NUM_PORTS + port
+    }
+
+    /// Dense slot id of `(node, port, vc)`.
+    #[inline]
+    pub(crate) fn slot(&self, node: usize, port: usize, vc: usize) -> usize {
+        (node * NUM_PORTS + port) * self.vcs + vc
+    }
+
+    /// Occupied VCs at `node` across all ports — O(1).
+    #[inline]
+    pub(crate) fn node_occupied(&self, node: usize) -> usize {
+        self.node_occupied[node] as usize
+    }
+
+    /// Whether slot `(node, port, vc)` holds a packet.
+    #[inline]
+    pub(crate) fn is_occupied(&self, node: usize, port: usize, vc: usize) -> bool {
+        self.occ[self.word(node, port)] & (1 << vc) != 0
+    }
+
+    /// Materializes the occupant of an **occupied** slot.
+    #[inline]
+    pub(crate) fn get(&self, s: usize) -> VcOccupant {
+        let m = self.meta[s];
+        VcOccupant {
+            pkt: self.pkt[s],
+            len: m_len(m),
+            arrived: m_arrived(m),
+            sent: m_sent(m),
+            route: match m_route(m) {
+                NO_ROUTE => None,
+                i => Some(Port::from_index(i as usize)),
+            },
+            out_vc: match m_out_vc(m) {
+                NO_OUT_VC => None,
+                v => Some(v as usize),
+            },
+            head_arrival: self.head_arrival[s],
+            last_progress: self.last_progress[s],
+        }
+    }
+
+    /// Installs a new occupant into `(node, port, vc)`, updating the
+    /// occupancy word, the routed word and the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied — upstream VC allocation
+    /// must never double-book a buffer — or if `vc` is out of range.
+    pub(crate) fn install(&mut self, node: usize, port: usize, vc: usize, occ: VcOccupant) {
+        assert!(vc < self.vcs, "VC index out of range");
+        let w = self.word(node, port);
+        assert!(self.occ[w] & (1 << vc) == 0, "VC double-booked");
+        let s = self.slot(node, port, vc);
+        self.pkt[s] = occ.pkt;
+        self.meta[s] = pack_meta(
+            occ.len,
+            occ.arrived,
+            occ.sent,
+            occ.route.map_or(NO_ROUTE, |p| p.index() as u8),
+            occ.out_vc.map_or(NO_OUT_VC, |v| v as u8),
+        );
+        self.head_arrival[s] = occ.head_arrival;
+        self.last_progress[s] = occ.last_progress;
+        self.occ[w] |= 1 << vc;
+        if occ.route.is_some() {
+            self.routed[w] |= 1 << vc;
+        } else {
+            self.routed[w] &= !(1 << vc);
+        }
+        self.node_occupied[node] += 1;
+    }
+
+    /// Removes and returns the occupant of `(node, port, vc)`, freeing
+    /// the slot and updating the masks and the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub(crate) fn take(&mut self, node: usize, port: usize, vc: usize) -> Option<VcOccupant> {
+        assert!(vc < self.vcs, "VC index out of range");
+        let w = self.word(node, port);
+        if self.occ[w] & (1 << vc) == 0 {
+            return None;
+        }
+        let occ = self.get(self.slot(node, port, vc));
+        self.occ[w] &= !(1 << vc);
+        self.routed[w] &= !(1 << vc);
+        self.node_occupied[node] -= 1;
+        Some(occ)
+    }
+
+    /// Records the route decision for an occupied slot, keeping the
+    /// routed word in sync (the slot leaves the `occ & !routed` scan and
+    /// enters the `occ & routed` switch-request scan).
+    #[inline]
+    pub(crate) fn set_route(&mut self, node: usize, port: usize, vc: usize, out: Port) {
+        let s = self.slot(node, port, vc);
+        self.meta[s] = (self.meta[s] & !(0xFFu64 << M_ROUTE)) | ((out.index() as u64) << M_ROUTE);
+        let w = self.word(node, port);
+        self.routed[w] |= 1 << vc;
+    }
+
+    /// [`set_route`](Self::set_route) plus the downstream VC allocation,
+    /// in one read-modify-write of the slot's meta word (the direction
+    /// branch of route allocation always records both together).
+    #[inline]
+    pub(crate) fn set_route_vc(
+        &mut self,
+        node: usize,
+        port: usize,
+        vc: usize,
+        out: Port,
+        out_vc: u8,
+    ) {
+        let s = self.slot(node, port, vc);
+        self.meta[s] = (self.meta[s] & !((0xFFu64 << M_ROUTE) | (0xFFu64 << M_OUT_VC)))
+            | ((out.index() as u64) << M_ROUTE)
+            | ((out_vc as u64) << M_OUT_VC);
+        let w = self.word(node, port);
+        self.routed[w] |= 1 << vc;
+    }
+}
+
+/// Read-only view of one input port's VCs, in the shape the pre-arena
+/// `InputUnit` API had. Occupants are materialized by value (they are
+/// small `Copy` records).
+#[derive(Debug, Clone, Copy)]
+pub struct InputRef<'a> {
+    arena: &'a VcArena,
+    node: usize,
+    port: usize,
+}
+
+impl<'a> InputRef<'a> {
+    pub(crate) fn new(arena: &'a VcArena, node: usize, port: usize) -> Self {
+        InputRef { arena, node, port }
+    }
+
+    /// Bitmask of occupied VC indices — O(1).
+    pub fn occ_mask(&self) -> u64 {
+        self.arena.occ[self.arena.word(self.node, self.port)]
+    }
+
+    /// Number of currently occupied VCs — O(1).
+    pub fn occupied_count(&self) -> usize {
+        self.occ_mask().count_ones() as usize
+    }
+
+    /// Number of VCs.
+    pub fn num_vcs(&self) -> usize {
+        self.arena.vcs_per_port()
+    }
+
+    /// The occupant of VC `vc`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn occupant(&self, vc: usize) -> Option<VcOccupant> {
+        assert!(vc < self.num_vcs(), "VC index out of range");
+        if self.occ_mask() & (1 << vc) == 0 {
+            return None;
+        }
+        Some(self.arena.get(self.arena.slot(self.node, self.port, vc)))
+    }
+
+    /// Whether VC `vc` is free for a new packet (VCT admission: the whole
+    /// buffer must be available).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn is_free(&self, vc: usize) -> bool {
+        assert!(vc < self.num_vcs(), "VC index out of range");
+        self.occ_mask() & (1 << vc) == 0
+    }
+
+    /// Index of a free VC within `range`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` extends past the port's VCs.
+    pub fn free_vc_in(&self, range: std::ops::Range<usize>) -> Option<usize> {
+        let free = !self.occ_mask() & Self::range_mask(range, self.num_vcs());
+        if free == 0 {
+            None
+        } else {
+            Some(free.trailing_zeros() as usize)
+        }
+    }
+
+    /// Number of free VCs within `range` (the "credit count" congestion
+    /// metric used by adaptive routing and TFC tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` extends past the port's VCs.
+    pub fn free_vcs_in(&self, range: std::ops::Range<usize>) -> usize {
+        (!self.occ_mask() & Self::range_mask(range, self.num_vcs())).count_ones() as usize
+    }
+
+    /// First free VC within `range` and the number of free VCs in it,
+    /// from a single occupancy-word read — the adaptive-routing fast path
+    /// (one call replaces a [`free_vc_in`](Self::free_vc_in) +
+    /// [`free_vcs_in`](Self::free_vcs_in) pair re-reading the same word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` extends past the port's VCs.
+    pub fn free_vc_and_credits(&self, range: std::ops::Range<usize>) -> (Option<usize>, usize) {
+        let free = !self.occ_mask() & Self::range_mask(range, self.num_vcs());
+        let vc = (free != 0).then(|| free.trailing_zeros() as usize);
+        (vc, free.count_ones() as usize)
+    }
+
+    /// Iterator over `(vc_index, occupant)` pairs for occupied VCs, in
+    /// ascending VC order.
+    pub fn occupied(&self) -> impl Iterator<Item = (usize, VcOccupant)> + 'a {
+        let arena = self.arena;
+        let base = arena.slot(self.node, self.port, 0);
+        let mut mask = self.occ_mask();
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let vc = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some((vc, arena.get(base + vc)))
+        })
+    }
+
+    fn range_mask(range: std::ops::Range<usize>, vcs: usize) -> u64 {
+        assert!(range.end <= vcs, "VC range out of bounds");
+        if range.start >= range.end {
+            return 0;
+        }
+        let width = range.end - range.start;
+        let ones = if width >= 64 {
+            !0u64
+        } else {
+            (1u64 << width) - 1
+        };
+        ones << range.start
+    }
+}
+
+/// Mutating view of one input port: occupant installation and removal.
+/// This is the only route into arena mutation from outside `noc-sim`'s
+/// pipeline, and call sites are locked to the relocation whitelist by
+/// `noc-lint`'s occupancy rule.
+#[derive(Debug)]
+pub struct InputMut<'a> {
+    arena: &'a mut VcArena,
+    node: usize,
+    port: usize,
+}
+
+impl<'a> InputMut<'a> {
+    pub(crate) fn new(arena: &'a mut VcArena, node: usize, port: usize) -> Self {
+        InputMut { arena, node, port }
+    }
+
+    /// Installs a new occupant into VC `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already occupied ("VC double-booked") or out
+    /// of range.
+    pub fn install(&mut self, vc: usize, occ: VcOccupant) {
+        self.arena.install(self.node, self.port, vc, occ);
+    }
+
+    /// Removes and returns the occupant of VC `vc` (freeing it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn take(&mut self, vc: usize) -> Option<VcOccupant> {
+        self.arena.take(self.node, self.port, vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::packet::{MessageClass, Packet, PacketStore};
+    use noc_core::topology::{Direction, NodeId};
+
+    fn pid(store: &mut PacketStore) -> PacketId {
+        store.insert(Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            5,
+            0,
+        ))
+    }
+
+    fn view(arena: &VcArena, node: usize, port: usize) -> InputRef<'_> {
+        InputRef::new(arena, node, port)
+    }
+
+    #[test]
+    fn install_take_maintains_count_and_masks() {
+        let mut store = PacketStore::new();
+        let mut a = VcArena::new(4, 2);
+        assert!(view(&a, 1, 0).is_free(0));
+        assert_eq!(view(&a, 1, 0).occupied_count(), 0);
+        a.install(1, 0, 0, VcOccupant::reserved(pid(&mut store), 1, 0));
+        assert!(!view(&a, 1, 0).is_free(0));
+        assert!(view(&a, 1, 0).occupant(0).is_some());
+        assert_eq!(view(&a, 1, 0).occupied_count(), 1);
+        assert_eq!(a.node_occupied(1), 1);
+        assert_eq!(a.node_occupied(0), 0, "counts are per node");
+        let occ = a.take(1, 0, 0).unwrap();
+        assert_eq!(occ.len, 1);
+        assert!(view(&a, 1, 0).is_free(0));
+        assert_eq!(a.node_occupied(1), 0);
+        assert!(a.take(1, 0, 0).is_none());
+        assert_eq!(a.node_occupied(1), 0, "empty take must not underflow");
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn double_install_panics() {
+        let mut store = PacketStore::new();
+        let mut a = VcArena::new(1, 1);
+        a.install(0, 0, 0, VcOccupant::reserved(pid(&mut store), 1, 0));
+        let p2 = pid(&mut store);
+        a.install(0, 0, 0, VcOccupant::reserved(p2, 1, 0));
+    }
+
+    #[test]
+    fn free_vc_search() {
+        let mut store = PacketStore::new();
+        let mut a = VcArena::new(1, 4);
+        assert_eq!(view(&a, 0, 2).free_vc_in(0..4), Some(0));
+        assert_eq!(view(&a, 0, 2).free_vcs_in(0..4), 4);
+        a.install(0, 2, 0, VcOccupant::reserved(pid(&mut store), 1, 0));
+        a.install(0, 2, 1, VcOccupant::reserved(pid(&mut store), 1, 0));
+        assert_eq!(view(&a, 0, 2).free_vc_in(0..2), None);
+        assert_eq!(view(&a, 0, 2).free_vc_in(0..4), Some(2));
+        assert_eq!(view(&a, 0, 2).free_vcs_in(0..4), 2);
+        assert_eq!(view(&a, 0, 2).free_vcs_in(2..4), 2);
+        assert_eq!(view(&a, 0, 2).occupied().count(), 2);
+        assert_eq!(view(&a, 0, 2).occupied_count(), 2);
+        // Untouched ports are unaffected.
+        assert_eq!(view(&a, 0, 1).occupied_count(), 0);
+    }
+
+    #[test]
+    fn free_vc_respects_subrange() {
+        let mut a = VcArena::new(1, 6);
+        // VN 1 owns VCs 2..4 — a search there must not return VC 0.
+        assert_eq!(view(&a, 0, 0).free_vc_in(2..4), Some(2));
+        let mut store = PacketStore::new();
+        a.install(0, 0, 2, VcOccupant::reserved(pid(&mut store), 1, 0));
+        assert_eq!(view(&a, 0, 0).free_vc_in(2..4), Some(3));
+    }
+
+    #[test]
+    fn occupant_roundtrips_all_fields() {
+        let mut store = PacketStore::new();
+        let mut a = VcArena::new(2, 4);
+        let mut occ = VcOccupant::reserved(pid(&mut store), 5, 17);
+        occ.arrived = 3;
+        occ.sent = 1;
+        occ.route = Some(Port::Dir(Direction::West));
+        occ.out_vc = Some(3);
+        occ.last_progress = 21;
+        a.install(1, 3, 2, occ);
+        assert_eq!(view(&a, 1, 3).occupant(2), Some(occ));
+        assert_eq!(a.take(1, 3, 2), Some(occ));
+    }
+
+    #[test]
+    fn routed_mask_tracks_route_state() {
+        let mut store = PacketStore::new();
+        let mut a = VcArena::new(1, 2);
+        a.install(0, 0, 1, VcOccupant::reserved(pid(&mut store), 1, 0));
+        let w = a.word(0, 0);
+        assert_eq!(a.routed[w], 0, "unrouted install leaves routed clear");
+        a.set_route(0, 0, 1, Port::Local);
+        assert_eq!(a.routed[w], 1 << 1);
+        assert_eq!(view(&a, 0, 0).occupant(1).unwrap().route, Some(Port::Local));
+        a.take(0, 0, 1);
+        assert_eq!(a.routed[w], 0, "take clears the routed bit");
+        // Installing a pre-routed occupant (relocation) sets it again.
+        let mut routed = VcOccupant::reserved(pid(&mut store), 1, 0);
+        routed.route = Some(Port::Dir(Direction::East));
+        a.install(0, 0, 0, routed);
+        assert_eq!(a.routed[w], 1 << 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn install_out_of_range_vc_panics() {
+        let mut store = PacketStore::new();
+        let mut a = VcArena::new(1, 2);
+        a.install(0, 0, 2, VcOccupant::reserved(pid(&mut store), 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn free_vc_range_past_port_panics() {
+        let a = VcArena::new(1, 2);
+        let _ = view(&a, 0, 0).free_vc_in(0..3);
+    }
+}

@@ -57,10 +57,10 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
     };
 
     for node in mesh.nodes() {
-        let router = core.router(node);
         for p in 0..NUM_PORTS {
+            let iu = core.input(node, p);
             for vc in 0..vcs {
-                let Some(occ) = router.inputs[p].vc(vc).occupant() else {
+                let Some(occ) = iu.occupant(vc) else {
                     continue;
                 };
                 let loc = format!("{node} port {} vc {vc}", Port::from_index(p));
@@ -91,9 +91,9 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
                     match mesh.neighbor(node, d) {
                         None => err(loc.clone(), "route leaves the mesh".into()),
                         Some(nbr) => {
-                            let down = core.router(nbr).inputs[Port::Dir(d.opposite()).index()]
-                                .vc(out_vc)
-                                .occupant();
+                            let down = core
+                                .input(nbr, Port::Dir(d.opposite()).index())
+                                .occupant(out_vc);
                             match down {
                                 None => err(
                                     loc.clone(),
@@ -114,9 +114,9 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
                 occupancies.entry(occ.pkt).or_default().push((node, p, vc));
             }
         }
-        if let Some((p, vc)) = router.eject_lock {
+        if let Some((p, vc)) = core.router(node).eject_lock {
             let loc = format!("{node} eject lock");
-            match router.inputs[p].vc(vc).occupant() {
+            match core.input(node, p).occupant(vc) {
                 None => err(loc, "locked VC is empty".into()),
                 Some(occ) if occ.route != Some(Port::Local) => {
                     err(loc, format!("locked occupant routed {:?}", occ.route))
@@ -150,9 +150,8 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
                 let upstream = mesh.neighbor(node, d).expect("input port implies neighbor");
                 let any = (0..NUM_PORTS).any(|up| {
                     (0..vcs).any(|uvc| {
-                        core.router(upstream).inputs[up]
-                            .vc(uvc)
-                            .occupant()
+                        core.input(upstream, up)
+                            .occupant(uvc)
                             .is_some_and(|o| o.pkt == *pkt && o.out_vc.is_some())
                     })
                 });
@@ -188,9 +187,12 @@ pub fn audit(core: &NetworkCore) -> Vec<AuditError> {
 ///   resident, or overlay-held: `created == delivered + live` (nothing
 ///   leaves the store except through consumption) and
 ///   `live == resident + overlay` (nothing in the store is orphaned);
-/// * **occupancy-mask consistency** — each input unit's `occ_mask`
-///   matches its occupant slots bit for bit (the active-set signal can
-///   only be trusted if `install`/`take` really are the only mutators);
+/// * **arena-word consistency** — per `(node, port)` the routed word is
+///   a subset of the occupancy word, each occupied slot's routed bit
+///   matches its stored route, and each node's cached occupied-VC count
+///   equals the population count of its occupancy words (the word-level
+///   signals the hot loops scan can only be trusted if
+///   `install`/`take`/`set_route` really are the only mutators);
 /// * **credit conservation** — every allocated downstream VC index is in
 ///   range and no VC is reserved by two upstream packets, so per-link
 ///   outstanding credits can never exceed the VC capacity.
@@ -216,25 +218,36 @@ pub fn audit_conservation(core: &NetworkCore, overlay: usize, delivered: u64) ->
     // (node, input port, vc) targets of downstream reservations.
     let mut reserved: BTreeSet<(NodeId, usize, usize)> = BTreeSet::new();
     for node in core.mesh().nodes() {
-        let router = core.router(node);
+        let mut occ_bits = 0usize;
         for p in 0..NUM_PORTS {
-            let iu = &router.inputs[p];
-            let mask = iu.occ_mask(); // noc-lint: allow(occupancy) — the auditor verifies the mask
+            let iu = core.input(node, p);
+            let occ_word = iu.occ_mask(); // noc-lint: allow(occupancy) — the auditor verifies the mask
+            let routed_word = core.arena.routed[core.arena.word(node.index(), p)];
+            occ_bits += occ_word.count_ones() as usize;
+            if routed_word & !occ_word != 0 {
+                errors.push(AuditError {
+                    location: format!("{node} port {}", Port::from_index(p)),
+                    problem: format!(
+                        "routed word {routed_word:#b} not a subset of occupancy {occ_word:#b} \
+                         (a freed VC kept its routed bit)"
+                    ),
+                });
+            }
             for vc in 0..vcs {
-                let bit = mask & (1 << vc) != 0;
-                let occupied = iu.vc(vc).occupant().is_some();
-                if bit != occupied {
+                let Some(occ) = iu.occupant(vc) else {
+                    continue;
+                };
+                let routed_bit = routed_word & (1 << vc) != 0;
+                if routed_bit != occ.route.is_some() {
                     errors.push(AuditError {
                         location: format!("{node} port {} vc {vc}", Port::from_index(p)),
                         problem: format!(
-                            "occupancy mask bit {bit} but slot occupied={occupied} \
-                             (mask drifted: occupancy changed outside install/take)"
+                            "routed bit {routed_bit} but route {:?} \
+                             (routed word drifted: route changed outside install/set_route)",
+                            occ.route
                         ),
                     });
                 }
-                let Some(occ) = iu.vc(vc).occupant() else {
-                    continue;
-                };
                 if let (Some(Port::Dir(d)), Some(out_vc)) = (occ.route, occ.out_vc) {
                     let loc = format!("{node} port {} vc {vc}", Port::from_index(p));
                     if out_vc >= vcs {
@@ -260,6 +273,16 @@ pub fn audit_conservation(core: &NetworkCore, overlay: usize, delivered: u64) ->
                     }
                 }
             }
+        }
+        let counted = core.occupied_vcs(node);
+        if occ_bits != counted {
+            errors.push(AuditError {
+                location: format!("{node}"),
+                problem: format!(
+                    "occupancy words hold {occ_bits} set bits but the node count is \
+                     {counted} (count drifted: occupancy changed outside install/take)"
+                ),
+            });
         }
     }
 
@@ -378,7 +401,7 @@ mod tests {
         let mut occ = VcOccupant::reserved(id, 2, 0);
         occ.arrived = 1;
         occ.sent = 2; // corrupt: sent > arrived
-        c.router_mut(NodeId::new(1)).inputs[0].install(0, occ);
+        c.input_mut(NodeId::new(1), 0).install(0, occ);
         let errors = audit(&c);
         assert!(errors.iter().any(|e| e.problem.contains("sent")));
     }
@@ -397,7 +420,8 @@ mod tests {
         occ.arrived = 1;
         occ.route = Some(Port::Dir(noc_core::topology::Direction::East));
         occ.out_vc = Some(0); // claims a downstream VC that was never reserved
-        c.router_mut(NodeId::new(5)).inputs[Port::Local.index()].install(0, occ);
+        c.input_mut(NodeId::new(5), Port::Local.index())
+            .install(0, occ);
         let errors = audit(&c);
         assert!(
             errors.iter().any(|e| e.problem.contains("reservation")),
@@ -475,7 +499,8 @@ mod tests {
             occ.arrived = 1;
             occ.route = Some(Port::Dir(Direction::East));
             occ.out_vc = Some(0);
-            c.router_mut(NodeId::new(5)).inputs[Port::Local.index()].install(vc, occ);
+            c.input_mut(NodeId::new(5), Port::Local.index())
+                .install(vc, occ);
         }
         let errors = audit_conservation(&c, 0, 0);
         assert!(
@@ -499,7 +524,8 @@ mod tests {
         occ.arrived = 1;
         occ.route = Some(Port::Dir(Direction::East));
         occ.out_vc = Some(63); // far beyond the configured VC capacity
-        c.router_mut(NodeId::new(5)).inputs[Port::Local.index()].install(0, occ);
+        c.input_mut(NodeId::new(5), Port::Local.index())
+            .install(0, occ);
         let errors = audit_conservation(&c, 0, 0);
         assert!(
             errors.iter().any(|e| e.problem.contains("capacity")),

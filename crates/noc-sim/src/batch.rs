@@ -1,0 +1,144 @@
+//! Batched multi-simulation execution: many independent sweep points
+//! interleaved through one hot loop in one process.
+//!
+//! A parameter sweep is embarrassingly independent — each point is its
+//! own [`Simulation`] with its own RNG, arena and statistics — but
+//! running the points one after another leaves the process executing
+//! exactly one simulator at a time. [`run_windows_batched`] instead
+//! advances every live simulation by one cycle per outer iteration, so
+//! a whole sweep shares one instruction stream, one warmed allocator
+//! and one branch-predictor state.
+//!
+//! **Determinism contract:** a simulation's evolution depends only on
+//! its own state — nothing in [`Simulation::step`] reads global mutable
+//! state — so cycle-interleaving N simulations produces results
+//! *bitwise identical* to running each one serially through
+//! [`Simulation::run_windows`]: the same [`NetStats`], and the same
+//! sampler window series when samplers are installed. The
+//! `batched_equivalence` integration test in `bench` enforces this
+//! across seeds and mixed mesh sizes, and the CI `big-mesh` job pins a
+//! 16×16 point's batched output to a golden fixture.
+//!
+//! The per-simulation window state machine replicates
+//! [`Simulation::run_windows`] exactly: warmup cycles (stopping early
+//! if the workload finishes), one [`Simulation::reset_stats`], then
+//! measurement cycles (again stopping early when finished).
+
+use crate::engine::Simulation;
+use noc_core::stats::NetStats;
+
+/// Per-simulation position in the warmup → measure window protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowState {
+    /// Running warmup cycles; statistics will be discarded.
+    Warmup { left: u64 },
+    /// Running measured cycles.
+    Measure { left: u64 },
+    /// Finished its measurement window (or its workload ended).
+    Done,
+}
+
+/// Runs `warmup` then `measure` cycles on every simulation, advancing
+/// the batch one cycle at a time round-robin, and returns each
+/// simulation's measured [`NetStats`] in input order.
+///
+/// Equivalent to calling `sims[i].run_windows(warmup, measure)` in a
+/// loop — bitwise, per simulation — but all points move through the
+/// process's hot loop together. Simulations whose workloads finish
+/// early drop out of the rotation individually, exactly as
+/// [`Simulation::run`] stops early for them when run serially.
+pub fn run_windows_batched(sims: &mut [Simulation], warmup: u64, measure: u64) -> Vec<NetStats> {
+    let mut states: Vec<WindowState> = sims
+        .iter()
+        .map(|_| WindowState::Warmup { left: warmup })
+        .collect();
+    let mut live = sims.len();
+    while live > 0 {
+        for (sim, state) in sims.iter_mut().zip(states.iter_mut()) {
+            if step_windowed(sim, state, measure) {
+                live -= 1;
+            }
+        }
+    }
+    sims.iter().map(|s| s.core.stats.clone()).collect()
+}
+
+/// Advances one simulation by one cycle of its window protocol,
+/// performing any due window transitions first (transitions consume no
+/// cycles, matching the serial `run(warmup); reset_stats(); run(measure)`
+/// sequence). Returns `true` when the simulation just became `Done`.
+fn step_windowed(sim: &mut Simulation, state: &mut WindowState, measure: u64) -> bool {
+    loop {
+        match state {
+            WindowState::Warmup { left } => {
+                if *left == 0 || sim.workload_finished() {
+                    sim.reset_stats();
+                    *state = WindowState::Measure { left: measure };
+                    continue;
+                }
+                sim.step();
+                *left -= 1;
+                return false;
+            }
+            WindowState::Measure { left } => {
+                if *left == 0 || sim.workload_finished() {
+                    *state = WindowState::Done;
+                    return true;
+                }
+                sim.step();
+                *left -= 1;
+                return false;
+            }
+            WindowState::Done => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests_support::synthetic_sim;
+
+    fn stats_digest(s: &NetStats) -> String {
+        serde_json::to_string(s).expect("NetStats serializes")
+    }
+
+    #[test]
+    fn batched_matches_serial_bitwise() {
+        let seeds = [1u64, 7, 42];
+        let serial: Vec<String> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut sim = synthetic_sim(4, 0.05, seed);
+                stats_digest(&sim.run_windows(200, 400))
+            })
+            .collect();
+        let mut sims: Vec<Simulation> = seeds
+            .iter()
+            .map(|&seed| synthetic_sim(4, 0.05, seed))
+            .collect();
+        let batched = run_windows_batched(&mut sims, 200, 400);
+        for (b, s) in batched.iter().zip(serial.iter()) {
+            assert_eq!(&stats_digest(b), s, "batched run diverged from serial");
+        }
+    }
+
+    #[test]
+    fn zero_warmup_and_zero_measure_degenerate_cleanly() {
+        let mut sims = vec![synthetic_sim(3, 0.05, 9)];
+        let stats = run_windows_batched(&mut sims, 0, 0);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].cycles, 0);
+
+        let mut serial = synthetic_sim(3, 0.05, 9);
+        let expect = serial.run_windows(0, 300);
+        let mut sims = vec![synthetic_sim(3, 0.05, 9)];
+        let got = run_windows_batched(&mut sims, 0, 300);
+        assert_eq!(stats_digest(&got[0]), stats_digest(&expect));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        assert!(run_windows_batched(&mut [], 100, 100).is_empty());
+    }
+}

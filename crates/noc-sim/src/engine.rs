@@ -5,7 +5,7 @@ use crate::probe::{Phase, PhaseProbe};
 use crate::sampler::{Sampler, SamplerConfig};
 use crate::scheme::Scheme;
 use noc_core::config::SimConfig;
-use noc_core::packet::{MessageClass, Packet, CLASSES};
+use noc_core::packet::{MessageClass, Packet};
 use noc_core::stats::NetStats;
 use noc_core::topology::NodeId;
 use noc_trace::{trace, TraceConfig, TraceEvent, Tracer};
@@ -194,6 +194,15 @@ impl Simulation {
         }
     }
 
+    /// Whether the workload reports itself finished (closed-loop
+    /// workloads stop the run early; open-loop ones never finish).
+    /// [`run`](Self::run) checks this before every cycle, and the
+    /// batched executor ([`crate::batch`]) must observe the identical
+    /// predicate to stay cycle-for-cycle equivalent.
+    pub fn workload_finished(&self) -> bool {
+        self.workload.finished(&self.core)
+    }
+
     /// Runs `cycles` cycles (or until a closed-loop workload finishes).
     /// Returns the cycles actually simulated.
     pub fn run(&mut self, cycles: u64) -> u64 {
@@ -268,10 +277,15 @@ impl Simulation {
     fn consume(&mut self) {
         let now = self.core.cycle();
         for node in self.core.mesh().nodes() {
-            if !self.core.ni(node).ej_any() {
-                continue;
-            }
-            for class in CLASSES {
+            // Visit only classes with queued deliveries, in ascending
+            // class order — the same order the dense CLASSES loop used
+            // (`can_consume` is a pure predicate, so skipping classes
+            // with empty queues is unobservable).
+            let mut classes = self.core.ni(node).ej_classes();
+            while classes != 0 {
+                let c = classes.trailing_zeros() as usize;
+                classes &= classes - 1;
+                let class = MessageClass::from_index(c);
                 if !self.workload.can_consume(node, class) {
                     continue;
                 }
@@ -378,6 +392,91 @@ impl SaturationSearch {
             }
         }
         best
+    }
+}
+
+/// Minimal scheme + workload pair for in-crate tests (`engine`,
+/// `batch`): XY-routed VCT with uniform-random single-class open-loop
+/// traffic. Scheme crates proper live above `noc-sim`, so in-crate
+/// tests bring their own.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use crate::regular::{advance, AdvanceCtx};
+    use crate::routing::DorXy;
+    use crate::scheme::SchemeProperties;
+    use noc_core::config::SimConfig;
+    use noc_core::packet::{MessageClass, Packet};
+    use noc_core::rng::DetRng;
+    use noc_core::topology::NodeId;
+
+    pub(crate) struct PlainXy;
+    impl Scheme for PlainXy {
+        fn name(&self) -> &'static str {
+            "plain-xy"
+        }
+        fn properties(&self) -> SchemeProperties {
+            SchemeProperties {
+                no_detection: true,
+                protocol_deadlock_freedom: false,
+                network_deadlock_freedom: true,
+                full_path_diversity: false,
+                high_throughput: false,
+                low_power: false,
+                scalable: true,
+                no_misrouting: true,
+            }
+        }
+        fn required_vns(&self) -> usize {
+            0
+        }
+        fn step(&mut self, core: &mut NetworkCore) {
+            advance(core, &mut DorXy, &AdvanceCtx::default());
+        }
+    }
+
+    pub(crate) struct UniformReq {
+        pub(crate) rate: f64,
+        pub(crate) rng: DetRng,
+    }
+    impl Workload for UniformReq {
+        fn tick(&mut self, core: &mut NetworkCore) {
+            let n = core.mesh().num_nodes();
+            let cycle = core.cycle();
+            for src in 0..n {
+                if self.rng.chance(self.rate) {
+                    let mut dst = self.rng.range(0, n - 1);
+                    if dst >= src {
+                        dst += 1;
+                    }
+                    core.generate(Packet::new(
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        MessageClass::Request,
+                        1,
+                        cycle,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// A `side × side` XY/VCT simulation under uniform traffic, fully
+    /// determined by `(side, rate, seed)`.
+    pub(crate) fn synthetic_sim(side: usize, rate: f64, seed: u64) -> Simulation {
+        Simulation::new(
+            SimConfig::builder()
+                .mesh(side, side)
+                .vns(0)
+                .vcs_per_vn(2)
+                .seed(seed)
+                .build(),
+            Box::new(PlainXy),
+            Box::new(UniformReq {
+                rate,
+                rng: DetRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            }),
+        )
     }
 }
 

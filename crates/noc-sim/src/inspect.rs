@@ -48,7 +48,7 @@ pub fn occupancy(core: &NetworkCore) -> Vec<(NodeId, usize, usize)> {
     let vcs = core.cfg().vcs_per_port() * NUM_PORTS;
     core.mesh()
         .nodes()
-        .map(|n| (n, core.router(n).occupied_vcs(), vcs))
+        .map(|n| (n, core.occupied_vcs(n), vcs))
         .collect()
 }
 
@@ -92,7 +92,7 @@ pub fn occupancy_heatmap(core: &NetworkCore) -> String {
     for y in 0..mesh.height() {
         for x in 0..mesh.width() {
             let n = mesh.node(x, y);
-            let occ = core.router(n).occupied_vcs();
+            let occ = core.occupied_vcs(n);
             out.push(shade(occ as f64 / total as f64));
         }
         out.push('\n');

@@ -9,11 +9,14 @@
 //!
 //! # Architecture
 //!
-//! * [`vc`] — virtual-channel input units. Because at most one packet
-//!   occupies a VC, flit positions are tracked with counters rather than
-//!   per-flit objects, while remaining flit-accurate in time.
-//! * [`router`] — per-router state: input units, arbitration pointers and
-//!   the ejection stream.
+//! * [`vc`] — the virtual-channel occupant record. Because at most one
+//!   packet occupies a VC, flit positions are tracked with counters
+//!   rather than per-flit objects, while remaining flit-accurate in time.
+//! * [`arena`] — flat struct-of-arrays storage for every VC buffer in
+//!   the network, with word-level occupancy masks; the hot loops operate
+//!   on these words directly.
+//! * [`router`] — per-router state: arbitration pointers and the
+//!   ejection stream.
 //! * [`ni`] — network interfaces: per-class injection/ejection queues,
 //!   the open-loop source queue, and MSHR-based regeneration of dropped
 //!   requests.
@@ -41,7 +44,9 @@
 #![warn(missing_docs)]
 
 pub mod arbiter;
+pub mod arena;
 pub mod audit;
+pub mod batch;
 pub mod engine;
 pub mod inspect;
 pub mod network;
@@ -55,6 +60,8 @@ pub mod scheme;
 pub mod vc;
 pub mod waitgraph;
 
+pub use arena::{InputMut, InputRef, VcArena};
+pub use batch::run_windows_batched;
 pub use engine::{Simulation, Workload};
 pub use network::{LinkSet, NetworkCore};
 pub use probe::{Phase, PhaseProbe};

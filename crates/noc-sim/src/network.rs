@@ -6,6 +6,7 @@
 //! cycle and applied at its end), a VC is never double-booked, and
 //! buffers are freed only when the tail flit has left.
 
+use crate::arena::{m_arrived, m_len, InputMut, InputRef, VcArena, M_ARRIVED};
 use crate::ni::NiState;
 use crate::probe::{Phase, PhaseProbe};
 use crate::router::RouterState;
@@ -13,8 +14,11 @@ use noc_core::config::SimConfig;
 use noc_core::packet::{PacketId, PacketSeed, PacketStore};
 use noc_core::rng::DetRng;
 use noc_core::stats::NetStats;
-use noc_core::topology::{LinkId, Mesh, NodeId, Port};
+use noc_core::topology::{Direction, LinkId, Mesh, NodeId, Port, ProductiveDirs, DIRECTIONS};
 use noc_trace::{TraceConfig, Tracer};
+
+/// Sentinel in the flat neighbor table: no neighbor (mesh edge).
+const NO_NBR: u32 = u32::MAX;
 
 /// A set of directed links, used for FastPass lane suppression and for
 /// collision assertions.
@@ -92,6 +96,9 @@ pub struct NetworkCore {
     cfg: SimConfig,
     mesh: Mesh,
     routers: Vec<RouterState>,
+    /// Flat struct-of-arrays storage for every VC buffer; the regular
+    /// pipeline reads its occupancy/routed words directly.
+    pub(crate) arena: VcArena,
     nis: Vec<NiState>,
     /// Central packet storage. Public: schemes and workloads read and
     /// annotate packets directly.
@@ -113,13 +120,19 @@ pub struct NetworkCore {
     staged_back: Vec<StagedArrival>,
     drained_back: Vec<StagedArrival>,
     /// Reusable per-cycle scratch owned here so the regular pipeline
-    /// allocates nothing in steady state: the active-node worklist and
-    /// the switch-allocation request vector.
+    /// allocates nothing in steady state: the active-node worklist.
     scratch_nodes: Vec<NodeId>,
-    scratch_reqs: Vec<bool>,
     rng: DetRng,
     link_flits: Vec<u64>,
     probe: ProbeSlot,
+    /// Flat neighbor table (`node * 4 + direction` → neighbor index or
+    /// [`NO_NBR`]): the hot pipeline asks for neighbors several times per
+    /// active node per cycle, and the mesh's arithmetic answer costs an
+    /// integer division each call.
+    topo_nbr: Vec<u32>,
+    /// Cached `(x, y)` per node, for division-free productive-direction
+    /// computation.
+    topo_xy: Vec<(u16, u16)>,
 }
 
 impl NetworkCore {
@@ -136,6 +149,7 @@ impl NetworkCore {
         let vcs = cfg.vcs_per_port();
         NetworkCore {
             routers: (0..n).map(|_| RouterState::new(vcs)).collect(),
+            arena: VcArena::new(n, vcs),
             nis: (0..n)
                 .map(|_| NiState::new(cfg.inj_queue_packets, cfg.ej_queue_packets))
                 .collect(),
@@ -148,10 +162,23 @@ impl NetworkCore {
             staged_back: Vec::new(),
             drained_back: Vec::new(),
             scratch_nodes: Vec::new(),
-            scratch_reqs: Vec::new(),
             rng: DetRng::new(cfg.seed),
             link_flits: vec![0; mesh.num_links()],
             probe: ProbeSlot(None),
+            topo_nbr: (0..n)
+                .flat_map(|i| {
+                    DIRECTIONS.map(|d| {
+                        mesh.neighbor(NodeId::new(i), d)
+                            .map_or(NO_NBR, |nb| nb.index() as u32)
+                    })
+                })
+                .collect(),
+            topo_xy: (0..n)
+                .map(|i| {
+                    let node = NodeId::new(i);
+                    (mesh.x(node) as u16, mesh.y(node) as u16)
+                })
+                .collect(),
             mesh,
             cfg,
         }
@@ -167,6 +194,38 @@ impl NetworkCore {
     /// The topology.
     pub fn mesh(&self) -> Mesh {
         self.mesh
+    }
+
+    /// The neighbor of `n` in direction `d` — table lookup, no division.
+    /// Identical to [`Mesh::neighbor`]; preferred in per-cycle code.
+    #[inline]
+    pub fn neighbor(&self, n: NodeId, d: Direction) -> Option<NodeId> {
+        let v = self.topo_nbr[n.index() * 4 + d.index()];
+        (v != NO_NBR).then(|| NodeId::new(v as usize))
+    }
+
+    /// The directed link leaving `n` via `d` — identical to
+    /// [`Mesh::link`], division-free.
+    #[inline]
+    pub fn link(&self, n: NodeId, d: Direction) -> Option<LinkId> {
+        let i = n.index() * 4 + d.index();
+        (self.topo_nbr[i] != NO_NBR).then(|| LinkId::new(i))
+    }
+
+    /// Cached mesh coordinates of `n` — no division, unlike
+    /// [`Mesh::x`]/[`Mesh::y`].
+    #[inline]
+    pub fn xy(&self, n: NodeId) -> (u16, u16) {
+        self.topo_xy[n.index()]
+    }
+
+    /// Minimal productive directions from `from` toward `to` — identical
+    /// to [`Mesh::productive_dirs`], using cached coordinates.
+    #[inline]
+    pub fn productive_dirs(&self, from: NodeId, to: NodeId) -> ProductiveDirs {
+        let (fx, fy) = self.xy(from);
+        let (tx, ty) = self.xy(to);
+        ProductiveDirs::from_deltas(tx as isize - fx as isize, ty as isize - fy as isize)
     }
 
     /// Current cycle.
@@ -194,8 +253,9 @@ impl NetworkCore {
     #[cold]
     #[inline(never)]
     fn sample_occupancy_all(&mut self) {
-        for (i, r) in self.routers.iter().enumerate() {
-            self.trace.sample_occupancy(i, r.occupied_vcs() as u64);
+        for i in 0..self.mesh.num_nodes() {
+            self.trace
+                .sample_occupancy(i, self.arena.node_occupied(i) as u64);
         }
     }
 
@@ -261,6 +321,33 @@ impl NetworkCore {
     /// Mutable access to a router.
     pub fn router_mut(&mut self, n: NodeId) -> &mut RouterState {
         &mut self.routers[n.index()]
+    }
+
+    /// Read-only view of one input port's VCs.
+    pub fn input(&self, n: NodeId, port: usize) -> InputRef<'_> {
+        InputRef::new(&self.arena, n.index(), port)
+    }
+
+    /// Mutating view of one input port (occupant install/take). Call
+    /// sites outside the relocation whitelist are rejected by `noc-lint`.
+    pub fn input_mut(&mut self, n: NodeId, port: usize) -> InputMut<'_> {
+        InputMut::new(&mut self.arena, n.index(), port)
+    }
+
+    /// VCs per input port (uniform across the network).
+    pub fn vcs_per_port(&self) -> usize {
+        self.arena.vcs_per_port()
+    }
+
+    /// Total occupied VCs in `n`'s input buffers — O(1), maintained by
+    /// the arena's install/take. This is the router half of the
+    /// active-set predicate: a router with zero occupied VCs has no
+    /// route/switch/eject work this cycle. Note that a packet
+    /// mid-transfer occupies buffers at several routers; use
+    /// [`resident_packets`](Self::resident_packets) for an exactly-once
+    /// packet count.
+    pub fn occupied_vcs(&self, n: NodeId) -> usize {
+        self.arena.node_occupied(n.index())
     }
 
     /// Shared access to an NI.
@@ -344,26 +431,31 @@ impl NetworkCore {
         let cycle = self.cycle;
         std::mem::swap(&mut self.staged, &mut self.staged_back);
         for s in self.staged_back.drain(..) {
-            let occ = self.routers[s.node].inputs[s.port]
-                .vc_mut(s.vc)
-                .occupant_mut()
-                .expect("staged arrival into an unreserved VC");
-            assert!(
-                occ.arrived < occ.len,
+            // Staged entries come from `send_flit`/injection against a
+            // reserved slot the sender still holds; debug builds re-check.
+            debug_assert!(
+                self.arena.is_occupied(s.node, s.port, s.vc),
+                "staged arrival into an unreserved VC"
+            );
+            let slot = self.arena.slot(s.node, s.port, s.vc);
+            debug_assert!(
+                m_arrived(self.arena.meta[slot]) < m_len(self.arena.meta[slot]),
                 "more flits arrived than packet length"
             );
-            occ.arrived += 1;
-            if occ.arrived == 1 {
-                occ.head_arrival = cycle;
-                occ.last_progress = cycle;
+            let m = self.arena.meta[slot] + (1 << M_ARRIVED);
+            self.arena.meta[slot] = m;
+            if m_arrived(m) == 1 {
+                self.arena.head_arrival[slot] = cycle;
+                self.arena.last_progress[slot] = cycle;
             }
         }
         std::mem::swap(&mut self.drained, &mut self.drained_back);
         for d in self.drained_back.drain(..) {
-            let occ = self.routers[d.node].inputs[d.port]
-                .take(d.vc)
+            let occ = self
+                .arena
+                .take(d.node, d.port, d.vc)
                 .expect("drained VC already empty");
-            assert!(occ.drained(), "VC freed before tail departed");
+            debug_assert!(occ.drained(), "VC freed before tail departed");
         }
     }
 
@@ -382,8 +474,9 @@ impl NetworkCore {
     ///
     /// Panics if the VC is empty or its occupant is not quiescent.
     pub fn take_vc_packet(&mut self, node: NodeId, port: Port, vc: usize) -> PacketId {
-        let occ = self.routers[node.index()].inputs[port.index()]
-            .take(vc)
+        let occ = self
+            .arena
+            .take(node.index(), port.index(), vc)
             .expect("taking packet from empty VC");
         assert!(
             occ.quiescent(),
@@ -394,11 +487,11 @@ impl NetworkCore {
                 panic!("downstream VC allocated without a direction route");
             };
             let nbr = self
-                .mesh
                 .neighbor(node, d)
                 .expect("allocated route leaves the mesh");
-            let reserved = self.routers[nbr.index()].inputs[Port::Dir(d.opposite()).index()]
-                .take(out_vc)
+            let reserved = self
+                .arena
+                .take(nbr.index(), Port::Dir(d.opposite()).index(), out_vc)
                 .expect("downstream reservation vanished");
             assert_eq!(reserved.pkt, occ.pkt, "reservation held by another packet");
             assert_eq!(reserved.arrived, 0, "reservation already received flits");
@@ -416,23 +509,19 @@ impl NetworkCore {
     pub fn resident_packets(&self) -> usize {
         let mut count = 0;
         for node in self.mesh.nodes() {
-            let router = &self.routers[node.index()];
-            if router.occupied_vcs() == 0 {
+            if self.arena.node_occupied(node.index()) == 0 {
                 continue; // active-set skip: nothing buffered here
             }
             for p in 0..noc_core::topology::NUM_PORTS {
-                let iu = &router.inputs[p];
-                for (_, occ) in iu.occupied() {
+                for (_, occ) in self.input(node, p).occupied() {
                     if occ.arrived == 0 {
                         continue; // reservation only; owned upstream
                     }
                     let owned = match (occ.route, occ.out_vc) {
                         (Some(Port::Dir(d)), Some(v)) => {
-                            let nbr = self.mesh.neighbor(node, d).expect("route on-mesh");
-                            let down =
-                                &self.routers[nbr.index()].inputs[Port::Dir(d.opposite()).index()];
-                            down.vc(v)
-                                .occupant()
+                            let nbr = self.neighbor(node, d).expect("route on-mesh");
+                            self.input(nbr, Port::Dir(d.opposite()).index())
+                                .occupant(v)
                                 .map(|o| o.arrived == 0)
                                 .unwrap_or(true)
                         }
@@ -470,37 +559,38 @@ impl NetworkCore {
     pub fn nodes_rotating(&self) -> impl Iterator<Item = NodeId> {
         let n = self.mesh.num_nodes();
         let off = (self.cycle as usize) % n.max(1);
-        (0..n).map(move |i| NodeId::new((i + off) % n))
+        // One modulo per cycle; the two chained ranges yield the same
+        // `off, off+1, .., n-1, 0, .., off-1` order without a per-node
+        // `% n` in the loop body.
+        (off..n).chain(0..off).map(NodeId::new)
     }
 
     // ---- active set -------------------------------------------------------
 
     /// Whether `n` has any regular-pass work this cycle: at least one
-    /// occupied VC in its router (O(ports) via the incrementally
-    /// maintained per-input counters) or injection-side NI work. Nodes
-    /// failing this predicate are provably no-ops for every pipeline
-    /// stage — see `DESIGN.md`'s "active-set invariant" section.
+    /// occupied VC in its router (O(1) via the arena's per-node occupancy
+    /// counter) or injection-side NI work. Nodes failing this predicate
+    /// are provably no-ops for every pipeline stage — see `DESIGN.md`'s
+    /// "active-set invariant" section.
     pub fn node_active(&self, n: NodeId) -> bool {
-        self.routers[n.index()].occupied_vcs() > 0 || self.nis[n.index()].has_work()
+        self.arena.node_occupied(n.index()) > 0 || self.nis[n.index()].has_work()
     }
 
-    /// Hands the per-cycle scratch buffers (active-node worklist, switch
-    /// request vector) to the regular pipeline. Taking them out of `self`
-    /// keeps the borrow checker happy while the pipeline mutates the
-    /// core; [`put_advance_scratch`](Self::put_advance_scratch) returns
-    /// them so their capacity survives across cycles.
-    pub(crate) fn take_advance_scratch(&mut self) -> (Vec<NodeId>, Vec<bool>) {
-        (
-            std::mem::take(&mut self.scratch_nodes),
-            std::mem::take(&mut self.scratch_reqs),
-        )
+    /// Hands the per-cycle active-node worklist scratch to the regular
+    /// pipeline. Taking it out of `self` keeps the borrow checker happy
+    /// while the pipeline mutates the core;
+    /// [`put_advance_scratch`](Self::put_advance_scratch) returns it so
+    /// its capacity survives across cycles. (The switch-allocation
+    /// request vectors that used to live here are now fixed-size stack
+    /// words in the switch stage.)
+    pub(crate) fn take_advance_scratch(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.scratch_nodes)
     }
 
-    /// Returns the scratch buffers taken by
+    /// Returns the scratch buffer taken by
     /// [`take_advance_scratch`](Self::take_advance_scratch).
-    pub(crate) fn put_advance_scratch(&mut self, nodes: Vec<NodeId>, reqs: Vec<bool>) {
+    pub(crate) fn put_advance_scratch(&mut self, nodes: Vec<NodeId>) {
         self.scratch_nodes = nodes;
-        self.scratch_reqs = reqs;
     }
 }
 
@@ -519,6 +609,8 @@ mod tests {
         let core = small_core();
         assert_eq!(core.mesh().num_nodes(), 9);
         assert_eq!(core.router(NodeId::new(0)).vcs_per_port(), 2);
+        assert_eq!(core.vcs_per_port(), 2);
+        assert_eq!(core.occupied_vcs(NodeId::new(0)), 0);
         assert_eq!(core.resident_packets(), 0);
         assert_eq!(core.cycle(), 0);
     }
@@ -577,24 +669,19 @@ mod tests {
         ));
         let node = NodeId::new(4);
         let port = Port::Dir(noc_core::topology::Direction::North);
-        core.router_mut(node).inputs[port.index()].install(0, VcOccupant::reserved(id, 2, 0));
+        core.input_mut(node, port.index())
+            .install(0, VcOccupant::reserved(id, 2, 0));
         core.stage_flit(node, port, 0);
         // Not yet visible.
         assert_eq!(
-            core.router(node).inputs[port.index()]
-                .vc(0)
-                .occupant()
-                .unwrap()
-                .arrived,
+            core.input(node, port.index()).occupant(0).unwrap().arrived,
             0
         );
         core.apply_staged();
-        let occ = core.router(node).inputs[port.index()]
-            .vc(0)
-            .occupant()
-            .unwrap();
+        let occ = core.input(node, port.index()).occupant(0).unwrap();
         assert_eq!(occ.arrived, 1);
         assert!(occ.head_present());
+        assert_eq!(core.occupied_vcs(node), 1);
     }
 
     #[test]
@@ -612,11 +699,11 @@ mod tests {
         let mut occ = VcOccupant::reserved(id, 1, 0);
         occ.arrived = 1;
         occ.sent = 1;
-        core.router_mut(node).inputs[port.index()].install(0, occ);
+        core.input_mut(node, port.index()).install(0, occ);
         core.mark_drained(node, port, 0);
-        assert!(!core.router(node).inputs[port.index()].vc(0).is_free());
+        assert!(!core.input(node, port.index()).is_free(0));
         core.apply_staged();
-        assert!(core.router(node).inputs[port.index()].vc(0).is_free());
+        assert!(core.input(node, port.index()).is_free(0));
     }
 
     #[test]
@@ -630,7 +717,8 @@ mod tests {
             1,
             0,
         ));
-        core.router_mut(NodeId::new(0)).inputs[0].install(0, VcOccupant::reserved(id, 1, 0));
+        core.input_mut(NodeId::new(0), 0)
+            .install(0, VcOccupant::reserved(id, 1, 0));
         core.stage_flit(NodeId::new(0), Port::from_index(0), 0);
         core.advance_cycle();
     }
@@ -648,10 +736,10 @@ mod tests {
         let node = NodeId::new(2);
         let mut occ = VcOccupant::reserved(id, 1, 0);
         occ.arrived = 1;
-        core.router_mut(node).inputs[0].install(0, occ);
+        core.input_mut(node, 0).install(0, occ);
         let got = core.take_vc_packet(node, Port::from_index(0), 0);
         assert_eq!(got, id);
-        assert!(core.router(node).inputs[0].vc(0).is_free());
+        assert!(core.input(node, 0).is_free(0));
     }
 
     #[test]

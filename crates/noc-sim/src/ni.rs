@@ -77,6 +77,23 @@ pub struct NiState {
     regen: Vec<(PacketId, u64)>,
     inj_cap: usize,
     ej_cap: usize,
+    /// Packets across all source/injection/regen queues, maintained
+    /// incrementally so [`has_work`](Self::has_work) is O(1) — it runs
+    /// for every node every cycle in the active-set snapshot.
+    inj_items: u32,
+    /// Entries across all ejection queues, maintained incrementally so
+    /// [`ej_any`](Self::ej_any) is O(1) in the consumption loop.
+    ej_items: u32,
+    /// Packets across the source queues only, so
+    /// [`refill_inj`](Self::refill_inj) — called for every active node
+    /// every cycle — can exit in O(1) when the sources are dry (the
+    /// common case for nodes that are active only because packets are
+    /// transiting their router).
+    src_items: u32,
+    /// Bit `c` set iff ejection queue `c` is nonempty, so the consumer
+    /// loop visits only classes with something to deliver instead of all
+    /// [`NUM_CLASSES`] every cycle.
+    ej_class_mask: u8,
 }
 
 impl NiState {
@@ -92,6 +109,10 @@ impl NiState {
             regen: Vec::new(),
             inj_cap,
             ej_cap,
+            inj_items: 0,
+            ej_items: 0,
+            src_items: 0,
+            ej_class_mask: 0,
         }
     }
 
@@ -100,22 +121,34 @@ impl NiState {
     /// Enqueues a freshly generated packet at the source.
     pub fn push_source(&mut self, class: MessageClass, pkt: PacketId) {
         self.source[class.index()].push_back(pkt);
+        self.inj_items += 1;
+        self.src_items += 1;
     }
 
     /// Enqueues a regenerated packet at the *front* of its source queue
     /// (it logically predates everything behind it).
     pub fn push_source_front(&mut self, class: MessageClass, pkt: PacketId) {
         self.source[class.index()].push_front(pkt);
+        self.inj_items += 1;
+        self.src_items += 1;
     }
 
     /// Total packets waiting in source queues (congestion signal).
     pub fn source_depth(&self) -> usize {
-        self.source.iter().map(|q| q.len()).sum()
+        debug_assert_eq!(
+            self.src_items as usize,
+            self.source.iter().map(|q| q.len()).sum::<usize>(),
+            "src_items counter out of sync with source queues"
+        );
+        self.src_items as usize
     }
 
     /// Moves packets from source queues into injection queues while there
     /// is room. Returns how many were moved.
     pub fn refill_inj(&mut self) -> usize {
+        if self.src_items == 0 {
+            return 0;
+        }
         let mut moved = 0;
         for c in 0..NUM_CLASSES {
             while self.inj[c].len() < self.inj_cap {
@@ -128,6 +161,7 @@ impl NiState {
                 }
             }
         }
+        self.src_items -= moved as u32;
         moved
     }
 
@@ -140,7 +174,9 @@ impl NiState {
 
     /// Pops the head of a class's injection queue.
     pub fn pop_inj(&mut self, class: MessageClass) -> Option<PacketId> {
-        self.inj[class.index()].pop_front()
+        let p = self.inj[class.index()].pop_front();
+        self.inj_items -= p.is_some() as u32;
+        p
     }
 
     /// Whether a class's injection queue is full.
@@ -163,13 +199,16 @@ impl NiState {
     /// refuses new refills while over capacity, so the overflow drains.
     pub fn park_rejected(&mut self, class: MessageClass, pkt: PacketId) {
         self.inj[class.index()].push_front(pkt);
+        self.inj_items += 1;
     }
 
     /// Drops the newest packet from a class's injection queue to make a
     /// bubble (§III-C4). Returns the victim, to be registered for MSHR
     /// regeneration by the caller.
     pub fn drop_inj_tail(&mut self, class: MessageClass) -> Option<PacketId> {
-        self.inj[class.index()].pop_back()
+        let p = self.inj[class.index()].pop_back();
+        self.inj_items -= p.is_some() as u32;
+        p
     }
 
     /// Removes and returns the packet at `idx` (0 = front) of a class's
@@ -177,7 +216,9 @@ impl NiState {
     /// *droppable* request (never a previously rejected FastPass-Packet,
     /// §Qn2).
     pub fn remove_inj_at(&mut self, class: MessageClass, idx: usize) -> Option<PacketId> {
-        self.inj[class.index()].remove(idx)
+        let p = self.inj[class.index()].remove(idx);
+        self.inj_items -= p.is_some() as u32;
+        p
     }
 
     /// Iterates a class's injection queue front-to-back.
@@ -188,6 +229,7 @@ impl NiState {
     /// Registers a dropped request for regeneration at `ready_cycle`.
     pub fn schedule_regen(&mut self, pkt: PacketId, ready_cycle: u64) {
         self.regen.push((pkt, ready_cycle));
+        self.inj_items += 1;
     }
 
     /// Takes all regenerated packets whose re-issue delay has elapsed.
@@ -201,6 +243,7 @@ impl NiState {
                 true
             }
         });
+        self.inj_items -= out.len() as u32;
         out
     }
 
@@ -277,6 +320,8 @@ impl NiState {
             self.ej_reserved[c] = None;
         }
         self.ej[c].push_back(entry);
+        self.ej_items += 1;
+        self.ej_class_mask |= 1 << c;
     }
 
     /// Releases a claimed slot without delivering (unused by the regular
@@ -316,7 +361,7 @@ impl NiState {
     /// consumption loop's fast path for skipping NIs with nothing to
     /// deliver.
     pub fn ej_any(&self) -> bool {
-        self.ej.iter().any(|q| !q.is_empty())
+        self.ej_items != 0
     }
 
     /// Head of a class's ejection queue if its ready time has passed.
@@ -329,7 +374,19 @@ impl NiState {
 
     /// Pops the head of a class's ejection queue (the consumer took it).
     pub fn pop_ej(&mut self, class: MessageClass) -> Option<EjectEntry> {
-        self.ej[class.index()].pop_front()
+        let c = class.index();
+        let e = self.ej[c].pop_front();
+        self.ej_items -= e.is_some() as u32;
+        if self.ej[c].is_empty() {
+            self.ej_class_mask &= !(1 << c);
+        }
+        e
+    }
+
+    /// Bitmask of classes whose ejection queues are nonempty (bit `c` ↔
+    /// class index `c`), for consumers that want to skip empty queues.
+    pub fn ej_classes(&self) -> u8 {
+        self.ej_class_mask
     }
 
     /// Occupancy of a class's ejection queue.
@@ -344,10 +401,14 @@ impl NiState {
     /// loop to skip idle nodes; ejection queues are deliberately excluded
     /// (draining them is the consumer's job, not the pipeline's).
     pub fn has_work(&self) -> bool {
-        self.inj_stream.is_some()
-            || !self.regen.is_empty()
-            || self.source.iter().any(|q| !q.is_empty())
-            || self.inj.iter().any(|q| !q.is_empty())
+        debug_assert_eq!(
+            self.inj_items as usize,
+            self.source.iter().map(|q| q.len()).sum::<usize>()
+                + self.inj.iter().map(|q| q.len()).sum::<usize>()
+                + self.regen.len(),
+            "inj_items counter out of sync with queue contents"
+        );
+        self.inj_stream.is_some() || self.inj_items != 0
     }
 
     /// Total packets resident anywhere in this NI (conservation checks).

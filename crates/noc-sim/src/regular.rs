@@ -12,6 +12,7 @@
 //! of §III-C5) and preempts ejection ports; DRAIN freezes regular
 //! movement during drain epochs.
 
+use crate::arena::{m_arrived, m_len, m_out_vc, m_route, m_sent, M_SENT, NO_OUT_VC};
 use crate::network::{LinkSet, NetworkCore};
 use crate::ni::{EjRefusal, EjectEntry, InjStream};
 use crate::probe::Phase;
@@ -20,6 +21,39 @@ use crate::vc::VcOccupant;
 use noc_core::packet::{MessageClass, PacketId};
 use noc_core::topology::{Direction, LinkId, NodeId, Port, DIRECTIONS, NUM_PORTS};
 use noc_trace::{trace, StallCause, TraceEvent};
+
+/// Upper bound on the words of a `NUM_PORTS × vcs_per_port` switch
+/// request bitset (`vcs_per_port ≤ 64`, so at most `NUM_PORTS` words).
+/// Request vectors live in fixed stack arrays of this size; only the
+/// first `ceil(NUM_PORTS * vcs / 64)` words are ever populated or handed
+/// to the arbiters.
+const SA_WORDS: usize = NUM_PORTS;
+
+/// Sets requester bit `i` in a stacked request bitset.
+#[inline]
+fn set_bit(words: &mut [u64; SA_WORDS], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+/// Sets the `len` requester bits starting at `start` (used to retire a
+/// whole input port from subsequent output-port arbitration once one of
+/// its flits has been granted).
+#[inline]
+fn set_bit_range(words: &mut [u64; SA_WORDS], start: usize, len: usize) {
+    let mut i = start;
+    let end = start + len;
+    while i < end {
+        let (w, b) = (i / 64, i % 64);
+        let chunk = (64 - b).min(end - i);
+        let ones = if chunk == 64 {
+            !0u64
+        } else {
+            ((1u64 << chunk) - 1) << b
+        };
+        words[w] |= ones;
+        i += chunk;
+    }
+}
 
 /// Per-cycle context handed to [`advance`] by the owning scheme.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,7 +75,7 @@ impl AdvanceCtx<'_> {
         node: NodeId,
         d: noc_core::topology::Direction,
     ) -> bool {
-        match (self.suppressed, core.mesh().link(node, d)) {
+        match (self.suppressed, core.link(node, d)) {
             (Some(set), Some(l)) => set.contains(l),
             _ => false,
         }
@@ -70,11 +104,12 @@ impl AdvanceCtx<'_> {
 /// reservation, a staged flit) are no-ops for the rest of this cycle in
 /// the unskipped pipeline too — reservations have no arrived flits and
 /// staged arrivals apply only at end of cycle — so the snapshot loses
-/// nothing. The worklist and switch-request vectors are scratch buffers
-/// owned by [`NetworkCore`], making the steady-state loop allocation-free.
+/// nothing. The worklist is a scratch buffer owned by [`NetworkCore`] and
+/// the switch-request bitsets are fixed stack words, making the
+/// steady-state loop allocation-free.
 pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &AdvanceCtx<'_>) {
     if !ctx.freeze {
-        let (mut nodes, mut sa_reqs) = core.take_advance_scratch();
+        let mut nodes = core.take_advance_scratch();
         nodes.clear();
         nodes.extend(core.nodes_rotating().filter(|&n| core.node_active(n)));
         core.probe_begin(Phase::RouteAlloc);
@@ -84,7 +119,7 @@ pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &Adv
         core.probe_end(Phase::RouteAlloc);
         core.probe_begin(Phase::SwitchAlloc);
         for &n in &nodes {
-            switch_traversal(core, ctx, n, &mut sa_reqs);
+            switch_traversal(core, ctx, n);
         }
         core.probe_end(Phase::SwitchAlloc);
         core.probe_begin(Phase::Inject);
@@ -92,7 +127,7 @@ pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &Adv
             injection(core, n);
         }
         core.probe_end(Phase::Inject);
-        core.put_advance_scratch(nodes, sa_reqs);
+        core.put_advance_scratch(nodes);
     }
     core.probe_begin(Phase::ApplyStaged);
     core.apply_staged();
@@ -102,21 +137,25 @@ pub fn advance(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, ctx: &Adv
 /// Route computation + downstream VC allocation for head packets that do
 /// not yet hold a route.
 fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, node: NodeId) {
+    let ni = node.index();
     for p in 0..NUM_PORTS {
-        // Visit only occupied VCs (set bits); the mask snapshot stays
-        // valid because this loop only mutates occupant fields here and
-        // installs reservations at *neighbor* routers.
-        let mut mask = core.router(node).inputs[p].occ_mask();
+        // Visit only occupied VCs that do not yet hold a route — the
+        // routed word keeps already-allocated packets out of this scan
+        // entirely. The mask snapshot stays valid because this loop only
+        // mutates the current slot's route fields and installs
+        // reservations at *neighbor* routers.
+        let w = core.arena.word(ni, p);
+        let mut mask = core.arena.occ[w] & !core.arena.routed[w];
         while mask != 0 {
             let vc = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            let Some(occ) = core.router(node).inputs[p].vc(vc).occupant() else {
-                continue;
-            };
-            if !occ.head_present() || occ.route.is_some() {
+            let s = core.arena.slot(ni, p, vc);
+            // head_present: the head flit is here and nothing was sent.
+            let m = core.arena.meta[s];
+            if m_arrived(m) == 0 || m_sent(m) != 0 {
                 continue;
             }
-            let pkt_id = occ.pkt;
+            let pkt_id = core.arena.pkt[s];
             // One store lookup for the fields routing reads; no clone.
             let req = RouteReq::new(core, node, Port::from_index(p), vc, pkt_id);
             let Some(dec) = policy.route(core, &req) else {
@@ -128,18 +167,13 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
             match dec.out_port {
                 Port::Local => {
                     debug_assert_eq!(req.dst, node, "local route for a non-arrived packet");
-                    let occ = core.router_mut(node).inputs[p]
-                        .vc_mut(vc)
-                        .occupant_mut()
-                        .expect("occupant observed earlier this iteration");
-                    occ.route = Some(Port::Local);
+                    core.arena.set_route(ni, p, vc, Port::Local);
                     if core.trace.events_on() {
                         trace_vc_alloc(core, node, pkt_id, Port::Local.index() as u8, 0);
                     }
                 }
                 Port::Dir(d) => {
                     let nbr = core
-                        .mesh()
                         .neighbor(node, d)
                         .expect("policy routed off the mesh edge");
                     let in_port = Port::Dir(d.opposite()).index();
@@ -147,14 +181,14 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
                     let len = core.store.get(pkt_id).len_flits;
                     // Reserve the downstream VC immediately so no other
                     // head can double-book it this cycle.
-                    core.router_mut(nbr).inputs[in_port]
-                        .install(dec.out_vc, VcOccupant::reserved(pkt_id, len, cycle));
-                    let occ = core.router_mut(node).inputs[p]
-                        .vc_mut(vc)
-                        .occupant_mut()
-                        .expect("occupant observed earlier this iteration");
-                    occ.route = Some(Port::Dir(d));
-                    occ.out_vc = Some(dec.out_vc);
+                    core.arena.install(
+                        nbr.index(),
+                        in_port,
+                        dec.out_vc,
+                        VcOccupant::reserved(pkt_id, len, cycle),
+                    );
+                    core.arena
+                        .set_route_vc(ni, p, vc, Port::Dir(d), dec.out_vc as u8);
                     if core.trace.events_on() {
                         trace_vc_alloc(
                             core,
@@ -172,28 +206,73 @@ fn route_and_allocate(core: &mut NetworkCore, policy: &mut dyn RoutingPolicy, no
 
 /// Switch allocation + traversal for one router: ejection first (Local
 /// output), then the four direction outputs, at most one flit per input
-/// and per output port. `reqs` is a caller-owned scratch request vector
-/// (cleared and refilled per output port) so the hot loop never allocates.
-fn switch_traversal(
-    core: &mut NetworkCore,
-    ctx: &AdvanceCtx<'_>,
-    node: NodeId,
-    reqs: &mut Vec<bool>,
-) {
+/// and per output port. A single word-at-a-time prepass over the router's
+/// `occ & routed` occupancy words builds the request bitsets of all five
+/// output ports at once; the per-output loops then work purely on stack
+/// words, so the hot loop touches each occupied slot once and never
+/// allocates.
+fn switch_traversal(core: &mut NetworkCore, ctx: &AdvanceCtx<'_>, node: NodeId) {
+    let ni = node.index();
     // A router with no buffered packets has nothing to eject or forward
     // (injection streams its own staged flits separately).
-    if core.router(node).occupied_vcs() == 0 {
+    if core.arena.node_occupied(ni) == 0 {
         return;
     }
-    let vcs = core.router(node).vcs_per_port();
-    let mut input_used = [false; NUM_PORTS];
+    let vcs = core.arena.vcs_per_port();
+    let nw = (NUM_PORTS * vcs).div_ceil(64);
+    if nw == 1 {
+        // Every shipped configuration (vcs ≤ 12) fits a router's whole
+        // requester space in one word; the specialized path drops the
+        // multi-word bitset arrays and their zeroing entirely.
+        switch_traversal_w1(core, ctx, node, vcs);
+        return;
+    }
 
-    core.probe_begin(Phase::Eject);
-    eject_stage(core, ctx, node, &mut input_used, reqs);
-    core.probe_end(Phase::Eject);
+    // Requester bitsets per output port, indexed by the slot's route.
+    // Only routed occupants appear in `occ & routed`, and route stores a
+    // valid output-port index for every such slot.
+    let mut out_reqs = [[0u64; SA_WORDS]; NUM_PORTS];
+    for p in 0..NUM_PORTS {
+        let w = core.arena.word(ni, p);
+        let mut mask = core.arena.occ[w] & core.arena.routed[w];
+        while mask != 0 {
+            let vc = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let m = core.arena.meta[core.arena.slot(ni, p, vc)];
+            if m_sent(m) < m_arrived(m) {
+                set_bit(&mut out_reqs[m_route(m) as usize], p * vcs + vc);
+            }
+        }
+    }
+
+    // Requesters already consumed: an input port forwards at most one
+    // flit per cycle, so a granted port's whole bit range is retired from
+    // the remaining output arbitrations.
+    let mut used_mask = [0u64; SA_WORDS];
+
+    // With no eject lock and no Local-routed requester the stage is a
+    // no-op even under tracing (`trace_eject_preempted` requires a lock;
+    // `trace_eject_stalls` scans exactly the prepass candidate set), so
+    // it can be skipped without perturbing stats or traces.
+    let local_any = out_reqs[Port::Local.index()][..nw]
+        .iter()
+        .fold(0u64, |a, w| a | w);
+    if local_any != 0 || core.router(node).eject_lock.is_some() {
+        core.probe_begin(Phase::Eject);
+        eject_stage(
+            core,
+            ctx,
+            node,
+            &mut used_mask,
+            &out_reqs[Port::Local.index()],
+            vcs,
+            nw,
+        );
+        core.probe_end(Phase::Eject);
+    }
 
     for d in DIRECTIONS {
-        let Some(nbr) = core.mesh().neighbor(node, d) else {
+        let Some(nbr) = core.neighbor(node, d) else {
             continue;
         };
         if ctx.link_suppressed(core, node, d) {
@@ -202,43 +281,147 @@ fn switch_traversal(
             }
             continue;
         }
-        // Gather requests: flits with an allocated route through `d`,
-        // visiting only occupied VCs via the per-input masks.
-        let router = core.router(node);
-        reqs.clear();
-        reqs.resize(NUM_PORTS * vcs, false);
-        let mut any = false;
-        for (p, used) in input_used.iter().enumerate() {
-            if *used {
-                continue;
-            }
-            let iu = &router.inputs[p];
-            let mut mask = iu.occ_mask();
-            while mask != 0 {
-                let vc = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                if let Some(occ) = iu.vc(vc).occupant() {
-                    if occ.route == Some(Port::Dir(d)) && occ.flit_ready() {
-                        reqs[router.sa_index(p, vc)] = true;
-                        any = true;
-                    }
-                }
-            }
+        let mut reqs = [0u64; SA_WORDS];
+        let mut any = 0u64;
+        for w in 0..nw {
+            reqs[w] = out_reqs[Port::Dir(d).index()][w] & !used_mask[w];
+            any |= reqs[w];
         }
-        if !any {
+        if any == 0 {
             continue;
         }
         let out_idx = Port::Dir(d).index();
-        let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(reqs) else {
+        let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant_words(&reqs[..nw]) else {
             continue;
         };
         if core.trace.counters_on() {
-            trace_sa_losers(core, node, reqs, winner);
+            trace_sa_losers(core, node, &reqs[..nw], winner);
         }
         let (p, vc) = core.router(node).sa_decode(winner);
-        input_used[p] = true;
+        set_bit_range(&mut used_mask, p * vcs, vcs);
         send_flit(core, node, p, vc, nbr, d);
     }
+}
+
+/// Single-word [`switch_traversal`]: identical stage sequence, request
+/// bits, arbiter calls and trace hooks, with every bitset a plain `u64`
+/// (requester index `p * vcs + vc` is always < 64 here).
+fn switch_traversal_w1(core: &mut NetworkCore, ctx: &AdvanceCtx<'_>, node: NodeId, vcs: usize) {
+    let ni = node.index();
+    let mut out_reqs = [0u64; NUM_PORTS];
+    for p in 0..NUM_PORTS {
+        let w = core.arena.word(ni, p);
+        let mut mask = core.arena.occ[w] & core.arena.routed[w];
+        while mask != 0 {
+            let vc = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let m = core.arena.meta[core.arena.slot(ni, p, vc)];
+            if m_sent(m) < m_arrived(m) {
+                out_reqs[m_route(m) as usize] |= 1 << (p * vcs + vc);
+            }
+        }
+    }
+
+    let mut used_mask = 0u64;
+    let local_reqs = out_reqs[Port::Local.index()];
+    if local_reqs != 0 || core.router(node).eject_lock.is_some() {
+        core.probe_begin(Phase::Eject);
+        eject_stage_w1(core, ctx, node, &mut used_mask, local_reqs, vcs);
+        core.probe_end(Phase::Eject);
+    }
+
+    for d in DIRECTIONS {
+        let Some(nbr) = core.neighbor(node, d) else {
+            continue;
+        };
+        if ctx.link_suppressed(core, node, d) {
+            if core.trace.counters_on() {
+                trace_suppressed_stalls(core, node, d);
+            }
+            continue;
+        }
+        let out_idx = Port::Dir(d).index();
+        let reqs = out_reqs[out_idx] & !used_mask;
+        if reqs == 0 {
+            continue;
+        }
+        let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant_words(&[reqs]) else {
+            continue;
+        };
+        if core.trace.counters_on() {
+            trace_sa_losers(core, node, &[reqs], winner);
+        }
+        let (p, vc) = core.router(node).sa_decode(winner);
+        used_mask |= ((1u64 << vcs) - 1) << (p * vcs);
+        send_flit(core, node, p, vc, nbr, d);
+    }
+}
+
+/// Single-word [`eject_stage`]; see [`switch_traversal_w1`].
+fn eject_stage_w1(
+    core: &mut NetworkCore,
+    ctx: &AdvanceCtx<'_>,
+    node: NodeId,
+    used_mask: &mut u64,
+    local_reqs: u64,
+    vcs: usize,
+) {
+    let ni = node.index();
+    if ctx.eject_blocked_at(node) {
+        if core.trace.counters_on() {
+            trace_eject_preempted(core, node);
+        }
+        return; // Preempted by an overlay packet; the lock (if any) stalls.
+    }
+    if let Some((p, vc)) = core.router(node).eject_lock {
+        debug_assert!(core.arena.is_occupied(ni, p, vc), "eject lock on empty VC");
+        let m = core.arena.meta[core.arena.slot(ni, p, vc)];
+        if m_sent(m) < m_arrived(m) {
+            eject_flit(core, node, p, vc);
+            *used_mask |= ((1u64 << vcs) - 1) << (p * vcs);
+        }
+        return; // Port held until the tail leaves.
+    }
+    // New grant.
+    if core.trace.counters_on() {
+        trace_eject_stalls(core, node);
+    }
+    let mut reqs = 0u64;
+    let mut m = local_reqs;
+    while m != 0 {
+        let b = m.trailing_zeros() as usize;
+        m &= m - 1;
+        let s = core.arena.slot(ni, b / vcs, b % vcs);
+        let pkt = core.arena.pkt[s];
+        let class = core.store.get(pkt).class;
+        if core.ni(node).ej_can_accept(class, pkt) {
+            reqs |= 1 << b;
+        }
+    }
+    if reqs == 0 {
+        return;
+    }
+    let out_idx = Port::Local.index();
+    let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant_words(&[reqs]) else {
+        return;
+    };
+    if core.trace.counters_on() {
+        trace_sa_losers(core, node, &[reqs], winner);
+    }
+    let (p, vc) = core.router(node).sa_decode(winner);
+    debug_assert!(
+        core.arena.is_occupied(ni, p, vc),
+        "switch-allocation winner must be occupied"
+    );
+    let pkt_id = core.arena.pkt[core.arena.slot(ni, p, vc)];
+    let class = core.store.get(pkt_id).class;
+    core.ni_mut(node).ej_begin(class, pkt_id);
+    core.router_mut(node).eject_lock = Some((p, vc));
+    if core.trace.events_on() {
+        trace_sa_grant(core, node, pkt_id, Port::Local.index() as u8);
+    }
+    eject_flit(core, node, p, vc);
+    *used_mask |= ((1u64 << vcs) - 1) << (p * vcs);
 }
 
 /// Moves one flit of `(node, p, vc)`'s occupant across link `d` to `nbr`.
@@ -251,27 +434,30 @@ fn send_flit(
     d: noc_core::topology::Direction,
 ) {
     let cycle = core.cycle();
-    let (pkt_id, out_vc, first, drained) = {
-        let occ = core.router_mut(node).inputs[p]
-            .vc_mut(vc)
-            .occupant_mut()
-            .expect("granted flit from empty VC");
-        occ.sent += 1;
-        occ.last_progress = cycle;
-        (
-            occ.pkt,
-            occ.out_vc.expect("direction route without VC allocation"),
-            occ.sent == 1,
-            occ.drained(),
-        )
-    };
+    debug_assert!(
+        core.arena.is_occupied(node.index(), p, vc),
+        "granted flit from empty VC"
+    );
+    let s = core.arena.slot(node.index(), p, vc);
+    let m = core.arena.meta[s] + (1 << M_SENT);
+    core.arena.meta[s] = m;
+    core.arena.last_progress[s] = cycle;
+    let pkt_id = core.arena.pkt[s];
+    let out_vc_raw = m_out_vc(m);
+    assert!(
+        out_vc_raw != NO_OUT_VC,
+        "direction route without VC allocation"
+    );
+    let out_vc = out_vc_raw as usize;
+    let first = m_sent(m) == 1;
+    let drained = m_sent(m) == m_len(m);
     if first {
         core.store.get_mut(pkt_id).hops += 1;
         if core.trace.events_on() {
             trace_sa_grant(core, node, pkt_id, Port::Dir(d).index() as u8);
         }
     }
-    if let Some(l) = core.mesh().link(node, d) {
+    if let Some(l) = core.link(node, d) {
         core.count_link_flit(l);
         if core.trace.counters_on() {
             trace_link_traverse(core, node, pkt_id, l);
@@ -284,13 +470,19 @@ fn send_flit(
 }
 
 /// Ejection: continue the locked stream or grant a new one.
+/// `local_reqs` is the prepass bitset of Local-routed flit-ready slots;
+/// candidates are still filtered by NI admission here, bit by bit.
+#[allow(clippy::too_many_arguments)]
 fn eject_stage(
     core: &mut NetworkCore,
     ctx: &AdvanceCtx<'_>,
     node: NodeId,
-    input_used: &mut [bool; NUM_PORTS],
-    reqs: &mut Vec<bool>,
+    used_mask: &mut [u64; SA_WORDS],
+    local_reqs: &[u64; SA_WORDS],
+    vcs: usize,
+    nw: usize,
 ) {
+    let ni = node.index();
     if ctx.eject_blocked_at(node) {
         if core.trace.counters_on() {
             trace_eject_preempted(core, node);
@@ -298,14 +490,11 @@ fn eject_stage(
         return; // Preempted by an overlay packet; the lock (if any) stalls.
     }
     if let Some((p, vc)) = core.router(node).eject_lock {
-        let ready = core.router(node).inputs[p]
-            .vc(vc)
-            .occupant()
-            .expect("eject lock on empty VC")
-            .flit_ready();
-        if ready {
+        debug_assert!(core.arena.is_occupied(ni, p, vc), "eject lock on empty VC");
+        let m = core.arena.meta[core.arena.slot(ni, p, vc)];
+        if m_sent(m) < m_arrived(m) {
             eject_flit(core, node, p, vc);
-            input_used[p] = true;
+            set_bit_range(used_mask, p * vcs, vcs);
         }
         return; // Port held until the tail leaves.
     }
@@ -313,44 +502,39 @@ fn eject_stage(
     if core.trace.counters_on() {
         trace_eject_stalls(core, node);
     }
-    let vcs = core.router(node).vcs_per_port();
-    let router = core.router(node);
-    reqs.clear();
-    reqs.resize(NUM_PORTS * vcs, false);
-    let mut any = false;
-    for p in 0..NUM_PORTS {
-        let iu = &router.inputs[p];
-        let mut mask = iu.occ_mask();
-        while mask != 0 {
-            let vc = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            if let Some(occ) = iu.vc(vc).occupant() {
-                if occ.route == Some(Port::Local) && occ.flit_ready() {
-                    let class = core.store.get(occ.pkt).class;
-                    if core.ni(node).ej_can_accept(class, occ.pkt) {
-                        reqs[router.sa_index(p, vc)] = true;
-                        any = true;
-                    }
-                }
+    let mut reqs = [0u64; SA_WORDS];
+    let mut any = 0u64;
+    for (w, reqs_w) in reqs.iter_mut().enumerate().take(nw) {
+        let mut m = local_reqs[w];
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let idx = w * 64 + b;
+            let s = core.arena.slot(ni, idx / vcs, idx % vcs);
+            let pkt = core.arena.pkt[s];
+            let class = core.store.get(pkt).class;
+            if core.ni(node).ej_can_accept(class, pkt) {
+                *reqs_w |= 1 << b;
+                any = 1;
             }
         }
     }
-    if !any {
+    if any == 0 {
         return;
     }
     let out_idx = Port::Local.index();
-    let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant(reqs) else {
+    let Some(winner) = core.router_mut(node).sa_rr[out_idx].grant_words(&reqs[..nw]) else {
         return;
     };
     if core.trace.counters_on() {
-        trace_sa_losers(core, node, reqs, winner);
+        trace_sa_losers(core, node, &reqs[..nw], winner);
     }
     let (p, vc) = core.router(node).sa_decode(winner);
-    let pkt_id = core.router(node).inputs[p]
-        .vc(vc)
-        .occupant()
-        .expect("switch-allocation winner must be occupied")
-        .pkt;
+    debug_assert!(
+        core.arena.is_occupied(ni, p, vc),
+        "switch-allocation winner must be occupied"
+    );
+    let pkt_id = core.arena.pkt[core.arena.slot(ni, p, vc)];
     let class = core.store.get(pkt_id).class;
     core.ni_mut(node).ej_begin(class, pkt_id);
     core.router_mut(node).eject_lock = Some((p, vc));
@@ -358,21 +542,24 @@ fn eject_stage(
         trace_sa_grant(core, node, pkt_id, Port::Local.index() as u8);
     }
     eject_flit(core, node, p, vc);
-    input_used[p] = true;
+    set_bit_range(used_mask, p * vcs, vcs);
 }
 
 /// Streams one flit into the NI; finishes the delivery on the tail.
 fn eject_flit(core: &mut NetworkCore, node: NodeId, p: usize, vc: usize) {
     let cycle = core.cycle();
-    let (pkt_id, drained) = {
-        let occ = core.router_mut(node).inputs[p]
-            .vc_mut(vc)
-            .occupant_mut()
-            .expect("ejecting VC must be occupied");
-        occ.sent += 1;
-        occ.last_progress = cycle;
-        (occ.pkt, occ.drained())
-    };
+    // Grants come from the `occ & routed` prepass masks, so occupancy is
+    // structural here (and in `send_flit` below); debug builds re-check.
+    debug_assert!(
+        core.arena.is_occupied(node.index(), p, vc),
+        "ejecting VC must be occupied"
+    );
+    let s = core.arena.slot(node.index(), p, vc);
+    let m = core.arena.meta[s] + (1 << M_SENT);
+    core.arena.meta[s] = m;
+    core.arena.last_progress[s] = cycle;
+    let pkt_id = core.arena.pkt[s];
+    let drained = m_sent(m) == m_len(m);
     if drained {
         core.mark_drained(node, Port::from_index(p), vc);
         let ready = cycle + core.cfg().ni_consume_cycles;
@@ -393,6 +580,11 @@ fn eject_flit(core: &mut NetworkCore, node: NodeId, p: usize, vc: usize) {
 /// NI-side injection: regeneration, source→queue refill, and streaming
 /// one flit per cycle over the injection link into a Local input VC.
 fn injection(core: &mut NetworkCore, node: NodeId) {
+    if !core.ni(node).has_work() {
+        // Node is active only because packets transit its router: no
+        // stream to continue, nothing to regenerate, refill or grant.
+        return;
+    }
     let cycle = core.cycle();
     // MSHR regeneration of dropped requests.
     let regenerated = core.ni_mut(node).take_regenerated(cycle);
@@ -424,7 +616,8 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
         let class = MessageClass::from_index(c);
         if let Some(head) = core.ni(node).inj_head(class) {
             let range = core.cfg().vc_range_for_class(c);
-            *req = core.router(node).inputs[Port::Local.index()]
+            *req = core
+                .input(node, Port::Local.index())
                 .free_vc_in(range)
                 .is_some();
             if !*req && core.trace.counters_on() {
@@ -437,7 +630,8 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
     };
     let class = MessageClass::from_index(c);
     let range = core.cfg().vc_range_for_class(c);
-    let vc = core.router(node).inputs[Port::Local.index()]
+    let vc = core
+        .input(node, Port::Local.index())
         .free_vc_in(range)
         .expect("request vector promised a free VC");
     let pkt_id = core
@@ -449,8 +643,12 @@ fn injection(core: &mut NetworkCore, node: NodeId) {
         pkt.inject_cycle = Some(cycle);
         pkt.len_flits
     };
-    core.router_mut(node).inputs[Port::Local.index()]
-        .install(vc, VcOccupant::reserved(pkt_id, len, cycle));
+    core.arena.install(
+        node.index(),
+        Port::Local.index(),
+        vc,
+        VcOccupant::reserved(pkt_id, len, cycle),
+    );
     core.stage_flit(node, Port::Local, vc);
     if core.trace.counters_on() {
         trace_injected(core, node, pkt_id, c, vc as u8);
@@ -547,16 +745,17 @@ fn trace_no_free_vc(core: &mut NetworkCore, node: NodeId, pkt: PacketId) {
 #[cold]
 #[inline(never)]
 fn trace_suppressed_stalls(core: &mut NetworkCore, node: NodeId, d: Direction) {
+    let ni = node.index();
+    let route_d = Port::Dir(d).index() as u8;
     for p in 0..NUM_PORTS {
-        let mut mask = core.router(node).inputs[p].occ_mask();
+        let mut mask = core.arena.occ[core.arena.word(ni, p)];
         while mask != 0 {
             let vc = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            let stalled = core.router(node).inputs[p]
-                .vc(vc)
-                .occupant()
-                .map(|occ| (occ.pkt, occ.route == Some(Port::Dir(d)) && occ.flit_ready()));
-            if let Some((pkt, true)) = stalled {
+            let s = core.arena.slot(ni, p, vc);
+            let m = core.arena.meta[s];
+            if m_route(m) == route_d && m_sent(m) < m_arrived(m) {
+                let pkt = core.arena.pkt[s];
                 core.trace.count_stall(node, StallCause::LinkSuppressed);
                 trace!(core.trace, node, || TraceEvent::Stall {
                     pkt,
@@ -568,17 +767,24 @@ fn trace_suppressed_stalls(core: &mut NetworkCore, node: NodeId, d: Direction) {
 }
 
 /// Records an `SaLost` stall for every requester that lost this output
-/// port's switch arbitration to `winner`. Cold: tracing-only.
+/// port's switch arbitration to `winner`. `reqs` is the word-packed
+/// request bitset the arbiter saw. Cold: tracing-only.
 #[cold]
 #[inline(never)]
-fn trace_sa_losers(core: &mut NetworkCore, node: NodeId, reqs: &[bool], winner: usize) {
-    for (idx, req) in reqs.iter().enumerate() {
-        if !req || idx == winner {
-            continue;
-        }
-        let (p, vc) = core.router(node).sa_decode(idx);
-        let pkt = core.router(node).inputs[p].vc(vc).occupant().map(|o| o.pkt);
-        if let Some(pkt) = pkt {
+fn trace_sa_losers(core: &mut NetworkCore, node: NodeId, reqs: &[u64], winner: usize) {
+    let ni = node.index();
+    for (w, &word) in reqs.iter().enumerate() {
+        let mut m = word;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let idx = w * 64 + b;
+            if idx == winner {
+                continue;
+            }
+            let (p, vc) = core.router(node).sa_decode(idx);
+            // Requests are only raised for occupied slots.
+            let pkt = core.arena.pkt[core.arena.slot(ni, p, vc)];
             core.trace.count_stall(node, StallCause::SaLost);
             trace!(core.trace, node, || TraceEvent::Stall {
                 pkt,
@@ -593,21 +799,20 @@ fn trace_sa_losers(core: &mut NetworkCore, node: NodeId, reqs: &[bool], winner: 
 #[cold]
 #[inline(never)]
 fn trace_eject_stalls(core: &mut NetworkCore, node: NodeId) {
+    let ni = node.index();
+    let route_local = Port::Local.index() as u8;
     for p in 0..NUM_PORTS {
-        let mut mask = core.router(node).inputs[p].occ_mask();
+        let mut mask = core.arena.occ[core.arena.word(ni, p)];
         while mask != 0 {
             let vc = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            let candidate = core.router(node).inputs[p]
-                .vc(vc)
-                .occupant()
-                .and_then(|occ| {
-                    if occ.route == Some(Port::Local) && occ.flit_ready() {
-                        Some(occ.pkt)
-                    } else {
-                        None
-                    }
-                });
+            let s = core.arena.slot(ni, p, vc);
+            let m = core.arena.meta[s];
+            let candidate = if m_route(m) == route_local && m_sent(m) < m_arrived(m) {
+                Some(core.arena.pkt[s])
+            } else {
+                None
+            };
             let Some(pkt) = candidate else { continue };
             let class = core.store.get(pkt).class;
             let Some(refusal) = core.ni(node).ej_refusal(class, pkt) else {
@@ -631,7 +836,7 @@ fn trace_eject_preempted(core: &mut NetworkCore, node: NodeId) {
     let Some((p, vc)) = core.router(node).eject_lock else {
         return;
     };
-    let pkt = core.router(node).inputs[p].vc(vc).occupant().map(|o| o.pkt);
+    let pkt = core.input(node, p).occupant(vc).map(|o| o.pkt);
     if let Some(pkt) = pkt {
         core.trace.count_stall(node, StallCause::EjPreempted);
         trace!(core.trace, node, || TraceEvent::Stall {

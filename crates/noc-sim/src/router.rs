@@ -1,7 +1,10 @@
-//! Per-router state: input units, arbitration pointers, ejection lock.
+//! Per-router state: arbitration pointers and the ejection lock.
+//!
+//! VC buffer contents live in the network-wide flat
+//! [`VcArena`](crate::arena::VcArena), not here; what remains per router
+//! is the control state that is genuinely router-local.
 
 use crate::arbiter::RoundRobin;
-use crate::vc::InputUnit;
 use noc_core::packet::NUM_CLASSES;
 use noc_core::topology::NUM_PORTS;
 
@@ -13,8 +16,6 @@ use noc_core::topology::NUM_PORTS;
 /// over `(input port, VC)` requesters.
 #[derive(Debug, Clone)]
 pub struct RouterState {
-    /// Input units indexed by [`Port::index`](noc_core::topology::Port::index).
-    pub inputs: Vec<InputUnit>,
     /// Per-output-port switch-allocation arbiters over
     /// `NUM_PORTS × vcs_per_port` requesters.
     pub sa_rr: Vec<RoundRobin>,
@@ -24,69 +25,59 @@ pub struct RouterState {
     /// from. The ejection port is held until the tail flit leaves
     /// (FastPass flights may stall, but never steal, the stream — Qn3).
     pub eject_lock: Option<(usize, usize)>,
+    vcs_per_port: usize,
+    /// Precomputed `(input port, vc)` per requester index, so the hot
+    /// [`sa_decode`](Self::sa_decode) is one table load instead of a
+    /// runtime division pair.
+    decode: Vec<(u8, u8)>,
 }
 
 impl RouterState {
     /// Creates a router whose input ports each have `vcs_per_port` VCs.
     pub fn new(vcs_per_port: usize) -> Self {
         RouterState {
-            inputs: (0..NUM_PORTS)
-                .map(|_| InputUnit::new(vcs_per_port))
-                .collect(),
             sa_rr: (0..NUM_PORTS)
                 .map(|_| RoundRobin::new(NUM_PORTS * vcs_per_port))
                 .collect(),
             inj_class_rr: RoundRobin::new(NUM_CLASSES),
             eject_lock: None,
+            vcs_per_port,
+            decode: (0..NUM_PORTS * vcs_per_port)
+                .map(|i| ((i / vcs_per_port) as u8, (i % vcs_per_port) as u8))
+                .collect(),
         }
     }
 
     /// VCs per input port.
     pub fn vcs_per_port(&self) -> usize {
-        self.inputs[0].num_vcs()
-    }
-
-    /// Total occupied VCs in this router's input units — O(ports), using
-    /// the per-input occupancy counters rather than scanning every VC.
-    /// This is the router half of the active-set predicate: a router with
-    /// zero occupied VCs has no route/switch/eject work this cycle. Note
-    /// that a packet mid-transfer occupies buffers at several routers;
-    /// use [`NetworkCore::resident_packets`] for an exactly-once packet
-    /// count.
-    ///
-    /// [`NetworkCore::resident_packets`]: crate::network::NetworkCore::resident_packets
-    pub fn occupied_vcs(&self) -> usize {
-        self.inputs.iter().map(|iu| iu.occupied_count()).sum()
+        self.vcs_per_port
     }
 
     /// Encodes an `(input port, vc)` pair as a switch-allocation
     /// requester index.
     pub fn sa_index(&self, in_port: usize, vc: usize) -> usize {
-        in_port * self.vcs_per_port() + vc
+        in_port * self.vcs_per_port + vc
     }
 
     /// Decodes a switch-allocation requester index back to
     /// `(input port, vc)`.
     pub fn sa_decode(&self, idx: usize) -> (usize, usize) {
-        (idx / self.vcs_per_port(), idx % self.vcs_per_port())
+        let (p, vc) = self.decode[idx];
+        (p as usize, vc as usize)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vc::VcOccupant;
-    use noc_core::packet::{MessageClass, Packet, PacketStore};
-    use noc_core::topology::NodeId;
 
     #[test]
     fn construction_shapes() {
         let r = RouterState::new(12);
-        assert_eq!(r.inputs.len(), NUM_PORTS);
         assert_eq!(r.sa_rr.len(), NUM_PORTS);
         assert_eq!(r.vcs_per_port(), 12);
         assert_eq!(r.sa_rr[0].len(), NUM_PORTS * 12);
-        assert_eq!(r.occupied_vcs(), 0);
+        assert!(r.eject_lock.is_none());
     }
 
     #[test]
@@ -98,20 +89,5 @@ mod tests {
                 assert_eq!(r.sa_decode(idx), (port, vc));
             }
         }
-    }
-
-    #[test]
-    fn resident_packet_count() {
-        let mut store = PacketStore::new();
-        let mut r = RouterState::new(2);
-        let p = store.insert(Packet::new(
-            NodeId::new(0),
-            NodeId::new(1),
-            MessageClass::Request,
-            1,
-            0,
-        ));
-        r.inputs[0].install(1, VcOccupant::reserved(p, 1, 0));
-        assert_eq!(r.occupied_vcs(), 1);
     }
 }

@@ -81,8 +81,7 @@ pub trait RoutingPolicy: Send {
         if req.dst == req.at {
             return vec![Port::Local];
         }
-        core.mesh()
-            .productive_dirs(req.at, req.dst)
+        core.productive_dirs(req.at, req.dst)
             .iter()
             .map(Port::Dir)
             .collect()
@@ -97,9 +96,10 @@ pub fn free_downstream_vc(
     d: Direction,
     class_index: usize,
 ) -> Option<usize> {
-    let nbr = core.mesh().neighbor(at, d)?;
+    let nbr = core.neighbor(at, d)?;
     let range = core.cfg().vc_range_for_class(class_index);
-    core.router(nbr).inputs[Port::Dir(d.opposite()).index()].free_vc_in(range)
+    core.input(nbr, Port::Dir(d.opposite()).index())
+        .free_vc_in(range)
 }
 
 /// Counts free VCs for `class` at the downstream input port via `d`
@@ -111,10 +111,11 @@ pub fn downstream_credits(
     d: Direction,
     class_index: usize,
 ) -> usize {
-    match core.mesh().neighbor(at, d) {
+    match core.neighbor(at, d) {
         Some(nbr) => {
             let range = core.cfg().vc_range_for_class(class_index);
-            core.router(nbr).inputs[Port::Dir(d.opposite()).index()].free_vcs_in(range)
+            core.input(nbr, Port::Dir(d.opposite()).index())
+                .free_vcs_in(range)
         }
         None => 0,
     }
@@ -140,7 +141,20 @@ impl RoutingPolicy for DorXy {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let dir = core.mesh().xy_next(req.at, req.dst)?;
+        // `Mesh::xy_next` on cached coordinates (no per-call division).
+        let (fx, fy) = core.xy(req.at);
+        let (tx, ty) = core.xy(req.dst);
+        let dir = if tx > fx {
+            Direction::East
+        } else if tx < fx {
+            Direction::West
+        } else if ty > fy {
+            Direction::South
+        } else if ty < fy {
+            Direction::North
+        } else {
+            return None;
+        };
         let out_vc = free_downstream_vc(core, req.at, dir, req.class.index())?;
         Some(RouteDecision {
             out_port: Port::Dir(dir),
@@ -174,7 +188,20 @@ impl RoutingPolicy for DorYx {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let dir = core.mesh().yx_next(req.at, req.dst)?;
+        // `Mesh::yx_next` on cached coordinates (no per-call division).
+        let (fx, fy) = core.xy(req.at);
+        let (tx, ty) = core.xy(req.dst);
+        let dir = if ty > fy {
+            Direction::South
+        } else if ty < fy {
+            Direction::North
+        } else if tx > fx {
+            Direction::East
+        } else if tx < fx {
+            Direction::West
+        } else {
+            return None;
+        };
         let out_vc = free_downstream_vc(core, req.at, dir, req.class.index())?;
         Some(RouteDecision {
             out_port: Port::Dir(dir),
@@ -225,12 +252,21 @@ impl RoutingPolicy for FullyAdaptive {
         if let Some(d) = local_if_arrived(req) {
             return Some(d);
         }
-        let class = req.class.index();
+        // The class range is direction-independent: resolve it once, and
+        // take the free-VC pick and the credit count from one downstream
+        // occupancy read per direction (identical values to the
+        // `free_downstream_vc` + `downstream_credits` pair).
+        let range = core.cfg().vc_range_for_class(req.class.index());
         let mut best: Option<(usize, Direction, usize)> = None;
         let mut ties = 0usize;
-        for dir in core.mesh().productive_dirs(req.at, req.dst).iter() {
-            if let Some(vc) = free_downstream_vc(core, req.at, dir, class) {
-                let credits = downstream_credits(core, req.at, dir, class);
+        for dir in core.productive_dirs(req.at, req.dst).iter() {
+            let Some(nbr) = core.neighbor(req.at, dir) else {
+                continue;
+            };
+            let (vc, credits) = core
+                .input(nbr, Port::Dir(dir.opposite()).index())
+                .free_vc_and_credits(range.clone());
+            if let Some(vc) = vc {
                 match best {
                     Some((b, _, _)) if credits < b => {}
                     Some((b, _, _)) if credits == b => {
@@ -274,7 +310,7 @@ impl WestFirst {
 
     /// Directions admissible under west-first from `at` toward `dst`.
     pub fn admissible(core: &NetworkCore, at: NodeId, dst: NodeId) -> Vec<Direction> {
-        let prod = core.mesh().productive_dirs(at, dst);
+        let prod = core.productive_dirs(at, dst);
         if prod.contains(Direction::West) {
             vec![Direction::West]
         } else {
@@ -363,9 +399,9 @@ impl RoutingPolicy for EscapeVcRouting {
         // Adaptive attempt: any productive direction, non-escape VCs only.
         let mesh = core.mesh();
         let mut best: Option<(usize, Direction, usize)> = None;
-        for dir in mesh.productive_dirs(req.at, req.dst).iter() {
-            if let Some(nbr) = mesh.neighbor(req.at, dir) {
-                let iu = &core.router(nbr).inputs[Port::Dir(dir.opposite()).index()];
+        for dir in core.productive_dirs(req.at, req.dst).iter() {
+            if let Some(nbr) = core.neighbor(req.at, dir) {
+                let iu = core.input(nbr, Port::Dir(dir.opposite()).index());
                 let adaptive_range = (escape + 1)..range.end;
                 if let Some(vc) = iu.free_vc_in(adaptive_range.clone()) {
                     let credits = iu.free_vcs_in(adaptive_range);
@@ -383,9 +419,9 @@ impl RoutingPolicy for EscapeVcRouting {
         }
         // Escape fallback: deterministic XY into the escape VC.
         let dir = mesh.xy_next(req.at, req.dst)?;
-        let nbr = mesh.neighbor(req.at, dir)?;
-        let iu = &core.router(nbr).inputs[Port::Dir(dir.opposite()).index()];
-        iu.vc(escape).is_free().then_some(RouteDecision {
+        let nbr = core.neighbor(req.at, dir)?;
+        let iu = core.input(nbr, Port::Dir(dir.opposite()).index());
+        iu.is_free(escape).then_some(RouteDecision {
             out_port: Port::Dir(dir),
             out_vc: escape,
         })
@@ -416,7 +452,7 @@ impl NorthLast {
 
     /// Directions admissible under north-last from `at` toward `dst`.
     pub fn admissible(core: &NetworkCore, at: NodeId, dst: NodeId) -> Vec<Direction> {
-        let prod: Vec<Direction> = core.mesh().productive_dirs(at, dst).iter().collect();
+        let prod: Vec<Direction> = core.productive_dirs(at, dst).iter().collect();
         let non_north: Vec<Direction> = prod
             .iter()
             .copied()
@@ -522,7 +558,7 @@ impl OddEven {
         let dy = ty as isize - mesh.y(at) as isize;
         let dx = tx as isize - x as isize;
         let prev = Self::travel_dir(in_port);
-        mesh.productive_dirs(at, dst)
+        core.productive_dirs(at, dst)
             .iter()
             .filter(|&d| match d {
                 Direction::North | Direction::South => {
@@ -691,7 +727,7 @@ mod tests {
         let east_nbr = NodeId::new(6);
         for vc in 0..2 {
             let filler = req_between(&mut c, 0, 15);
-            c.router_mut(east_nbr).inputs[Port::Dir(Direction::West).index()]
+            c.input_mut(east_nbr, Port::Dir(Direction::West).index())
                 .install(vc, crate::vc::VcOccupant::reserved(filler, 1, 0));
         }
         let mut pol = FullyAdaptive::new(3);
@@ -705,7 +741,7 @@ mod tests {
         let pkt = req_between(&mut c, 5, 10);
         for (nbr, dir) in [(6usize, Direction::West), (9, Direction::North)] {
             let filler = req_between(&mut c, 0, 15);
-            c.router_mut(NodeId::new(nbr)).inputs[Port::Dir(dir).index()]
+            c.input_mut(NodeId::new(nbr), Port::Dir(dir).index())
                 .install(0, crate::vc::VcOccupant::reserved(filler, 1, 0));
         }
         let mut pol = FullyAdaptive::new(3);
@@ -743,10 +779,11 @@ mod tests {
         // Fill all adaptive VCs of both productive neighbours.
         for (nbr, dir) in [(1usize, Direction::West), (4, Direction::North)] {
             let filler = req_between(&mut c, 5, 15);
-            c.router_mut(NodeId::new(nbr)).inputs[Port::Dir(dir).index()].install(
-                range.start + 1,
-                crate::vc::VcOccupant::reserved(filler, 1, 0),
-            );
+            c.input_mut(NodeId::new(nbr), Port::Dir(dir).index())
+                .install(
+                    range.start + 1,
+                    crate::vc::VcOccupant::reserved(filler, 1, 0),
+                );
         }
         let dec = route_of(&c, &mut pol, pkt, 0).unwrap();
         assert_eq!(dec.out_vc, range.start, "falls back to escape VC");

@@ -251,7 +251,7 @@ impl Sampler {
             w.in_flight[pkt.class.index()] += 1;
         }
         for n in core.mesh().nodes() {
-            w.occupied_vcs += core.router(n).occupied_vcs() as u64;
+            w.occupied_vcs += core.occupied_vcs(n) as u64;
             let ni = core.ni(n);
             w.ni_source += ni.source_depth() as u64;
             w.ni_regen += ni.regen_pending() as u64;

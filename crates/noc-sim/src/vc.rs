@@ -1,4 +1,4 @@
-//! Virtual-channel input units.
+//! Virtual-channel occupant records.
 //!
 //! Table II: virtual cut-through with a **single packet per VC** and
 //! 5-flit buffers. A VC is therefore fully described by its occupant
@@ -6,12 +6,17 @@
 //! this buffer and how many have been forwarded downstream. Cut-through
 //! means a flit may be forwarded the cycle after it arrives, so the
 //! counters never violate `sent <= arrived <= len`.
+//!
+//! Storage-wise the network keeps these fields unbundled, in the flat
+//! struct-of-arrays [`VcArena`](crate::arena::VcArena); [`VcOccupant`] is
+//! the `Copy` interchange record that installation, removal and the
+//! read-only views materialize at the boundary.
 
 use noc_core::packet::PacketId;
 use noc_core::topology::Port;
 
 /// The packet currently holding a VC, with its flit progress.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VcOccupant {
     /// The resident packet.
     pub pkt: PacketId,
@@ -84,143 +89,6 @@ impl VcOccupant {
     }
 }
 
-/// One virtual channel.
-#[derive(Debug, Clone, Default)]
-pub struct Vc {
-    occupant: Option<VcOccupant>,
-}
-
-impl Vc {
-    /// Whether the VC is free for a new packet (VCT admission: the whole
-    /// buffer must be available).
-    pub fn is_free(&self) -> bool {
-        self.occupant.is_none()
-    }
-
-    /// Shared view of the occupant.
-    pub fn occupant(&self) -> Option<&VcOccupant> {
-        self.occupant.as_ref()
-    }
-
-    /// Mutable view of the occupant.
-    pub fn occupant_mut(&mut self) -> Option<&mut VcOccupant> {
-        self.occupant.as_mut()
-    }
-}
-
-/// The input unit of one router port: its VCs plus an incrementally
-/// maintained occupancy bitmask.
-///
-/// Installing and removing occupants goes through [`install`] and
-/// [`take`] *on the input unit* (not on a [`Vc`] directly) so the mask —
-/// the active-set signal the cycle loop uses to skip idle routers and
-/// empty ports — can never drift from the buffers it summarizes.
-///
-/// [`install`]: InputUnit::install
-/// [`take`]: InputUnit::take
-#[derive(Debug, Clone)]
-pub struct InputUnit {
-    vcs: Vec<Vc>,
-    occ_mask: u64,
-}
-
-impl InputUnit {
-    /// Creates an input unit with `num_vcs` empty VCs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `num_vcs > 64` (the occupancy mask is a single word).
-    pub fn new(num_vcs: usize) -> Self {
-        assert!(num_vcs <= 64, "at most 64 VCs per input port");
-        InputUnit {
-            vcs: vec![Vc::default(); num_vcs],
-            occ_mask: 0,
-        }
-    }
-
-    /// Installs a new occupant into VC `vc`, updating the occupancy
-    /// mask.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the VC is already occupied — upstream VC allocation must
-    /// never double-book a buffer — or if `vc` is out of range.
-    pub fn install(&mut self, vc: usize, occ: VcOccupant) {
-        assert!(self.vcs[vc].occupant.is_none(), "VC double-booked");
-        self.vcs[vc].occupant = Some(occ);
-        self.occ_mask |= 1 << vc;
-    }
-
-    /// Removes and returns the occupant of VC `vc` (freeing it), updating
-    /// the occupancy mask.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vc` is out of range.
-    pub fn take(&mut self, vc: usize) -> Option<VcOccupant> {
-        let occ = self.vcs[vc].occupant.take();
-        if occ.is_some() {
-            self.occ_mask &= !(1 << vc);
-        }
-        occ
-    }
-
-    /// Bitmask of occupied VC indices — O(1), maintained by
-    /// [`install`](Self::install)/[`take`](Self::take). Hot loops iterate
-    /// set bits instead of scanning every VC slot.
-    pub fn occ_mask(&self) -> u64 {
-        self.occ_mask
-    }
-
-    /// Number of currently occupied VCs — O(1), maintained by
-    /// [`install`](Self::install)/[`take`](Self::take).
-    pub fn occupied_count(&self) -> usize {
-        self.occ_mask.count_ones() as usize
-    }
-
-    /// Number of VCs.
-    pub fn num_vcs(&self) -> usize {
-        self.vcs.len()
-    }
-
-    /// Access one VC.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vc` is out of range.
-    pub fn vc(&self, vc: usize) -> &Vc {
-        &self.vcs[vc]
-    }
-
-    /// Mutable access to one VC.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vc` is out of range.
-    pub fn vc_mut(&mut self, vc: usize) -> &mut Vc {
-        &mut self.vcs[vc]
-    }
-
-    /// Index of a free VC within `range`, if any.
-    pub fn free_vc_in(&self, range: std::ops::Range<usize>) -> Option<usize> {
-        range.clone().find(|&i| self.vcs[i].is_free())
-    }
-
-    /// Number of free VCs within `range` (the "credit count" congestion
-    /// metric used by adaptive routing and TFC tokens).
-    pub fn free_vcs_in(&self, range: std::ops::Range<usize>) -> usize {
-        range.clone().filter(|&i| self.vcs[i].is_free()).count()
-    }
-
-    /// Iterator over `(vc_index, occupant)` pairs for occupied VCs.
-    pub fn occupied(&self) -> impl Iterator<Item = (usize, &VcOccupant)> {
-        self.vcs
-            .iter()
-            .enumerate()
-            .filter_map(|(i, vc)| vc.occupant().map(|o| (i, o)))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,59 +134,5 @@ mod tests {
         assert_eq!(occ.blocked_for(100), 0);
         assert_eq!(occ.blocked_for(150), 50);
         assert_eq!(occ.blocked_for(50), 0, "saturating, never negative");
-    }
-
-    #[test]
-    fn install_take_maintains_count() {
-        let mut store = PacketStore::new();
-        let mut iu = InputUnit::new(2);
-        assert!(iu.vc(0).is_free());
-        assert_eq!(iu.occupied_count(), 0);
-        iu.install(0, VcOccupant::reserved(pid(&mut store), 1, 0));
-        assert!(!iu.vc(0).is_free());
-        assert!(iu.vc(0).occupant().is_some());
-        assert_eq!(iu.occupied_count(), 1);
-        let occ = iu.take(0).unwrap();
-        assert_eq!(occ.len, 1);
-        assert!(iu.vc(0).is_free());
-        assert_eq!(iu.occupied_count(), 0);
-        assert!(iu.take(0).is_none());
-        assert_eq!(iu.occupied_count(), 0, "empty take must not underflow");
-    }
-
-    #[test]
-    #[should_panic(expected = "double-booked")]
-    fn vc_double_install_panics() {
-        let mut store = PacketStore::new();
-        let mut iu = InputUnit::new(1);
-        iu.install(0, VcOccupant::reserved(pid(&mut store), 1, 0));
-        let p2 = pid(&mut store);
-        iu.install(0, VcOccupant::reserved(p2, 1, 0));
-    }
-
-    #[test]
-    fn input_unit_free_vc_search() {
-        let mut store = PacketStore::new();
-        let mut iu = InputUnit::new(4);
-        assert_eq!(iu.free_vc_in(0..4), Some(0));
-        assert_eq!(iu.free_vcs_in(0..4), 4);
-        iu.install(0, VcOccupant::reserved(pid(&mut store), 1, 0));
-        iu.install(1, VcOccupant::reserved(pid(&mut store), 1, 0));
-        assert_eq!(iu.free_vc_in(0..2), None);
-        assert_eq!(iu.free_vc_in(0..4), Some(2));
-        assert_eq!(iu.free_vcs_in(0..4), 2);
-        assert_eq!(iu.free_vcs_in(2..4), 2);
-        assert_eq!(iu.occupied().count(), 2);
-        assert_eq!(iu.occupied_count(), 2);
-    }
-
-    #[test]
-    fn free_vc_respects_subrange() {
-        let mut iu = InputUnit::new(6);
-        // VN 1 owns VCs 2..4 — a search there must not return VC 0.
-        assert_eq!(iu.free_vc_in(2..4), Some(2));
-        let mut store = PacketStore::new();
-        iu.install(2, VcOccupant::reserved(pid(&mut store), 1, 0));
-        assert_eq!(iu.free_vc_in(2..4), Some(3));
     }
 }

@@ -48,10 +48,9 @@ impl WaitGraph {
         let mut verts = Vec::new();
         let mut index = BTreeMap::new();
         for node in core.mesh().nodes() {
-            let router = core.router(node);
             for port in 0..NUM_PORTS {
                 for vc in 0..vcs {
-                    if let Some(occ) = router.inputs[port].vc(vc).occupant() {
+                    if let Some(occ) = core.input(node, port).occupant(vc) {
                         if occ.quiescent()
                             && occ.route.is_none()
                             && occ.blocked_for(now) >= min_blocked
@@ -69,7 +68,7 @@ impl WaitGraph {
             let req = RouteReq::new(core, pos.node, Port::from_index(pos.port), pos.vc, pkt_id);
             for port in policy.desired_ports(core, &req) {
                 let Port::Dir(d) = port else { continue };
-                let Some(nbr) = core.mesh().neighbor(pos.node, d) else {
+                let Some(nbr) = core.neighbor(pos.node, d) else {
                     continue;
                 };
                 let in_port = Port::Dir(d.opposite()).index();
@@ -201,7 +200,7 @@ pub fn rotate_cycle(core: &mut NetworkCore, graph: &WaitGraph, cycle: &[usize]) 
         let len = core.store.get(pkt).len_flits;
         let mut occ = VcOccupant::reserved(pkt, len, now);
         occ.arrived = len; // Atomic relocation: fully buffered at the target.
-        core.router_mut(npos.node).inputs[npos.port].install(npos.vc, occ);
+        core.input_mut(npos.node, npos.port).install(npos.vc, occ);
         core.store.get_mut(pkt).hops += 1;
         moved.push(pkt);
     }
@@ -232,7 +231,8 @@ mod tests {
         ));
         let mut occ = VcOccupant::reserved(id, 1, 0);
         occ.arrived = 1;
-        core.router_mut(NodeId::new(node)).inputs[port.index()].install(0, occ);
+        core.input_mut(NodeId::new(node), port.index())
+            .install(0, occ);
     }
 
     /// Builds the canonical 4-packet clockwise deadlock on a 2×2 mesh:
