@@ -16,7 +16,7 @@ use noc_sim::network::NetworkCore;
 use noc_sim::ni::EjectEntry;
 use noc_sim::regular::{advance, AdvanceCtx};
 use noc_sim::routing::FullyAdaptive;
-use noc_sim::scheme::{Scheme, SchemeProperties};
+use noc_sim::scheme::{Scheme, SchemeProperties, StateExport};
 use std::collections::VecDeque;
 
 /// Tunables for [`Pitstop`].
@@ -259,6 +259,31 @@ impl Scheme for Pitstop {
 
     fn overlay_packets(&self) -> usize {
         self.pits.iter().map(|p| p.len()).sum::<usize>() + usize::from(self.transit.is_some())
+    }
+
+    fn export_state(&self, core: &NetworkCore, out: &mut StateExport) {
+        let now = core.cycle();
+        // Class-rotation position: active class and time-to-handover are
+        // periodic in `class_period × NUM_CLASSES`.
+        out.word(now % (self.cfg.class_period * CLASSES.len() as u64));
+        for pit in &self.pits {
+            out.word(pit.len() as u64);
+            for &p in pit {
+                out.pkt(p);
+            }
+        }
+        match self.transit {
+            Some(t) => {
+                out.word(1);
+                out.pkt(t.pkt);
+                out.word(t.dst.index() as u64);
+                out.word(t.arrival.saturating_sub(now));
+            }
+            None => out.word(0),
+        }
+        out.word(self.dispatch_rr as u64);
+        // `absorbed`/`bypassed` are diagnostics; the adaptive routing RNG
+        // is a documented abstraction (merges schedules, never invents).
     }
 }
 

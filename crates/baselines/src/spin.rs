@@ -15,7 +15,7 @@
 use noc_sim::network::NetworkCore;
 use noc_sim::regular::{advance, AdvanceCtx};
 use noc_sim::routing::FullyAdaptive;
-use noc_sim::scheme::{Scheme, SchemeProperties};
+use noc_sim::scheme::{Scheme, SchemeProperties, StateExport};
 use noc_sim::waitgraph::{rotate_cycle, WaitGraph};
 
 /// Tunables for [`Spin`].
@@ -133,6 +133,22 @@ impl Scheme for Spin {
             Some(_) => {}
         }
         advance(core, &mut self.routing, &AdvanceCtx::default());
+    }
+
+    fn export_state(&self, core: &NetworkCore, out: &mut StateExport) {
+        let now = core.cycle();
+        // Detection cadence: suspect checks fire on check_interval
+        // boundaries.
+        out.word(now % self.cfg.check_interval);
+        match self.probe_due {
+            Some(due) => {
+                out.word(1);
+                out.word(due.saturating_sub(now));
+            }
+            None => out.word(0),
+        }
+        // `spins`/`probes` are diagnostics; the adaptive routing RNG is a
+        // documented abstraction (merges schedules, never invents).
     }
 }
 

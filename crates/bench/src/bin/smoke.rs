@@ -79,11 +79,34 @@ fn main() {
     }
     let path = emit_json("smoke", &results).expect("write results");
     println!("smoke sweep OK — JSON written to {}", path.display());
+    run_irregular_smoke();
     print_telemetry_summary(&specs[0]);
 
     if let Some(level) = trace_level {
         run_traced_smoke(level, &specs[0]);
     }
+}
+
+/// The irregular smoke point: a 4×4 mesh with the 5↔6 channel disabled,
+/// run through the `fastpass::irregular` lane derivation (Hierholzer
+/// holistic path + segmentation). The simulator substrate only executes
+/// regular meshes, so the smoke coverage here is the static lane lemmas:
+/// the derived path must cover every surviving directed link exactly
+/// once and segment into disjoint lanes for every partition count.
+/// Shares the checker's validation (`noc-check` runs the same point in
+/// its static matrix), so bench and checker cannot drift apart.
+fn run_irregular_smoke() {
+    let topo = noc_check::configs::irregular_smoke_topo();
+    let fails = noc_check::configs::irregular_static_failures();
+    assert!(
+        fails.is_empty(),
+        "irregular smoke point failed: {}",
+        fails.join("; ")
+    );
+    println!(
+        "irregular 4x4 (one channel disabled) OK — {} directed links covered",
+        topo.directed_links().len()
+    );
 }
 
 /// Re-runs the highest-rate point of `spec` with the windowed sampler

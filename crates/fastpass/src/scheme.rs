@@ -51,7 +51,7 @@ use noc_sim::network::{LinkSet, NetworkCore};
 use noc_sim::ni::{EjRefusal, EjectEntry};
 use noc_sim::regular::{advance, AdvanceCtx};
 use noc_sim::routing::FullyAdaptive;
-use noc_sim::scheme::{Scheme, SchemeProperties};
+use noc_sim::scheme::{Scheme, SchemeProperties, StateExport};
 use noc_trace::{trace, BypassOutcome, StallCause, TraceEvent};
 
 /// Tunables for [`FastPass`].
@@ -497,6 +497,51 @@ impl Scheme for FastPass {
 
     fn overlay_packets(&self) -> usize {
         self.active_flights()
+    }
+
+    fn export_state(&self, core: &NetworkCore, out: &mut StateExport) {
+        let now = core.cycle();
+        // TDM position: prime assignment, covered partition and slot
+        // budget are all periodic in the full rotation.
+        out.word(now % self.schedule.rotation_cycles());
+        for p in 0..self.flights.len() {
+            out.word(self.flights[p].len() as u64);
+            for f in &self.flights[p] {
+                out.pkt(f.pkt);
+                out.word(f.prime.index() as u64);
+                out.word(f.dst.index() as u64);
+                out.word(f.len as u64);
+                out.word(now.saturating_sub(f.launch));
+                match f.state {
+                    FlightState::Outbound => out.word(0),
+                    FlightState::Ejecting { started } => {
+                        out.word(1);
+                        out.word(now.saturating_sub(started));
+                    }
+                    FlightState::Returning { started } => {
+                        out.word(2);
+                        out.word(now.saturating_sub(started));
+                    }
+                }
+            }
+            // `last_launch` only gates launches while the previous train
+            // is still entering the lane (`now < cycle + len`); once that
+            // window passes it behaves exactly like `None`, so export the
+            // remaining occupancy rather than an ever-growing age.
+            match self.last_launch[p] {
+                Some((cycle, len)) if now < cycle + len as u64 => {
+                    out.word(1);
+                    out.word((cycle + len as u64) - now);
+                }
+                _ => out.word(0),
+            }
+            out.word(self.scan_rr[p] as u64);
+        }
+        // `suppressed`, `eject_blocked` and `busy_scratch` are rebuilt
+        // from the flights every step; `counters` are diagnostics. The
+        // adaptive routing RNG is intentionally hidden (documented
+        // abstraction: merging states that differ only in RNG position
+        // can merge schedules, never invent counterexamples).
     }
 }
 

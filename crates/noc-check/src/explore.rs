@@ -1,0 +1,453 @@
+//! The bounded explorer: exhaustive interleaving search with a visited
+//! set, iterative deepening and a drain-based wedge oracle.
+//!
+//! # Search space
+//!
+//! The only nondeterminism in a [`Simulation`] driven by a
+//! [`ScriptedWorkload`] is *when* each scripted job enters the network:
+//! router arbitration, TDM phase alignment and class rotation are all
+//! deterministic functions of the injection schedule. One decision is
+//! taken per cycle — [`Decision::TICK`] (advance without injecting) or
+//! `Decision::inject(j)` for any still-pending job `j` — so a decision
+//! *path* is a complete schedule prefix and covers every injection-order,
+//! arbitration and phase interleaving expressible at the configured
+//! depth.
+//!
+//! Simulations are not cloneable (schemes and workloads are opaque boxed
+//! state machines), so the explorer is *stateless*: a search node is its
+//! decision path, materialized by replaying a fresh simulation from
+//! cycle 0. Small configs make replay cheap, and the canonical visited
+//! set ([`canon_hash`]) collapses the combinatorial bulk of equivalent
+//! interleavings.
+//!
+//! # Wedge oracle
+//!
+//! Once every job is injected the remaining evolution is deterministic,
+//! and injection can never *resolve* a deadlock (new packets only add
+//! buffer pressure; the unbounded source queue accepts them regardless).
+//! Any reachable wedge therefore survives along the schedule that injects
+//! the remaining jobs immediately — so it is sound to apply the
+//! deadlock oracle only at fully-injected frontier states: run the
+//! deterministic drain, and if no consumption happens for
+//! [`CheckConfig::horizon`] cycles while work remains, the state has
+//! wedged. The oracle never reports on its own authority — every wedge
+//! is replayed concretely (see [`replay`](crate::replay)) before being
+//! believed.
+
+use crate::canon::{canon_hash, CanonParams};
+use crate::script::{CtlHandle, JobSpec, ScriptedWorkload};
+use noc_core::config::SimConfig;
+use noc_sim::audit::{audit, audit_conservation};
+use noc_sim::routing::RoutingPolicy;
+use noc_sim::waitgraph::WaitGraph;
+use noc_sim::{Scheme, Simulation};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+/// One scheduling decision: what the adversary does this cycle.
+///
+/// Encoded as a byte — `0` ticks without injecting, `1 + j` injects job
+/// `j` — so a schedule serializes as a plain byte vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Decision(pub u8);
+
+impl Decision {
+    /// Advance one cycle without injecting.
+    pub const TICK: Decision = Decision(0);
+
+    /// Inject job `j` this cycle.
+    pub fn inject(j: usize) -> Decision {
+        Decision(u8::try_from(j + 1).expect("job index fits a byte"))
+    }
+
+    /// The injected job, if this decision injects.
+    pub fn job(self) -> Option<usize> {
+        (self.0 > 0).then(|| self.0 as usize - 1)
+    }
+}
+
+/// Factory producing a fresh scheme instance per materialization.
+pub type SchemeFactory = Box<dyn Fn(&SimConfig) -> Box<dyn Scheme>>;
+
+/// A checker configuration: one (topology, scheme, script) point of the
+/// verification matrix.
+pub struct CheckConfig {
+    /// Display name, e.g. `fastpass-2x2`.
+    pub name: String,
+    /// Simulator configuration (mesh, VCs, queue depths).
+    pub sim: SimConfig,
+    /// Scheme factory — called once per materialization.
+    pub make_scheme: SchemeFactory,
+    /// Routing policy factory for wait-graph diagnosis of wedged states.
+    pub diag_policy: Box<dyn Fn() -> Box<dyn RoutingPolicy>>,
+    /// The scripted jobs.
+    pub jobs: Vec<JobSpec>,
+    /// Protocol backlog limit (`None`: plain one-way traffic).
+    pub backlog_limit: Option<u32>,
+    /// Canonicalization parameters (age cap must exceed the scheme's
+    /// blocked-time thresholds).
+    pub canon: CanonParams,
+    /// Consumption-silence horizon (cycles) before the drain oracle
+    /// declares a wedge. Must exceed the scheme's longest legitimate
+    /// quiet period (TDM rotation, pit phases, regeneration delays).
+    pub horizon: u64,
+    /// Hard cap on drain length per terminal state.
+    pub drain_cap: u64,
+    /// Final iterative-deepening depth limit (decisions).
+    pub max_depth: usize,
+    /// Cap on explored (materialized) search nodes.
+    pub node_budget: u64,
+    /// Whether this config is a *planted bug*: the checker is expected to
+    /// find a wedge (soundness self-test).
+    pub expect_wedge: bool,
+}
+
+/// Why a wedged drain is stuck, per the wait-graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum WedgeKind {
+    /// The wait-for graph over blocked buffer occupants has a cycle:
+    /// classic circular buffer wait. Carries the human-readable
+    /// `node:port:vc` positions along the cycle.
+    BufferCycle(Vec<String>),
+    /// No buffer-wait cycle: the network is quiescent (or starved by an
+    /// overlay/protocol condition) with undelivered packets — e.g. the
+    /// consumer-side backlog chain of a protocol deadlock, or packets
+    /// marooned in scheme overlay state.
+    Quiescent,
+}
+
+/// A concrete deadlock witness: the decision schedule plus how the drain
+/// wedged, ready for deterministic replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct Counterexample {
+    /// The decision path from cycle 0 (one decision per cycle).
+    pub schedule: Vec<Decision>,
+    /// Cycles the drain oracle ran after the last decision before
+    /// declaring the wedge.
+    pub drain_cycles: u64,
+    /// Simulation cycle at which the wedge was declared.
+    pub wedge_cycle: u64,
+    /// Packets still in flight at the wedge.
+    pub in_flight: usize,
+    /// Consumptions that had happened (vs. expected).
+    pub consumed: u64,
+    /// Consumptions the script expected.
+    pub expected: u64,
+    /// Canonical hash of the wedged state (replay must reproduce it).
+    pub state_hash: u64,
+    /// Wait-graph diagnosis.
+    pub kind: WedgeKind,
+}
+
+/// The verdict for one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub enum Verdict {
+    /// Every schedule within bounds drains completely.
+    DeadlockFree,
+    /// A schedule wedges — here is the witness.
+    Wedged(Counterexample),
+    /// A structural invariant (Lemmas 1–4 instrumentation, packet
+    /// conservation) failed at an explored state.
+    InvariantViolation(Violation),
+}
+
+/// An invariant failure at a reached state.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// The schedule reaching the violating state.
+    pub schedule: Vec<Decision>,
+    /// Auditor messages.
+    pub errors: Vec<String>,
+}
+
+/// Exploration statistics and outcome for one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckReport {
+    /// Configuration name.
+    pub name: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Distinct canonical states visited.
+    pub states_explored: u64,
+    /// Search nodes materialized (replays executed).
+    pub nodes_materialized: u64,
+    /// Fully-injected frontier states drain-checked.
+    pub terminals_drained: u64,
+    /// Deepest decision path materialized.
+    pub deepest_path: usize,
+    /// Depth limit the final iterative-deepening round ran with.
+    pub depth_limit: usize,
+    /// Paths cut off at the depth limit with jobs still pending (0 ⇒
+    /// the state space was exhausted and the verdict is unconditional
+    /// within the drain horizon).
+    pub truncated_paths: u64,
+    /// Whether the node budget ran out (verdict is bounded-only).
+    pub budget_exhausted: bool,
+}
+
+impl CheckReport {
+    /// Whether the verdict matches the configuration's expectation
+    /// (planted bugs must wedge; everything else must verify clean).
+    pub fn as_expected(&self, cc: &CheckConfig) -> bool {
+        matches!(
+            (&self.verdict, cc.expect_wedge),
+            (Verdict::DeadlockFree, false) | (Verdict::Wedged(_), true)
+        )
+    }
+}
+
+/// Builds the simulation for a config and replays a decision path into
+/// it. Shared by the explorer and the replay harness.
+pub fn materialize(cc: &CheckConfig, path: &[Decision]) -> (Simulation, CtlHandle) {
+    let (wl, ctl) =
+        ScriptedWorkload::new(cc.jobs.clone(), cc.sim.mesh.num_nodes(), cc.backlog_limit);
+    let scheme = (cc.make_scheme)(&cc.sim);
+    let mut sim = Simulation::new(cc.sim.clone(), scheme, Box::new(wl));
+    for &d in path {
+        if let Some(j) = d.job() {
+            ctl.lock().expect("script lock").next_inject = Some(j);
+        }
+        sim.step();
+    }
+    (sim, ctl)
+}
+
+/// Outcome of draining one fully-injected state.
+enum DrainOutcome {
+    /// All expected consumptions happened within the cap.
+    Drained,
+    /// Consumption went silent for the horizon with work remaining.
+    Wedged(Counterexample),
+}
+
+/// Runs the deterministic drain oracle from a fully-injected state.
+fn drain(
+    cc: &CheckConfig,
+    path: &[Decision],
+    sim: &mut Simulation,
+    ctl: &CtlHandle,
+) -> DrainOutcome {
+    let mut silent = 0u64;
+    let mut ran = 0u64;
+    let mut last_consumed = ctl.lock().expect("script lock").consumed;
+    while ran < cc.drain_cap {
+        sim.step();
+        ran += 1;
+        let (consumed, done, expected) = {
+            let c = ctl.lock().expect("script lock");
+            (c.consumed, c.done(), c.expected)
+        };
+        if done {
+            return DrainOutcome::Drained;
+        }
+        if consumed > last_consumed {
+            last_consumed = consumed;
+            silent = 0;
+        } else {
+            silent += 1;
+        }
+        if silent >= cc.horizon {
+            let kind = diagnose(cc, sim);
+            let ctl = ctl.lock().expect("script lock");
+            return DrainOutcome::Wedged(Counterexample {
+                schedule: path.to_vec(),
+                drain_cycles: ran,
+                wedge_cycle: sim.core.cycle(),
+                in_flight: sim.in_flight(),
+                consumed: ctl.consumed,
+                expected,
+                state_hash: 0, // filled by the caller (needs the ctl lock released)
+                kind,
+            });
+        }
+    }
+    // Hitting the cap without a silent horizon means consumption is still
+    // trickling — not a wedge, but the drain budget is too small to prove
+    // completion. Treat as wedged so it surfaces loudly; replay will show
+    // the slow progress if it is a false alarm.
+    let kind = diagnose(cc, sim);
+    let c = ctl.lock().expect("script lock");
+    DrainOutcome::Wedged(Counterexample {
+        schedule: path.to_vec(),
+        drain_cycles: ran,
+        wedge_cycle: sim.core.cycle(),
+        in_flight: sim.in_flight(),
+        consumed: c.consumed,
+        expected: c.expected,
+        state_hash: 0,
+        kind,
+    })
+}
+
+/// Classifies a wedged state via the wait-for graph.
+fn diagnose(cc: &CheckConfig, sim: &Simulation) -> WedgeKind {
+    let policy = (cc.diag_policy)();
+    let g = WaitGraph::build(&sim.core, policy.as_ref(), 0);
+    for start in 0..g.len() {
+        if let Some(cycle) = g.find_cycle_from(start) {
+            let positions = cycle
+                .iter()
+                .map(|&i| {
+                    let (pos, _pkt) = g.vertex(i);
+                    format!("n{}:p{}:v{}", pos.node.index(), pos.port, pos.vc)
+                })
+                .collect();
+            return WedgeKind::BufferCycle(positions);
+        }
+    }
+    WedgeKind::Quiescent
+}
+
+/// Internal mutable search state.
+struct Search<'a> {
+    cc: &'a CheckConfig,
+    /// Canonical hash → shallowest depth at which the state was expanded.
+    visited: HashMap<u64, usize>,
+    /// Terminal states already drain-checked.
+    drained: HashSet<u64>,
+    nodes: u64,
+    terminals: u64,
+    deepest: usize,
+    truncated: u64,
+    budget_out: bool,
+}
+
+/// What a DFS branch resolved to.
+enum Found {
+    Nothing,
+    Wedge(Counterexample),
+    Violation(Vec<Decision>, Vec<String>),
+}
+
+impl Search<'_> {
+    /// Expands the node at `path`; `depth_limit` bounds further decisions.
+    fn dfs(&mut self, path: &mut Vec<Decision>, depth_limit: usize) -> Found {
+        if self.nodes >= self.cc.node_budget {
+            self.budget_out = true;
+            return Found::Nothing;
+        }
+        self.nodes += 1;
+        self.deepest = self.deepest.max(path.len());
+
+        let (mut sim, ctl) = materialize(self.cc, path);
+        let hash = {
+            let c = ctl.lock().expect("script lock");
+            canon_hash(&sim, &c, &self.cc.canon)
+        };
+
+        // Lemma instrumentation + conservation at every explored state.
+        let mut errors: Vec<String> = audit(&sim.core)
+            .into_iter()
+            .map(|e| e.to_string())
+            .collect();
+        errors.extend(
+            audit_conservation(
+                &sim.core,
+                sim.scheme().overlay_packets(),
+                sim.total_consumed(),
+            )
+            .into_iter()
+            .map(|e| e.to_string()),
+        );
+        if !errors.is_empty() {
+            return Found::Violation(path.clone(), errors);
+        }
+
+        let pending = ctl.lock().expect("script lock").pending();
+        if pending.is_empty() {
+            // Fully injected: deterministic from here — drain-check once
+            // per canonical state.
+            if self.drained.insert(hash) {
+                self.terminals += 1;
+                if let DrainOutcome::Wedged(mut cex) = drain(self.cc, path, &mut sim, &ctl) {
+                    let c = ctl.lock().expect("script lock");
+                    cex.state_hash = canon_hash(&sim, &c, &self.cc.canon);
+                    return Found::Wedge(cex);
+                }
+            }
+            return Found::Nothing;
+        }
+
+        // Already expanded at this depth or shallower?
+        match self.visited.get(&hash) {
+            Some(&d) if d <= path.len() => return Found::Nothing,
+            _ => {
+                self.visited.insert(hash, path.len());
+            }
+        }
+
+        if path.len() >= depth_limit {
+            self.truncated += 1;
+            return Found::Nothing;
+        }
+
+        drop(sim); // children re-materialize; free before recursing
+
+        let mut choices = Vec::with_capacity(pending.len() + 1);
+        for j in &pending {
+            choices.push(Decision::inject(*j));
+        }
+        choices.push(Decision::TICK);
+        for d in choices {
+            path.push(d);
+            let found = self.dfs(path, depth_limit);
+            path.pop();
+            match found {
+                Found::Nothing => {}
+                other => return other,
+            }
+        }
+        Found::Nothing
+    }
+}
+
+/// Runs the bounded check for one configuration: iterative-deepening DFS
+/// until the space is exhausted (no truncated paths), a counterexample
+/// is found, or the node/depth budgets run out.
+pub fn check(cc: &CheckConfig) -> CheckReport {
+    let mut depth = cc.jobs.len().max(1) * 2;
+    let mut search = Search {
+        cc,
+        visited: HashMap::new(),
+        drained: HashSet::new(),
+        nodes: 0,
+        terminals: 0,
+        deepest: 0,
+        truncated: 0,
+        budget_out: false,
+    };
+    loop {
+        depth = depth.min(cc.max_depth);
+        search.visited.clear();
+        search.drained.clear();
+        search.truncated = 0;
+        let found = search.dfs(&mut Vec::new(), depth);
+        let verdict = match found {
+            Found::Wedge(cex) => Some(Verdict::Wedged(cex)),
+            Found::Violation(schedule, errors) => {
+                Some(Verdict::InvariantViolation(Violation { schedule, errors }))
+            }
+            Found::Nothing => {
+                if search.truncated == 0 || search.budget_out || depth >= cc.max_depth {
+                    Some(Verdict::DeadlockFree)
+                } else {
+                    None // deepen and retry
+                }
+            }
+        };
+        if let Some(verdict) = verdict {
+            return CheckReport {
+                name: cc.name.clone(),
+                verdict,
+                states_explored: search.visited.len() as u64 + search.drained.len() as u64,
+                nodes_materialized: search.nodes,
+                terminals_drained: search.terminals,
+                deepest_path: search.deepest,
+                depth_limit: depth,
+                truncated_paths: search.truncated,
+                budget_exhausted: search.budget_out,
+            };
+        }
+        depth *= 2;
+    }
+}

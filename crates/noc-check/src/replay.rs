@@ -1,0 +1,97 @@
+//! Deterministic counterexample replay.
+//!
+//! The explorer's wedge oracle runs on abstracted state; before a
+//! counterexample is believed (or shipped in a report) it is re-executed
+//! here, concretely, through a fresh [`Simulation`] with full tracing
+//! enabled. The replay re-applies the decision schedule cycle by cycle,
+//! runs the same drain, and confirms the wedge reproduces **bitwise**:
+//! the canonical state hash at the wedge cycle, the consumption count
+//! and the in-flight population must all match the explorer's record.
+//! The trace buffer is rendered to a Chrome/Perfetto JSON artifact so a
+//! human can open the exact deadlocked execution in a timeline viewer.
+
+use crate::canon::canon_hash;
+use crate::explore::{materialize, CheckConfig, Counterexample};
+use noc_trace::{chrome_trace_json, TraceConfig};
+use serde::Serialize;
+
+/// Result of replaying a counterexample.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayResult {
+    /// Whether the wedge reproduced bitwise (hash + consumed + in-flight
+    /// all equal to the explorer's record).
+    pub confirmed: bool,
+    /// Canonical state hash at the replayed wedge cycle.
+    pub state_hash: u64,
+    /// Consumptions at the replayed wedge cycle.
+    pub consumed: u64,
+    /// In-flight packets at the replayed wedge cycle.
+    pub in_flight: usize,
+    /// Mismatch descriptions (empty when confirmed).
+    pub mismatches: Vec<String>,
+}
+
+/// Re-executes `cex` against a fresh simulation of `cc` with full
+/// tracing, returning the confirmation result and the Chrome-trace JSON
+/// of the whole doomed execution.
+pub fn replay(cc: &CheckConfig, cex: &Counterexample) -> (ReplayResult, String) {
+    // materialize() would replay the schedule too, but tracing must be on
+    // from cycle 0, so drive the steps here.
+    let (mut sim, ctl) = materialize(cc, &[]);
+    sim.set_trace(&TraceConfig::full());
+    for &d in &cex.schedule {
+        if let Some(j) = d.job() {
+            ctl.lock().expect("script lock").next_inject = Some(j);
+        }
+        sim.step();
+    }
+    for _ in 0..cex.drain_cycles {
+        sim.step();
+    }
+
+    let state_hash = {
+        let c = ctl.lock().expect("script lock");
+        canon_hash(&sim, &c, &cc.canon)
+    };
+    let consumed = ctl.lock().expect("script lock").consumed;
+    let in_flight = sim.in_flight();
+
+    let mut mismatches = Vec::new();
+    if sim.core.cycle() != cex.wedge_cycle {
+        mismatches.push(format!(
+            "cycle: replay {} vs recorded {}",
+            sim.core.cycle(),
+            cex.wedge_cycle
+        ));
+    }
+    if state_hash != cex.state_hash {
+        mismatches.push(format!(
+            "state hash: replay {state_hash:#018x} vs recorded {:#018x}",
+            cex.state_hash
+        ));
+    }
+    if consumed != cex.consumed {
+        mismatches.push(format!(
+            "consumed: replay {consumed} vs recorded {}",
+            cex.consumed
+        ));
+    }
+    if in_flight != cex.in_flight {
+        mismatches.push(format!(
+            "in-flight: replay {in_flight} vs recorded {}",
+            cex.in_flight
+        ));
+    }
+
+    let trace = chrome_trace_json(sim.tracer());
+    (
+        ReplayResult {
+            confirmed: mismatches.is_empty(),
+            state_hash,
+            consumed,
+            in_flight,
+            mismatches,
+        },
+        trace,
+    )
+}

@@ -102,6 +102,12 @@ impl Simulation {
         self.scheme.name()
     }
 
+    /// Shared access to the scheme (overlay inspection, state export for
+    /// the model checker).
+    pub fn scheme(&self) -> &dyn Scheme {
+        self.scheme.as_ref()
+    }
+
     /// Enables (or re-levels) tracing for all subsequent cycles.
     ///
     /// Tracing is observational only: a traced run produces bitwise

@@ -66,4 +66,4 @@ pub use engine::{Simulation, Workload};
 pub use network::{LinkSet, NetworkCore};
 pub use probe::{Phase, PhaseProbe};
 pub use sampler::{Sampler, SamplerConfig, WindowSample};
-pub use scheme::{Scheme, SchemeProperties};
+pub use scheme::{ExportItem, Scheme, SchemeProperties, StateExport};

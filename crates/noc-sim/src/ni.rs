@@ -226,6 +226,18 @@ impl NiState {
         self.inj[class.index()].iter().copied()
     }
 
+    /// Iterates a class's source queue front-to-back (state export for
+    /// the model checker; the queue is unbounded, order is behavioural).
+    pub fn source_iter(&self, class: MessageClass) -> impl Iterator<Item = PacketId> + '_ {
+        self.source[class.index()].iter().copied()
+    }
+
+    /// Iterates the pending MSHR regenerations as `(packet, ready_cycle)`
+    /// in registration order.
+    pub fn regen_iter(&self) -> impl Iterator<Item = (PacketId, u64)> + '_ {
+        self.regen.iter().copied()
+    }
+
     /// Registers a dropped request for regeneration at `ready_cycle`.
     pub fn schedule_regen(&mut self, pkt: PacketId, ready_cycle: u64) {
         self.regen.push((pkt, ready_cycle));
@@ -392,6 +404,17 @@ impl NiState {
     /// Occupancy of a class's ejection queue.
     pub fn ej_len(&self, class: MessageClass) -> usize {
         self.ej[class.index()].len()
+    }
+
+    /// Iterates a class's ejection queue front-to-back (state export).
+    pub fn ej_iter(&self, class: MessageClass) -> impl Iterator<Item = EjectEntry> + '_ {
+        self.ej[class.index()].iter().copied()
+    }
+
+    /// Slots of a class's ejection queue claimed by in-flight ejection
+    /// streams.
+    pub fn ej_inflight(&self, class: MessageClass) -> usize {
+        self.ej_inflight[class.index()] as usize
     }
 
     /// Whether this NI has any injection-side work for the regular

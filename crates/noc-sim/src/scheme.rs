@@ -1,6 +1,76 @@
 //! The [`Scheme`] trait: how flow-control schemes plug into the substrate.
 
 use crate::network::NetworkCore;
+use noc_core::packet::PacketId;
+
+/// One item of a scheme's exported overlay state (see
+/// [`Scheme::export_state`]).
+///
+/// Packet references are tagged so an external observer can rename ids
+/// into a canonical space; plain words are folded in verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportItem {
+    /// An opaque state word (counters, pointers, phases, timers).
+    Word(u64),
+    /// A reference to a live packet.
+    Pkt(PacketId),
+    /// An explicitly absent packet slot (`Option::None` in scheme state).
+    NoPkt,
+}
+
+/// Collector for a scheme's overlay-state digest.
+///
+/// Schemes push their behaviour-relevant private state (flight tables,
+/// pit contents, deflection flits, arbitration pointers…) in a fixed,
+/// deterministic order. The model checker folds the items into its
+/// canonical state so two network states that differ only in hidden
+/// scheme state are never wrongly merged. Timestamps should be exported
+/// *relative* to the current cycle (and saturated) so that states
+/// reached at different absolute cycles can still canonicalize equal.
+#[derive(Debug, Default, Clone)]
+pub struct StateExport {
+    items: Vec<ExportItem>,
+}
+
+impl StateExport {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an opaque state word.
+    pub fn word(&mut self, w: u64) {
+        self.items.push(ExportItem::Word(w));
+    }
+
+    /// Appends a packet reference.
+    pub fn pkt(&mut self, p: PacketId) {
+        self.items.push(ExportItem::Pkt(p));
+    }
+
+    /// Appends an optional packet reference.
+    pub fn opt_pkt(&mut self, p: Option<PacketId>) {
+        self.items.push(match p {
+            Some(p) => ExportItem::Pkt(p),
+            None => ExportItem::NoPkt,
+        });
+    }
+
+    /// The collected items, in push order.
+    pub fn items(&self) -> &[ExportItem] {
+        &self.items
+    }
+
+    /// Number of collected items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was exported.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
 
 /// Qualitative properties of a deadlock-freedom solution, reproducing the
 /// columns of Table I of the paper.
@@ -55,6 +125,16 @@ pub trait Scheme: Send {
     /// checks.
     fn overlay_packets(&self) -> usize {
         0
+    }
+
+    /// Exports the scheme's behaviour-relevant private state (used by the
+    /// `noc-check` bounded model checker to canonicalize full system
+    /// states). The default exports nothing, which is correct for
+    /// stateless schemes; schemes with overlay state (TDM phases, flight
+    /// tables, pits, in-air flits) should export it here — cycle-valued
+    /// fields as *now-relative* saturated deltas via `core.cycle()`.
+    fn export_state(&self, core: &NetworkCore, out: &mut StateExport) {
+        let _ = (core, out);
     }
 }
 

@@ -168,6 +168,44 @@ impl WaitGraph {
     pub fn has_cycle(&self) -> bool {
         (0..self.verts.len()).any(|v| self.find_cycle_from(v).is_some())
     }
+
+    /// Builds a synthetic graph from an adjacency list, for testing the
+    /// cycle-detection algorithms against independent oracles. Vertex `i`
+    /// is given the placeholder position `node i, port 0, vc 0` and a
+    /// placeholder packet; only the edge structure is meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge target is out of range.
+    pub fn from_edges(num_verts: usize, edges: Vec<Vec<usize>>) -> Self {
+        assert_eq!(edges.len(), num_verts, "one adjacency row per vertex");
+        for row in &edges {
+            for &w in row {
+                assert!(w < num_verts, "edge target {w} out of range");
+            }
+        }
+        let mut verts = Vec::with_capacity(num_verts);
+        let mut index = BTreeMap::new();
+        for i in 0..num_verts {
+            let pos = BufferPos {
+                node: NodeId::new(i),
+                port: 0,
+                vc: 0,
+            };
+            index.insert(pos, i);
+            verts.push((pos, PacketId::PLACEHOLDER));
+        }
+        WaitGraph {
+            verts,
+            edges,
+            index,
+        }
+    }
+
+    /// Outgoing edges of vertex `i` (oracle cross-checks in tests).
+    pub fn edges_of(&self, i: usize) -> &[usize] {
+        &self.edges[i]
+    }
 }
 
 /// Rotates every packet one step along `cycle` (SPIN's synchronized

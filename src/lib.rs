@@ -10,6 +10,7 @@
 //! * [`traffic`] — synthetic patterns, protocol closed loop, app models.
 //! * [`power`] — the analytical area/power model behind Fig. 11.
 //! * [`trace`] — flit-level event tracing and per-router metrics.
+//! * [`check`] — the bounded model checker over small configurations.
 //!
 //! # Quickstart
 //!
@@ -20,6 +21,7 @@
 
 pub use baselines;
 pub use fastpass;
+pub use noc_check as check;
 pub use noc_core as core;
 pub use noc_power as power;
 pub use noc_sim as sim;
