@@ -80,6 +80,7 @@ fn main() {
     let path = emit_json("smoke", &results).expect("write results");
     println!("smoke sweep OK — JSON written to {}", path.display());
     run_irregular_smoke();
+    run_fault_certification();
     print_telemetry_summary(&specs[0]);
 
     if let Some(level) = trace_level {
@@ -107,6 +108,26 @@ fn run_irregular_smoke() {
         "irregular 4x4 (one channel disabled) OK — {} directed links covered",
         topo.directed_links().len()
     );
+}
+
+/// Smoke coverage for the seeded fault pipeline: the generator is
+/// deterministic by `(seed, count)` (same inputs, same disabled set),
+/// and every generated point carries a static deadlock-freedom
+/// certificate from `noc-prove` (`holistic-lanes`: Eulerian holistic
+/// path + disjoint segmentation on the surviving links).
+fn run_fault_certification() {
+    let mesh = noc_core::topology::Mesh::new(8, 8);
+    let a = noc_core::fault::generate(mesh, 3, 4).expect("connected 8x8 fault config");
+    let b = noc_core::fault::generate(mesh, 3, 4).expect("connected 8x8 fault config");
+    assert_eq!(
+        a.disabled, b.disabled,
+        "fault generator must be deterministic by (seed, count)"
+    );
+    for cfg in noc_prove::configs::fault_suite(2) {
+        let cert = noc_prove::certify(&cfg);
+        assert!(cert.certified(), "fault point failed: {}", cert.summary());
+        println!("certified {} ({})", cert.config, cert.proof);
+    }
 }
 
 /// Re-runs the highest-rate point of `spec` with the windowed sampler

@@ -50,6 +50,19 @@ impl IrregularTopo {
         self.channels.push((a.min(b), a.max(b)));
     }
 
+    /// Builds the degraded topology of a seeded [`FaultConfig`]: the
+    /// mesh's surviving bidirectional channels after the fault set is
+    /// removed. This is the bridge between fault sweeps and §III-F
+    /// holistic scheduling — the same `(mesh, seed, count)` triple
+    /// yields the same topology here and in `noc-prove`'s certifier.
+    pub fn from_fault_config(cfg: &noc_core::FaultConfig) -> Self {
+        let mut t = IrregularTopo::new(cfg.mesh.num_nodes());
+        for (a, b) in cfg.surviving_channels() {
+            t.add_channel(a, b);
+        }
+        t
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.n
@@ -286,5 +299,19 @@ mod tests {
     fn self_channel_rejected() {
         let mut t = IrregularTopo::new(2);
         t.add_channel(1, 1);
+    }
+
+    #[test]
+    fn fault_configs_yield_schedulable_topologies() {
+        use noc_core::topology::Mesh;
+        for seed in 0..8 {
+            let cfg = noc_core::fault::generate(Mesh::new(4, 4), seed, 3).unwrap();
+            let t = IrregularTopo::from_fault_config(&cfg);
+            assert_eq!(t.num_nodes(), 16);
+            assert_eq!(t.directed_links().len(), 2 * (24 - 3));
+            // Connectivity was certified at generation time, so the
+            // holistic construction must succeed.
+            check_holistic(&t);
+        }
     }
 }

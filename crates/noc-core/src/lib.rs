@@ -4,7 +4,8 @@
 //! (`noc-sim`) and the flow-control schemes (FastPass and the baselines)
 //! agree on: the [mesh topology](topology), [packets and message
 //! classes](packet), the [simulation configuration](config) mirroring
-//! Table II of the paper, deterministic [randomness](rng), and
+//! Table II of the paper, deterministic [randomness](rng), seeded
+//! [fault configurations](fault) for degraded-topology studies, and
 //! [statistics](stats) collection (latency distributions, throughput,
 //! packet-type breakdowns).
 //!
@@ -24,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod packet;
 pub mod rng;
 pub mod stats;
 pub mod topology;
 
 pub use config::SimConfig;
+pub use fault::FaultConfig;
 pub use packet::{MessageClass, Packet, PacketId, PacketStore};
 pub use rng::DetRng;
 pub use stats::NetStats;

@@ -17,7 +17,11 @@
 //! * `occupancy` — occupant slots and `occ_mask` are touched only by the
 //!   input unit, the regular pipeline, and whitelisted relocation paths;
 //! * `panic-hygiene` — no `unsafe` anywhere, no bare `.unwrap()` in
-//!   non-test simulator code.
+//!   non-test simulator code;
+//! * `routing-locality` — routing decisions (`RoutingPolicy` impls,
+//!   `desired_ports`/`admissible` definitions, `productive_dirs` use)
+//!   only in the modules `noc-prove` introspects, so every live route
+//!   is covered by the static deadlock-freedom certificates.
 //!
 //! A deliberate exception is annotated inline:
 //!

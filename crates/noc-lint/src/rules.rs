@@ -21,6 +21,8 @@ pub const HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
 pub const OCCUPANCY: &str = "occupancy";
 /// Rule id: unsafe/panic hygiene.
 pub const PANIC_HYGIENE: &str = "panic-hygiene";
+/// Rule id: routing-decision locality.
+pub const ROUTING_LOCALITY: &str = "routing-locality";
 
 /// `(id, one-line description)` of every shipped rule.
 pub const RULES: &[(&str, &str)] = &[
@@ -41,6 +43,11 @@ pub const RULES: &[(&str, &str)] = &[
     (
         PANIC_HYGIENE,
         "no unsafe blocks anywhere; no bare unwrap() in non-test simulator code (use expect with an invariant message)",
+    ),
+    (
+        ROUTING_LOCALITY,
+        "routing decisions (RoutingPolicy impls, desired_ports/admissible definitions, \
+         productive_dirs choice) live only in the modules noc-prove introspects",
     ),
 ];
 
@@ -121,6 +128,28 @@ const ARENA_WORD_FIELDS: &[&str] = &["meta", "occ", "routed"];
 /// Arena mutator entry points that only whitelisted files may name.
 const ARENA_MUTATORS: &[&str] = &["pack_meta", "set_route", "set_route_vc", "input_mut"];
 
+/// Crates whose routing behaviour the static certifier (`noc-prove`)
+/// must be able to reconstruct from `noc_sim::routing::introspect`.
+const ROUTING_CRATES: &[&str] = &["noc-core", "noc-sim", "fastpass", "baselines"];
+
+/// The only modules allowed to *make* routing decisions: the mesh
+/// geometry that defines productive directions, the routing policies and
+/// their introspectable mirror, the core's cached-coordinate wrapper,
+/// TFC's token-scored west-first, MinBD's deflection preference, and
+/// FastPass's lane/TDM/irregular substrates. `noc-prove` models exactly
+/// these; a route choice made anywhere else is invisible to the
+/// deadlock-freedom proof.
+const ROUTING_WHITELIST: &[&str] = &[
+    "crates/noc-core/src/topology.rs",
+    "crates/noc-sim/src/routing.rs",
+    "crates/noc-sim/src/network.rs",
+    "crates/baselines/src/tfc.rs",
+    "crates/baselines/src/minbd.rs",
+    "crates/fastpass/src/lane.rs",
+    "crates/fastpass/src/irregular.rs",
+    "crates/fastpass/src/schedule.rs",
+];
+
 /// Workspace-relative path classification used by rule scoping.
 struct PathInfo<'a> {
     rel: &'a str,
@@ -177,6 +206,9 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
         check_occupancy(&lexed.tokens, &mask, rel_path, &mut diags);
     }
     check_panic_hygiene(&info, &lexed.tokens, &mask, &mut diags);
+    if info.in_crates(ROUTING_CRATES) && !ROUTING_WHITELIST.contains(&info.rel) {
+        check_routing_locality(&lexed.tokens, &mask, rel_path, &mut diags);
+    }
 
     // Apply inline `// noc-lint: allow(rule)` suppression: a directive
     // covers its own line and the line directly below it.
@@ -407,6 +439,55 @@ fn check_panic_hygiene(
                 "bare `.unwrap()` in simulator code: use `.expect(\"<why this cannot fail>\")` \
                  so a violated invariant names itself in the panic"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// routing-locality: outside the whitelisted routing modules, no new
+/// routing decisions — no `impl RoutingPolicy for …`, no
+/// `fn desired_ports` / `fn admissible` definitions, and no
+/// `productive_dirs` use (the raw direction-choice primitive).
+///
+/// Consuming a policy is fine everywhere (`policy.desired_ports(…)`,
+/// `Box<dyn RoutingPolicy>`): the rule fires on *making* route choices,
+/// not on executing ones the certifier already models. `noc-prove`
+/// reconstructs every route set from `noc_sim::routing::introspect`,
+/// which mirrors exactly the whitelisted modules — a decision elsewhere
+/// would ship deadlock certificates that don't cover the real network.
+fn check_routing_locality(
+    tokens: &[Token],
+    mask: &[bool],
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let complaint = match t.text.as_str() {
+            "RoutingPolicy" if matches!(tokens.get(i + 1), Some(n) if n.is_ident("for")) => {
+                Some("new `RoutingPolicy` implementation")
+            }
+            "desired_ports" | "admissible" if i >= 1 && tokens[i - 1].is_ident("fn") => {
+                Some("route-set entry point defined")
+            }
+            "productive_dirs" => Some("raw productive-direction choice"),
+            _ => None,
+        };
+        if let Some(c) = complaint {
+            push(
+                diags,
+                ROUTING_LOCALITY,
+                path,
+                t,
+                format!(
+                    "{c} outside the whitelisted routing modules: noc-prove's deadlock \
+                     certificates only cover routes reconstructible from \
+                     noc_sim::routing::introspect; move the decision into a whitelisted \
+                     module (and teach introspect about it) or annotate a deliberate \
+                     exception with `// noc-lint: allow(routing-locality)`"
+                ),
             );
         }
     }

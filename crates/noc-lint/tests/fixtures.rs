@@ -301,6 +301,85 @@ fn panic_hygiene_permits_unwrap_in_bench_and_tests() {
     assert!(rules_fired("crates/noc-core/src/foo.rs", test_fn).is_empty());
 }
 
+// ---- routing-locality ------------------------------------------------------
+
+#[test]
+fn routing_locality_flags_policy_impl_outside_whitelist() {
+    let src = "impl RoutingPolicy for SneakyRoute { fn desired_ports(&self, c: &NetworkCore, r: &RouteReq) -> Vec<Port> { todo() } }\n";
+    let diags = lint_source("crates/baselines/src/foo.rs", src);
+    let n = diags
+        .iter()
+        .filter(|d| d.rule == "routing-locality")
+        .count();
+    assert_eq!(
+        n, 2,
+        "both the impl and the desired_ports definition must fire: {diags:?}"
+    );
+}
+
+#[test]
+fn routing_locality_flags_productive_dirs_use() {
+    let src = "pub fn pick(core: &Core, at: NodeId, dst: NodeId) -> Direction { core.productive_dirs(at, dst).iter().next().expect(\"minimal route exists\") }\n";
+    let diags = lint_source("crates/fastpass/src/foo.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "routing-locality"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn routing_locality_flags_admissible_definition() {
+    let src = "impl S { pub fn admissible(core: &NetworkCore, at: NodeId, dst: NodeId) -> Vec<Direction> { todo() } }\n";
+    let diags = lint_source("crates/noc-sim/src/foo.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "routing-locality"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn routing_locality_permits_consuming_a_policy() {
+    // Executing an existing policy is not making a routing decision:
+    // trait objects, imports and `.desired_ports(…)` calls stay clean.
+    let src = "use noc_sim::routing::RoutingPolicy;\npub fn drive(p: &dyn RoutingPolicy, core: &NetworkCore, req: &RouteReq) -> Vec<Port> { p.desired_ports(core, req) }\n";
+    assert!(
+        !rules_fired("crates/baselines/src/foo.rs", src).contains(&"routing-locality"),
+        "consumption must stay clean"
+    );
+}
+
+#[test]
+fn routing_locality_silent_in_whitelisted_modules() {
+    let src = "impl RoutingPolicy for TokenWestFirst { fn desired_ports(&self, c: &NetworkCore, r: &RouteReq) -> Vec<Port> { todo() } }\n";
+    assert!(
+        !rules_fired("crates/baselines/src/tfc.rs", src).contains(&"routing-locality"),
+        "tfc.rs is a whitelisted routing module"
+    );
+    let geom =
+        "pub fn productive_dirs(self, from: NodeId, to: NodeId) -> ProductiveDirs { todo() }\n";
+    assert!(
+        !rules_fired("crates/noc-core/src/topology.rs", geom).contains(&"routing-locality"),
+        "topology.rs defines the primitive"
+    );
+}
+
+#[test]
+fn routing_locality_out_of_scope_in_analysis_crates() {
+    // noc-prove/noc-check reconstruct and explore routes; they are
+    // analysis consumers, not the network, and sit outside the rule.
+    let src = "pub fn model(m: Mesh, a: NodeId, b: NodeId) { let _ = m.productive_dirs(a, b); }\n";
+    assert!(
+        !rules_fired("crates/noc-prove/src/model.rs", src).contains(&"routing-locality"),
+        "{src:?}"
+    );
+}
+
+#[test]
+fn routing_locality_escape_hatch_works() {
+    let src = "// noc-lint: allow(routing-locality)\npub fn pick(core: &Core) { let _ = core.productive_dirs(a, b); }\n";
+    assert!(!rules_fired("crates/baselines/src/foo.rs", src).contains(&"routing-locality"));
+}
+
 // ---- escape hatch ----------------------------------------------------------
 
 #[test]

@@ -1,0 +1,207 @@
+//! Directed-graph substrate: dependency edges and cycle detection.
+//!
+//! A channel dependency graph is just a digraph whose vertices are
+//! channels; everything scheme-specific lives in [`crate::model`]. This
+//! module keeps the graph machinery generic so the property tests can
+//! exercise cycle detection on arbitrary random digraphs against a
+//! brute-force oracle, independent of any NoC semantics.
+
+/// A dense-vertex digraph with `u32` vertex ids.
+///
+/// Vertices are `0..n`; unused ids are legal (they simply have no
+/// edges), which lets channel spaces address `(link, vc)` pairs directly
+/// without compacting around mesh-edge links that do not exist.
+#[derive(Debug, Clone)]
+pub struct Digraph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Digraph {
+    /// An edgeless digraph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of vertices (including unused ids).
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges after [`Self::dedup`] (counts duplicates before).
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds the edge `a → b`. Duplicates are tolerated until
+    /// [`Self::dedup`] collapses them.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        self.adj[a as usize].push(b);
+        self.edges += 1;
+    }
+
+    /// Successors of `v`.
+    pub fn successors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Sorts adjacency lists and removes duplicate edges, keeping edge
+    /// iteration (and therefore cycle reports) deterministic.
+    pub fn dedup(&mut self) {
+        self.edges = 0;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            self.edges += list.len();
+        }
+    }
+
+    /// Finds a directed cycle, returned as the vertex sequence
+    /// `v0 → v1 → … → vk → v0` (without repeating `v0` at the end), or
+    /// `None` if the graph is acyclic.
+    ///
+    /// Iterative three-color DFS: a back edge to a gray vertex closes a
+    /// cycle, and the gray stack *is* the concrete path — which is what
+    /// turns a failed proof into an actionable certificate. The cycle is
+    /// simple by construction (gray vertices are pairwise distinct).
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.adj.len();
+        let mut color = vec![WHITE; n];
+        // (vertex, next successor index) — an explicit DFS stack keeps
+        // 32×32×12-VC graphs (≈50k vertices) off the call stack.
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if color[root as usize] != WHITE {
+                continue;
+            }
+            color[root as usize] = GRAY;
+            stack.push((root, 0));
+            while let Some(frame) = stack.last_mut() {
+                let v = frame.0;
+                let succ = &self.adj[v as usize];
+                if frame.1 < succ.len() {
+                    let w = succ[frame.1];
+                    frame.1 += 1;
+                    match color[w as usize] {
+                        WHITE => {
+                            color[w as usize] = GRAY;
+                            stack.push((w, 0));
+                        }
+                        GRAY => {
+                            // Back edge: the cycle is the gray path from
+                            // `w` up to `v`.
+                            let start = stack
+                                .iter()
+                                .position(|&(u, _)| u == w)
+                                .expect("gray vertex is on the DFS stack");
+                            return Some(stack[start..].iter().map(|&(u, _)| u).collect());
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[v as usize] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+}
+
+/// Validates that `cycle` (as returned by [`Digraph::find_cycle`]) is a
+/// genuine simple cycle of `g`: non-empty, pairwise-distinct vertices,
+/// every consecutive edge present, and the closing edge present.
+pub fn is_valid_cycle(g: &Digraph, cycle: &[u32]) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    let mut sorted = cycle.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    let mut ok = true;
+    for i in 0..cycle.len() {
+        let a = cycle[i];
+        let b = cycle[(i + 1) % cycle.len()];
+        ok &= g.successors(a).contains(&b);
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_vertex_are_acyclic() {
+        assert!(Digraph::new(0).is_acyclic());
+        assert!(Digraph::new(1).is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Digraph::new(3);
+        g.add_edge(1, 1);
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c, vec![1]);
+        assert!(is_valid_cycle(&g, &c));
+    }
+
+    #[test]
+    fn two_cycle_found_with_path() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let c = g.find_cycle().unwrap();
+        assert!(is_valid_cycle(&g, &c));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let mut g = Digraph::new(6);
+        for a in 0..5u32 {
+            for b in (a + 1)..6 {
+                g.add_edge(a, b);
+            }
+        }
+        g.dedup();
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn dedup_collapses_duplicates() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.num_edges(), 2);
+        g.dedup();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn long_chain_cycle_reports_full_path() {
+        let mut g = Digraph::new(100);
+        for i in 0..99u32 {
+            g.add_edge(i, i + 1);
+        }
+        g.add_edge(99, 50);
+        let c = g.find_cycle().unwrap();
+        assert!(is_valid_cycle(&g, &c));
+        assert_eq!(c.len(), 50, "cycle is 50 → … → 99 → 50");
+        assert_eq!(c[0], 50);
+    }
+}

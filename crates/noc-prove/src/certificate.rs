@@ -1,0 +1,97 @@
+//! Machine-readable deadlock-freedom certificates.
+//!
+//! One [`Certificate`] per proved configuration, serialized to JSON by
+//! the CLI and uploaded as a CI artifact. The format is deliberately
+//! flat (strings and string lists) so any consumer — the CI gate, the
+//! bench runner, a human with `jq` — can read it without sharing Rust
+//! types.
+
+use serde::Serialize;
+
+/// Verdict slug: the proof succeeded.
+pub const VERDICT_CERTIFIED: &str = "certified";
+/// Verdict slug: the CDG contains a dependency cycle (reported in
+/// [`Certificate::cycle`] as the concrete channel path).
+pub const VERDICT_CYCLE: &str = "cycle-found";
+/// Verdict slug: a non-CDG lemma failed (lane overlap, bad parameters,
+/// disconnected topology); details in [`Certificate::failures`].
+pub const VERDICT_REFUTED: &str = "refuted";
+
+/// The result of statically certifying one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Certificate {
+    /// Configuration name (stable across CI runs).
+    pub config: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Mesh, `WxH`.
+    pub mesh: String,
+    /// Routing discipline the proof analyzed.
+    pub policy: String,
+    /// Virtual networks (0 = shared buffers).
+    pub vns: usize,
+    /// VCs per VN (or per port at 0 VNs).
+    pub vcs_per_vn: usize,
+    /// Whether consumer-backlog protocol-coupling edges were modeled.
+    pub protocol_coupling: bool,
+    /// Disabled bidirectional channels (`"R5-R6"`), empty when regular.
+    pub disabled_channels: Vec<String>,
+    /// CDG vertices (channel count of the analyzed graph).
+    pub vertices: usize,
+    /// CDG edges after deduplication.
+    pub edges: usize,
+    /// Every source can reach every destination with no routing dead
+    /// ends (vacuously true for proofs that do not use the CDG).
+    pub routable: bool,
+    /// One of [`VERDICT_CERTIFIED`], [`VERDICT_CYCLE`],
+    /// [`VERDICT_REFUTED`].
+    pub verdict: String,
+    /// Proof kind slug: `cdg-acyclic`, `duato-escape`, `tdm-escape`,
+    /// `class-rotation-escape`, `deflection`, `dynamic-recovery`,
+    /// `holistic-lanes`.
+    pub proof: String,
+    /// Human-readable proof witness lines (escape structure, TDM
+    /// parameters, lane coverage…).
+    pub witness: Vec<String>,
+    /// On [`VERDICT_CYCLE`]: the full channel path `c₀ → c₁ → … → c₀`
+    /// (each entry `R<from>->R<to>.vc<v>`; the last entry repeats the
+    /// first to close the cycle).
+    pub cycle: Vec<String>,
+    /// On [`VERDICT_REFUTED`]: which lemmas failed.
+    pub failures: Vec<String>,
+}
+
+impl Certificate {
+    /// Whether the proof succeeded.
+    pub fn certified(&self) -> bool {
+        self.verdict == VERDICT_CERTIFIED
+    }
+
+    /// Gate outcome: a certificate is as-expected when it is certified,
+    /// or when it found the cycle a planted configuration exists to
+    /// demonstrate.
+    pub fn as_expected(&self, expect_cycle: bool) -> bool {
+        if expect_cycle {
+            self.verdict == VERDICT_CYCLE
+        } else {
+            self.certified()
+        }
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        match self.verdict.as_str() {
+            VERDICT_CERTIFIED => format!(
+                "{}: certified ({}) — {} channels, {} edges",
+                self.config, self.proof, self.vertices, self.edges
+            ),
+            VERDICT_CYCLE => format!(
+                "{}: CYCLE of length {} — {}",
+                self.config,
+                self.cycle.len().saturating_sub(1),
+                self.cycle.join(" -> ")
+            ),
+            _ => format!("{}: REFUTED — {}", self.config, self.failures.join("; ")),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Static deadlock-freedom certification for the FastPass NoC suite.
+//!
+//! `noc-check` (the bounded model checker) proves deadlock freedom
+//! *dynamically* but is honestly limited to 2×2/3×3 meshes. This crate
+//! proves it *statically* — Dally/Duato-style channel-dependency-graph
+//! analysis over the exact route sets the simulator executes
+//! ([`noc_sim::routing::introspect`]) — at any mesh size and for
+//! arbitrary fault-degraded topologies, emitting machine-readable JSON
+//! [certificates](certificate::Certificate) that CI archives and the
+//! sweep infrastructure consults before simulating a configuration.
+//!
+//! The two proof engines:
+//!
+//! * [`cdg`] — generic digraph cycle detection (with concrete cycle
+//!   extraction, the payload of a failure certificate);
+//! * [`model`] — CDG construction: `(link, VC)` channels, route
+//!   continuation edges from the introspected routing functions, and
+//!   consumer-backlog protocol-coupling edges.
+//!
+//! [`prove::certify`] dispatches the scheme-specific obligations (see
+//! that module's proof taxonomy), and [`configs`] defines the certified
+//! suite: the figure matrix, the `noc-check` 2×2 mirrors, 16×16/32×32
+//! big points, seeded fault configs and the planted soundness gate.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_prove::{configs, prove};
+//!
+//! let cert = prove::certify(&configs::planted());
+//! assert_eq!(cert.verdict, "cycle-found");
+//! assert!(!cert.cycle.is_empty(), "failure certificates carry the path");
+//!
+//! let cert = prove::certify(&configs::by_name("vct-xy6-2x2").unwrap());
+//! assert!(cert.certified());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdg;
+pub mod certificate;
+pub mod configs;
+pub mod model;
+pub mod prove;
+
+pub use certificate::Certificate;
+pub use configs::ProveConfig;
+pub use prove::certify;

@@ -1,0 +1,126 @@
+//! Static ↔ dynamic cross-validation against `noc-check`.
+//!
+//! The certifier's verdicts must agree with the bounded model checker's
+//! exhaustive 2×2 results in the one direction that is sound: a static
+//! certificate implies no dynamic counterexample exists, and the planted
+//! cyclic config must fail statically exactly where `noc-check`
+//! witnesses its wedge dynamically.
+//!
+//! Configs whose exhaustive exploration is cheap enough for debug-mode
+//! tests are explored live here; the two expensive ones (`fastpass-2x2`
+//! at a 2.5M-node budget, `pitstop-2x2` at 600k) are validated against
+//! their `expect_wedge` declarations, which the CI `modelcheck` job
+//! re-establishes dynamically in release mode on every PR.
+
+use noc_check::explore::check;
+use noc_prove::{certify, configs};
+
+/// Configs cheap enough (≲200 ms debug) to explore exhaustively inside
+/// this test.
+const EXPLORE_LIVE: [&str; 6] = [
+    "vct-xy0-2x2",
+    "vct-xy6-2x2",
+    "spin-2x2",
+    "escape-vc-2x2",
+    "minbd-min-2x2",
+    "planted-vct0-protocol-2x2",
+];
+
+/// Every `noc-check` 2×2 config has a same-name static mirror with the
+/// same mesh/VC structure and protocol-model switch, and the static
+/// verdict agrees with the dynamic expectation.
+#[test]
+fn static_verdicts_agree_with_dynamic_expectations() {
+    let dynamic: Vec<_> = noc_check::configs::matrix_2x2()
+        .into_iter()
+        .chain(std::iter::once(noc_check::configs::planted()))
+        .collect();
+    for cc in &dynamic {
+        let pc = configs::by_name(&cc.name)
+            .unwrap_or_else(|| panic!("no static mirror for noc-check config {}", cc.name));
+        // Structural lockstep: same mesh, same VC layout, coupling
+        // mirrors the backlog protocol model.
+        assert_eq!(pc.sim.mesh, cc.sim.mesh, "{}", cc.name);
+        assert_eq!(pc.sim.vns, cc.sim.vns, "{}", cc.name);
+        assert_eq!(pc.sim.vcs_per_vn, cc.sim.vcs_per_vn, "{}", cc.name);
+        assert_eq!(
+            pc.coupling,
+            cc.backlog_limit.is_some(),
+            "{}: coupling must mirror the backlog protocol model",
+            cc.name
+        );
+        // Verdict agreement: certified ⇔ no wedge expected; the planted
+        // cycle ⇔ the planted wedge.
+        let cert = certify(&pc);
+        assert!(
+            cert.as_expected(pc.expect_cycle),
+            "{}: {}",
+            cc.name,
+            cert.summary()
+        );
+        assert_eq!(
+            pc.expect_cycle, cc.expect_wedge,
+            "{}: static and dynamic expectations diverge",
+            cc.name
+        );
+    }
+}
+
+/// Live exhaustive exploration of the cheap tier: wherever the static
+/// proof certifies, the model checker must find no counterexample, and
+/// the planted config must fail on both sides — statically with a
+/// concrete CDG cycle, dynamically with a wedge.
+#[test]
+fn exhaustive_exploration_confirms_static_verdicts() {
+    for name in EXPLORE_LIVE {
+        let cc = noc_check::configs::by_name(name).expect("known config");
+        let pc = configs::by_name(name).expect("static mirror");
+        let cert = certify(&pc);
+        let report = check(&cc);
+        let dynamic_clean = report.as_expected(&cc) && !cc.expect_wedge;
+        let dynamic_wedged = report.as_expected(&cc) && cc.expect_wedge;
+        assert!(
+            report.as_expected(&cc),
+            "{name}: dynamic exploration disagreed with its own expectation"
+        );
+        if cert.certified() {
+            assert!(
+                dynamic_clean,
+                "{name}: statically certified but dynamically wedged — unsound"
+            );
+        }
+        if cert.verdict == "cycle-found" {
+            assert!(
+                dynamic_wedged,
+                "{name}: static cycle without a dynamic witness"
+            );
+            assert!(
+                !cert.cycle.is_empty(),
+                "{name}: failure certificate must carry the channel path"
+            );
+        }
+    }
+}
+
+/// The planted pair in detail: the static certificate names a concrete
+/// two-channel protocol cycle, and the dynamic wedge exists on the same
+/// 2×2 miniature.
+#[test]
+fn planted_cycle_is_concrete_and_witnessed() {
+    let cert = certify(&configs::planted());
+    assert_eq!(cert.verdict, "cycle-found");
+    // Closed path: first channel repeated at the end.
+    assert!(cert.cycle.len() >= 3);
+    assert_eq!(cert.cycle.first(), cert.cycle.last());
+    for ch in &cert.cycle {
+        assert!(
+            ch.starts_with('R') && ch.contains("->") && ch.contains(".vc"),
+            "channel label {ch:?} malformed"
+        );
+    }
+    let report = check(&noc_check::configs::planted());
+    assert!(
+        matches!(report.verdict, noc_check::explore::Verdict::Wedged(_)),
+        "noc-check must witness the planted wedge dynamically"
+    );
+}

@@ -128,6 +128,158 @@ fn local_if_arrived(req: &RouteReq) -> Option<RouteDecision> {
     })
 }
 
+/// Pure route-set introspection for static analysis (`noc-prove`).
+///
+/// Every routing policy's *admissible direction set* is a pure function
+/// of `(mesh, at, in_port, dst)` — the credit/occupancy state only picks
+/// *among* admissible directions, never adds to them. This module is the
+/// single source of truth for those sets: the policies below delegate to
+/// it (so the simulator and the static certifier cannot drift), and
+/// `noc-prove` builds channel-dependency graphs from exactly these
+/// functions rather than re-deriving the routing algebra.
+pub mod introspect {
+    use noc_core::topology::{Direction, Mesh, NodeId, Port};
+
+    /// Which routing discipline's route set to enumerate.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum PolicyKind {
+        /// Dimension-ordered X-then-Y ([`super::DorXy`]).
+        Xy,
+        /// Dimension-ordered Y-then-X ([`super::DorYx`]).
+        Yx,
+        /// Minimal fully adaptive ([`super::FullyAdaptive`]).
+        FullyAdaptive,
+        /// West-first turn model ([`super::WestFirst`], TFC's substrate).
+        WestFirst,
+        /// North-last turn model ([`super::NorthLast`]).
+        NorthLast,
+        /// Odd-even turn model ([`super::OddEven`]).
+        OddEven,
+        /// The deterministic escape discipline of
+        /// [`super::EscapeVcRouting`] (XY into the escape VC).
+        EscapeXy,
+    }
+
+    impl PolicyKind {
+        /// Short name used in certificates.
+        pub fn name(self) -> &'static str {
+            match self {
+                PolicyKind::Xy => "xy",
+                PolicyKind::Yx => "yx",
+                PolicyKind::FullyAdaptive => "fully-adaptive",
+                PolicyKind::WestFirst => "west-first",
+                PolicyKind::NorthLast => "north-last",
+                PolicyKind::OddEven => "odd-even",
+                PolicyKind::EscapeXy => "escape-xy",
+            }
+        }
+
+        /// Whether the route set depends on the input port (turn history).
+        pub fn history_sensitive(self) -> bool {
+            matches!(self, PolicyKind::OddEven)
+        }
+    }
+
+    /// Directions admissible under west-first: all westward correction
+    /// first, then adaptive among the rest.
+    pub fn west_first(mesh: Mesh, at: NodeId, dst: NodeId) -> Vec<Direction> {
+        let prod = mesh.productive_dirs(at, dst);
+        if prod.contains(Direction::West) {
+            vec![Direction::West]
+        } else {
+            prod.iter().collect()
+        }
+    }
+
+    /// Directions admissible under north-last: North only once nothing
+    /// else is productive.
+    pub fn north_last(mesh: Mesh, at: NodeId, dst: NodeId) -> Vec<Direction> {
+        let prod: Vec<Direction> = mesh.productive_dirs(at, dst).iter().collect();
+        let non_north: Vec<Direction> = prod
+            .iter()
+            .copied()
+            .filter(|&d| d != Direction::North)
+            .collect();
+        if non_north.is_empty() {
+            prod
+        } else {
+            non_north
+        }
+    }
+
+    /// The direction a packet travelled to arrive on `in_port` (`None`
+    /// for freshly injected packets).
+    pub fn travel_dir(in_port: Port) -> Option<Direction> {
+        match in_port {
+            Port::Dir(d) => Some(d.opposite()),
+            Port::Local => None,
+        }
+    }
+
+    /// Directions admissible under the odd-even turn model (see
+    /// [`super::OddEven`] for the rule derivation).
+    pub fn odd_even(mesh: Mesh, at: NodeId, dst: NodeId, in_port: Port) -> Vec<Direction> {
+        let x = mesh.x(at);
+        let even = x.is_multiple_of(2);
+        let (tx, ty) = (mesh.x(dst), mesh.y(dst));
+        let dy = ty as isize - mesh.y(at) as isize;
+        let dx = tx as isize - x as isize;
+        let prev = travel_dir(in_port);
+        mesh.productive_dirs(at, dst)
+            .iter()
+            .filter(|&d| match d {
+                Direction::North | Direction::South => {
+                    // EN/ES forbidden at even columns.
+                    if prev == Some(Direction::East) && even {
+                        return false;
+                    }
+                    // A packet still heading west must keep its future
+                    // N/S->W turn legal (even columns only).
+                    dx >= 0 || even
+                }
+                Direction::West => {
+                    // NW/SW forbidden at odd columns.
+                    !matches!(prev, Some(Direction::North) | Some(Direction::South)) || even
+                }
+                Direction::East => {
+                    // Never enter an even destination column eastbound
+                    // with vertical offset left: no legal turn there.
+                    !(dy != 0 && tx % 2 == 0 && tx == x + 1)
+                }
+            })
+            .collect()
+    }
+
+    /// The full admissible direction set of `kind` at
+    /// `(at, in_port, dst)`. Returns the empty set iff `at == dst`
+    /// (route to `Port::Local`).
+    pub fn route_set(
+        kind: PolicyKind,
+        mesh: Mesh,
+        at: NodeId,
+        in_port: Port,
+        dst: NodeId,
+    ) -> Vec<Direction> {
+        if at == dst {
+            return Vec::new();
+        }
+        match kind {
+            PolicyKind::Xy | PolicyKind::EscapeXy => {
+                vec![mesh
+                    .xy_next(at, dst)
+                    .expect("non-local packet always has an XY next hop")]
+            }
+            PolicyKind::Yx => vec![mesh
+                .yx_next(at, dst)
+                .expect("non-local packet always has a YX next hop")],
+            PolicyKind::FullyAdaptive => mesh.productive_dirs(at, dst).iter().collect(),
+            PolicyKind::WestFirst => west_first(mesh, at, dst),
+            PolicyKind::NorthLast => north_last(mesh, at, dst),
+            PolicyKind::OddEven => odd_even(mesh, at, dst, in_port),
+        }
+    }
+}
+
 /// Dimension-ordered routing, X then Y (deterministic, deadlock-free).
 #[derive(Debug, Clone)]
 pub struct DorXy;
@@ -308,14 +460,11 @@ impl WestFirst {
         }
     }
 
-    /// Directions admissible under west-first from `at` toward `dst`.
+    /// Directions admissible under west-first from `at` toward `dst`
+    /// (delegates to [`introspect::west_first`], the set `noc-prove`
+    /// certifies).
     pub fn admissible(core: &NetworkCore, at: NodeId, dst: NodeId) -> Vec<Direction> {
-        let prod = core.productive_dirs(at, dst);
-        if prod.contains(Direction::West) {
-            vec![Direction::West]
-        } else {
-            prod.iter().collect()
-        }
+        introspect::west_first(core.mesh(), at, dst)
     }
 }
 
@@ -450,19 +599,11 @@ impl NorthLast {
         }
     }
 
-    /// Directions admissible under north-last from `at` toward `dst`.
+    /// Directions admissible under north-last from `at` toward `dst`
+    /// (delegates to [`introspect::north_last`], the set `noc-prove`
+    /// certifies).
     pub fn admissible(core: &NetworkCore, at: NodeId, dst: NodeId) -> Vec<Direction> {
-        let prod: Vec<Direction> = core.productive_dirs(at, dst).iter().collect();
-        let non_north: Vec<Direction> = prod
-            .iter()
-            .copied()
-            .filter(|&d| d != Direction::North)
-            .collect();
-        if non_north.is_empty() {
-            prod
-        } else {
-            non_north
-        }
+        introspect::north_last(core.mesh(), at, dst)
     }
 }
 
@@ -535,53 +676,15 @@ impl OddEven {
         }
     }
 
-    /// The direction the packet travelled to arrive at `in_port`
-    /// (`None` for freshly injected packets).
-    fn travel_dir(in_port: Port) -> Option<Direction> {
-        match in_port {
-            Port::Dir(d) => Some(d.opposite()),
-            Port::Local => None,
-        }
-    }
-
-    /// Directions admissible under the odd-even rules.
+    /// Directions admissible under the odd-even rules (delegates to
+    /// [`introspect::odd_even`], the set `noc-prove` certifies).
     pub fn admissible(
         core: &NetworkCore,
         at: NodeId,
         dst: NodeId,
         in_port: Port,
     ) -> Vec<Direction> {
-        let mesh = core.mesh();
-        let x = mesh.x(at);
-        let even = x.is_multiple_of(2);
-        let (tx, ty) = (mesh.x(dst), mesh.y(dst));
-        let dy = ty as isize - mesh.y(at) as isize;
-        let dx = tx as isize - x as isize;
-        let prev = Self::travel_dir(in_port);
-        core.productive_dirs(at, dst)
-            .iter()
-            .filter(|&d| match d {
-                Direction::North | Direction::South => {
-                    // EN/ES forbidden at even columns.
-                    if prev == Some(Direction::East) && even {
-                        return false;
-                    }
-                    // A packet still heading west must keep its future
-                    // N/S->W turn legal (even columns only).
-                    dx >= 0 || even
-                }
-                Direction::West => {
-                    // NW/SW forbidden at odd columns.
-                    !matches!(prev, Some(Direction::North) | Some(Direction::South)) || even
-                }
-                Direction::East => {
-                    // Never enter an even destination column eastbound
-                    // with vertical offset left: no legal turn there.
-                    let _ = dx;
-                    !(dy != 0 && tx % 2 == 0 && tx == x + 1)
-                }
-            })
-            .collect()
+        introspect::odd_even(core.mesh(), at, dst, in_port)
     }
 }
 
@@ -863,6 +966,71 @@ mod tests {
         // Injected packets are unrestricted by turn history.
         let dirs = OddEven::admissible(&c, at_odd, dst3, Port::Local);
         assert!(dirs.contains(&Direction::West));
+    }
+
+    /// The static-analysis hook must report exactly the direction sets
+    /// the live policies advertise: for every `(at, in_port, dst)` on
+    /// two mesh shapes, `introspect::route_set` equals the policy's
+    /// `desired_ports`. This is what lets `noc-prove` build channel
+    /// dependency graphs from the introspection module without drifting
+    /// from the simulator.
+    #[test]
+    fn introspection_matches_policies_exhaustively() {
+        use super::introspect::{route_set, PolicyKind};
+        for (w, h) in [(4usize, 4usize), (3, 5)] {
+            let mut c =
+                NetworkCore::new(SimConfig::builder().mesh(w, h).vns(0).vcs_per_vn(2).build());
+            let mesh = c.mesh();
+            let pairs: Vec<(Box<dyn RoutingPolicy>, PolicyKind)> = vec![
+                (Box::new(DorXy), PolicyKind::Xy),
+                (Box::new(DorYx), PolicyKind::Yx),
+                (Box::new(FullyAdaptive::new(1)), PolicyKind::FullyAdaptive),
+                (Box::new(WestFirst::new(1)), PolicyKind::WestFirst),
+                (Box::new(NorthLast::new(1)), PolicyKind::NorthLast),
+                (Box::new(OddEven::new(1)), PolicyKind::OddEven),
+            ];
+            let pkt = req_between(&mut c, 0, 1);
+            for (policy, kind) in &pairs {
+                for at in 0..mesh.num_nodes() {
+                    for dst in 0..mesh.num_nodes() {
+                        // Probe every legal input port (turn history).
+                        for in_port in Port::all() {
+                            if let Port::Dir(d) = in_port {
+                                if mesh.neighbor(NodeId::new(at), d).is_none() {
+                                    continue;
+                                }
+                            }
+                            let req = RouteReq {
+                                at: NodeId::new(at),
+                                in_port,
+                                vc: 0,
+                                pkt,
+                                dst: NodeId::new(dst),
+                                class: MessageClass::Request,
+                            };
+                            if at == dst {
+                                assert!(
+                                    route_set(*kind, mesh, req.at, in_port, req.dst).is_empty(),
+                                    "arrived packets must have an empty route set"
+                                );
+                                continue;
+                            }
+                            let want: Vec<Port> = policy.desired_ports(&c, &req);
+                            let got: Vec<Port> = route_set(*kind, mesh, req.at, in_port, req.dst)
+                                .into_iter()
+                                .map(Port::Dir)
+                                .collect();
+                            assert_eq!(
+                                got,
+                                want,
+                                "{} at R{at} in {in_port} dst R{dst} on {w}x{h}",
+                                kind.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Empirical deadlock-freedom soak for the turn-model policies: heavy

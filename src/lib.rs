@@ -11,6 +11,7 @@
 //! * [`power`] — the analytical area/power model behind Fig. 11.
 //! * [`trace`] — flit-level event tracing and per-router metrics.
 //! * [`check`] — the bounded model checker over small configurations.
+//! * [`prove`] — the static channel-dependency-graph deadlock certifier.
 //!
 //! # Quickstart
 //!
@@ -24,6 +25,7 @@ pub use fastpass;
 pub use noc_check as check;
 pub use noc_core as core;
 pub use noc_power as power;
+pub use noc_prove as prove;
 pub use noc_sim as sim;
 pub use noc_trace as trace;
 pub use traffic;
