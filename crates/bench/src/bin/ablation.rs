@@ -47,6 +47,7 @@ fn run(
 }
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("ablation");
     let warmup = env_u64("FP_WARMUP", 4_000);
     let measure = env_u64("FP_MEASURE", 12_000);
     let rate = 0.12; // near the knee: mechanisms differentiate here

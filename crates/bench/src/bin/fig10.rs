@@ -55,6 +55,7 @@ fn run_app(
 }
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("fig10");
     let size = env_u64("FP_SIZE", 8) as usize;
     let quota = env_u64("FP_QUOTA", 60);
     let max_cycles = env_u64("FP_MAXCYCLES", 400_000);

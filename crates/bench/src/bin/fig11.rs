@@ -9,6 +9,7 @@ use bench::emit_json;
 use noc_power::fig11_configs;
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("fig11");
     let rows = fig11_configs();
     println!("== Fig. 11 — router area (um^2) and static power (uW) ==");
     println!(

@@ -18,6 +18,7 @@ struct Fig12Cell {
 }
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("fig12");
     let size = env_u64("FP_SIZE", 8) as usize;
     let warmup = env_u64("FP_WARMUP", 10_000);
     let measure = env_u64("FP_MEASURE", 40_000);

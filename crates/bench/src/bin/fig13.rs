@@ -36,6 +36,7 @@ fn breakdown(label: String, stats: &noc_core::stats::NetStats) -> Fig13Row {
 }
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("fig13");
     let size = env_u64("FP_SIZE", 8) as usize;
     let warmup = env_u64("FP_WARMUP", 5_000);
     let measure = env_u64("FP_MEASURE", 15_000);

@@ -7,8 +7,12 @@
 //! SPIN and TFC saturate first, then MinBD/EscapeVC, then the periodic
 //! schemes (SWAP/DRAIN/Pitstop), with FastPass sustaining ~1.8× SPIN/TFC
 //! and up to ~51% more than the periodic group.
+//!
+//! Pass `--serve[=SOCKET]` (or set `NOC_SERVE`) to route the sweeps
+//! through a running `nocserve` daemon instead of simulating in-process;
+//! the emitted JSON is bitwise identical either way.
 
-use bench::{emit_json, env_u64, run_sweep_parallel, SweepOptions, SweepSpec, ALL_SCHEMES};
+use bench::{emit_json, env_u64, run_sweeps, SweepSpec, ALL_SCHEMES};
 use traffic::SyntheticPattern;
 
 fn main() {
@@ -40,7 +44,7 @@ fn main() {
             });
         }
     }
-    let all = run_sweep_parallel(&specs, &SweepOptions::from_env());
+    let all = run_sweeps(&specs);
     for (pi, pattern) in patterns.iter().enumerate() {
         let results = &all[pi * ALL_SCHEMES.len()..(pi + 1) * ALL_SCHEMES.len()];
         println!(

@@ -5,8 +5,11 @@
 //! *grows* with size (more partitions ⇒ more concurrent FastPass-Lanes):
 //! +17% over SWAP at 4×4, +67% at 8×8, +78% at 16×16. SPIN is lowest
 //! everywhere (detection latency scales with size).
+//!
+//! Pass `--serve[=SOCKET]` (or set `NOC_SERVE`) to route the sweeps
+//! through a running `nocserve` daemon instead of simulating in-process.
 
-use bench::{emit_json, env_u64, run_sweep_parallel, SchemeId, SweepOptions, SweepSpec};
+use bench::{emit_json, env_u64, run_sweeps, SchemeId, SweepSpec};
 use serde::Serialize;
 use traffic::SyntheticPattern;
 
@@ -44,7 +47,7 @@ fn main() {
             });
         }
     }
-    let results = run_sweep_parallel(&specs, &SweepOptions::from_env());
+    let results = run_sweeps(&specs);
     let mut rows = Vec::new();
     println!("== Fig. 8 — saturation throughput vs network size (transpose) ==");
     print!("{:>6}", "size");

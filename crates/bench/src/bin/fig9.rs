@@ -22,6 +22,7 @@ struct Fig9Row {
 }
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("fig9");
     let warmup = env_u64("FP_WARMUP", 5_000);
     let measure = env_u64("FP_MEASURE", 15_000);
     let size = env_u64("FP_SIZE", 8) as usize;

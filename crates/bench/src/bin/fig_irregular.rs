@@ -10,8 +10,12 @@
 //! generator. The healthy 4×4 FastPass curve runs through the shared
 //! sweep runner as the baseline the degraded mesh is compared against,
 //! and everything lands together in `results/fig_irregular.json`.
+//!
+//! Pass `--serve[=SOCKET]` (or set `NOC_SERVE`) to route the reference
+//! sweep through a running `nocserve` daemon; the certification legs
+//! always run locally (they are proofs, not sweep points).
 
-use bench::{emit_json, run_sweep_parallel, SchemeId, SweepOptions, SweepResult, SweepSpec};
+use bench::{emit_json, run_sweeps, SchemeId, SweepResult, SweepSpec};
 use noc_prove::{certify, configs, Certificate};
 use serde::Serialize;
 use traffic::SyntheticPattern;
@@ -44,7 +48,7 @@ fn main() {
         measure: 3_000,
         seed: 5,
     };
-    let reference = run_sweep_parallel(std::slice::from_ref(&spec), &SweepOptions::from_env());
+    let reference = run_sweeps(std::slice::from_ref(&spec));
     println!(
         "healthy 4x4 reference: saturation {:.2}, zero-load latency {:.1}",
         reference[0].saturation_rate(),

@@ -11,10 +11,16 @@
 //! Chrome trace / metrics / lifetime artifacts into `trace/` (override
 //! with `FP_TRACE_OUT`). Traced runs never touch the sweep cache, so the
 //! cache-hit accounting of the untraced sweep is unchanged.
+//!
+//! `--serve[=SOCKET]` (or `NOC_SERVE`) routes the sweep through a
+//! running `nocserve` daemon instead of the in-process executor; the
+//! emitted `smoke.json` is bitwise identical either way (the `serve` CI
+//! job diffs the two). The assertion legs (irregular certification,
+//! fault pipeline, telemetry) always run locally.
 
 use bench::runner::make_sim;
 use bench::trace_out::{run_traced_point, trace_out_dir};
-use bench::{emit_json, run_sweep_parallel, SchemeId, SweepOptions, SweepSpec};
+use bench::{emit_json, run_sweeps, SchemeId, SweepSpec};
 use noc_sim::SamplerConfig;
 use noc_trace::{TraceConfig, TraceLevel};
 use traffic::SyntheticPattern;
@@ -53,7 +59,7 @@ fn main() {
             seed: 5,
         })
         .collect();
-    let results = run_sweep_parallel(&specs, &SweepOptions::from_env());
+    let results = run_sweeps(&specs);
     for r in &results {
         assert_eq!(r.points.len(), rates.len(), "{}: missing points", r.scheme);
         for p in &r.points {

@@ -14,6 +14,7 @@ fn tick(b: bool) -> &'static str {
 }
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("table1");
     println!("Table I: Comparison of deadlock freedom solutions");
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",

@@ -6,6 +6,7 @@ use fastpass::TdmSchedule;
 use noc_core::config::SimConfig;
 
 fn main() {
+    bench::serve_client::warn_if_serve_requested("table2");
     let cfg = SimConfig::default();
     println!("Table II: Key simulation parameters");
     println!("{:<28} 4x4, 8x8, and 16x16 mesh", "Topology");

@@ -13,7 +13,10 @@
 //! * `FP_CACHE` — completed-point cache directory (default
 //!   `results/cache/`; set to `off` to disable);
 //! * `FP_TRACE_OUT` — directory for traced-run artifacts (default
-//!   `trace/`; used by `smoke --trace`).
+//!   `trace/`; used by `smoke --trace`);
+//! * `NOC_SERVE` — socket of a running `nocserve` daemon; routes sweeps
+//!   through it instead of the in-process executor (same as passing
+//!   `--serve` to a sweep binary — see [`serve_client`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,19 +25,26 @@ pub mod bench_out;
 pub mod hotbench;
 pub mod perfwatch;
 pub mod phases;
+pub mod proto;
 pub mod registry;
 pub mod runner;
+pub mod serve_client;
+pub mod store;
 pub mod telemetry;
 pub mod trace_out;
 
 pub use bench_out::{git_sha, BenchReport, BENCH_SCHEMA_VERSION};
 pub use hotbench::Measurement;
 pub use phases::{PhaseTimes, WallProbe};
+pub use proto::{StatusReport, WireSpec, PROTO_VERSION};
 pub use registry::{SchemeId, ALL_SCHEMES};
 pub use runner::{
     emit_json, env_u64, num_jobs, parallel_map, parallel_map_with, point_cache_key,
-    run_sweep_parallel, LatencyPoint, SweepOptions, SweepResult, SweepSpec, CACHE_SCHEMA_VERSION,
+    run_sweep_parallel, simulate_point, LatencyPoint, SweepOptions, SweepResult, SweepSpec,
+    CACHE_SCHEMA_VERSION,
 };
+pub use serve_client::{run_sweeps, Client, ExecMode};
+pub use store::{format_key, GcReport, Store, StoreStats};
 pub use telemetry::{merge_counter_tracks, series_summary, sparkline, windows_json};
 pub use trace_out::{
     check_chrome_trace, check_chrome_trace_full, run_traced_point, trace_out_dir, TraceCheckSummary,

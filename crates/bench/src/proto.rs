@@ -1,0 +1,650 @@
+//! The `nocserve` wire protocol: newline-delimited JSON over a local
+//! socket.
+//!
+//! Every message is one JSON object on one line. Requests carry a
+//! `"cmd"` tag, responses an `"event"` tag; unknown tags and malformed
+//! lines are answered with an `"error"` event and the connection stays
+//! usable. A `submit` request is the only one answered by *multiple*
+//! lines: `accepted`, then a `progress` stream, then one terminal
+//! `result` (or `error`).
+//!
+//! ```text
+//! → {"cmd":"submit","specs":[{"scheme":"FastPass","pattern":"uniform", …}]}
+//! ← {"event":"accepted","job":1,"points":6,"computed":4,"cached":1,"deduped":1}
+//! ← {"event":"progress","job":1,"done":5,"total":6}
+//! ← {"event":"result","job":1,"sweeps":[…]}
+//! ```
+//!
+//! The types here are shared verbatim by the daemon (`noc-serve`), the
+//! `nocctl` CLI and the figure binaries' `--serve` mode, so the two
+//! sides cannot drift. Sweep specs travel as [`WireSpec`] — scheme and
+//! pattern by display name — and results as the *same*
+//! [`SweepResult`]/[`LatencyPoint`] structs the batch executor emits,
+//! which is what makes the daemon's output bitwise-comparable to batch
+//! JSON artifacts.
+//!
+//! The vendored serde shim derives only structs and unit enums, so the
+//! tagged [`Request`]/[`Response`] unions implement
+//! `Serialize`/`Deserialize` by hand over the shim's [`Content`] tree.
+
+use crate::runner::{LatencyPoint, SweepResult, SweepSpec};
+use crate::store::{GcReport, StoreStats};
+use crate::SchemeId;
+use serde::{field, Content, DeError, Deserialize, Serialize};
+use traffic::SyntheticPattern;
+
+/// Wire protocol version, echoed in `pong` and `status` so clients can
+/// detect a daemon speaking a different generation.
+pub const PROTO_VERSION: u32 = 1;
+
+/// One sweep spec as it travels on the wire: scheme and pattern by
+/// display name, everything else verbatim from [`SweepSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSpec {
+    /// Scheme display name ([`SchemeId::name`], case-insensitive).
+    pub scheme: String,
+    /// Pattern display name ([`SyntheticPattern::name`], case-insensitive).
+    pub pattern: String,
+    /// Injection rates, in output order.
+    pub rates: Vec<f64>,
+    /// Mesh edge length.
+    pub size: u64,
+    /// FastPass VCs per input buffer.
+    pub fp_vcs: u64,
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl WireSpec {
+    /// Encodes a runner spec for the wire.
+    pub fn from_spec(spec: &SweepSpec) -> WireSpec {
+        WireSpec {
+            scheme: spec.id.name().to_string(),
+            pattern: spec.pattern.name().to_string(),
+            rates: spec.rates.clone(),
+            size: spec.size as u64,
+            fp_vcs: spec.fp_vcs as u64,
+            warmup: spec.warmup,
+            measure: spec.measure,
+            seed: spec.seed,
+        }
+    }
+
+    /// Decodes back into a runner spec, validating every axis. The
+    /// bounds are sanity limits for a *local* trusted service: they
+    /// exist to turn typos into readable errors, not to sandbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid axis.
+    pub fn to_spec(&self) -> Result<SweepSpec, String> {
+        let id = SchemeId::parse(&self.scheme)
+            .ok_or_else(|| format!("unknown scheme `{}`", self.scheme))?;
+        let pattern = SyntheticPattern::from_name(&self.pattern)
+            .ok_or_else(|| format!("unknown pattern `{}`", self.pattern))?;
+        if self.rates.is_empty() {
+            return Err("spec has no rates".to_string());
+        }
+        if let Some(bad) = self
+            .rates
+            .iter()
+            .find(|r| !r.is_finite() || **r <= 0.0 || **r > 1.0)
+        {
+            return Err(format!("rate {bad} outside (0, 1]"));
+        }
+        if !(2..=64).contains(&self.size) {
+            return Err(format!("mesh size {} outside 2..=64", self.size));
+        }
+        if !(1..=8).contains(&self.fp_vcs) {
+            return Err(format!("fp_vcs {} outside 1..=8", self.fp_vcs));
+        }
+        if self.measure == 0 {
+            return Err("measure window must be at least 1 cycle".to_string());
+        }
+        Ok(SweepSpec {
+            id,
+            pattern,
+            rates: self.rates.clone(),
+            size: self.size as usize,
+            fp_vcs: self.fp_vcs as usize,
+            warmup: self.warmup,
+            measure: self.measure,
+            seed: self.seed,
+        })
+    }
+}
+
+/// A client request: one line, tagged by `"cmd"`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Daemon counters and store stats; answered with [`Response::Status`].
+    Status,
+    /// A sweep job; answered with accepted/progress/result stream.
+    Submit {
+        /// The sweeps to resolve.
+        specs: Vec<WireSpec>,
+    },
+    /// Point lookup by store key (16-hex-digit, as printed by
+    /// [`crate::store::format_key`]); answered with [`Response::Points`].
+    Fetch {
+        /// Keys to look up.
+        keys: Vec<String>,
+    },
+    /// Drop store entries by key; answered with [`Response::Evicted`].
+    Evict {
+        /// Keys to drop.
+        keys: Vec<String>,
+    },
+    /// Run a store garbage-collection pass; answered with
+    /// [`Response::GcDone`].
+    Gc,
+    /// Stop the daemon after answering [`Response::Bye`].
+    Shutdown,
+}
+
+impl Serialize for Request {
+    fn to_content(&self) -> Content {
+        let mut map: Vec<(String, Content)> = Vec::new();
+        let cmd = match self {
+            Request::Ping => "ping",
+            Request::Status => "status",
+            Request::Submit { .. } => "submit",
+            Request::Fetch { .. } => "fetch",
+            Request::Evict { .. } => "evict",
+            Request::Gc => "gc",
+            Request::Shutdown => "shutdown",
+        };
+        map.push(("cmd".to_string(), Content::Str(cmd.to_string())));
+        match self {
+            Request::Submit { specs } => map.push(("specs".to_string(), specs.to_content())),
+            Request::Fetch { keys } | Request::Evict { keys } => {
+                map.push(("keys".to_string(), keys.to_content()));
+            }
+            _ => {}
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c
+            .as_map()
+            .ok_or_else(|| DeError("request must be a JSON object".to_string()))?;
+        let cmd = field(map, "cmd")?
+            .as_str()
+            .ok_or_else(|| DeError("`cmd` must be a string".to_string()))?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "status" => Ok(Request::Status),
+            "submit" => Ok(Request::Submit {
+                specs: Vec::<WireSpec>::from_content(field(map, "specs")?)?,
+            }),
+            "fetch" => Ok(Request::Fetch {
+                keys: Vec::<String>::from_content(field(map, "keys")?)?,
+            }),
+            "evict" => Ok(Request::Evict {
+                keys: Vec::<String>::from_content(field(map, "keys")?)?,
+            }),
+            "gc" => Ok(Request::Gc),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError(format!("unknown cmd `{other}`"))),
+        }
+    }
+}
+
+/// Daemon counters as reported by [`Request::Status`] — the CI `serve`
+/// job's dedup proof reads `points_computed` and the hit counters out
+/// of this JSON (`serve-summary.json`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// Wire protocol version.
+    pub proto: u32,
+    /// Store schema version in effect.
+    pub schema: u32,
+    /// Seconds since the daemon started.
+    pub uptime_secs: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed (well-formed lines).
+    pub requests: u64,
+    /// Malformed or unparseable request lines.
+    pub bad_requests: u64,
+    /// Submit requests accepted.
+    pub jobs_submitted: u64,
+    /// Submit requests fully answered.
+    pub jobs_completed: u64,
+    /// Points requested across all jobs (with multiplicity).
+    pub points_requested: u64,
+    /// Points actually simulated by the worker pool.
+    pub points_computed: u64,
+    /// Points that failed (a worker panicked on them).
+    pub points_failed: u64,
+    /// Points served from the on-disk store.
+    pub store_hits: u64,
+    /// Points served from the in-memory results map.
+    pub memory_hits: u64,
+    /// Points deduplicated onto another job's in-flight computation.
+    pub dedup_waits: u64,
+    /// Store entries evicted via `evict`.
+    pub evictions: u64,
+    /// Points queued but not yet claimed by a worker.
+    pub queue_depth: u64,
+    /// Points currently being simulated.
+    pub inflight: u64,
+    /// On-disk store size.
+    pub store: StoreStats,
+    /// Store directory (diagnostics).
+    pub store_dir: String,
+}
+
+/// One `fetch` answer: the key, whether the store had it, and the point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FetchedPoint {
+    /// The requested key.
+    pub key: String,
+    /// Whether an entry was found.
+    pub found: bool,
+    /// The stored point, when found.
+    pub point: Option<LatencyPoint>,
+}
+
+/// A daemon response line, tagged by `"event"`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer.
+    Pong {
+        /// Wire protocol version the daemon speaks.
+        proto: u32,
+    },
+    /// A submit was parsed and enqueued.
+    Accepted {
+        /// Job id, unique within this daemon.
+        job: u64,
+        /// Total points in the job.
+        points: u64,
+        /// Points this job newly enqueued for computation.
+        computed: u64,
+        /// Points served from the store or the in-memory results map.
+        cached: u64,
+        /// Points already in flight for another job (deduplicated).
+        deduped: u64,
+    },
+    /// Per-job progress; sent whenever the done count advances.
+    Progress {
+        /// Job id.
+        job: u64,
+        /// Points resolved so far.
+        done: u64,
+        /// Total points in the job.
+        total: u64,
+    },
+    /// Terminal answer to a submit: the assembled sweeps, point order
+    /// matching the request's spec/rate order.
+    Result {
+        /// Job id.
+        job: u64,
+        /// One sweep per submitted spec.
+        sweeps: Vec<SweepResult>,
+    },
+    /// Daemon counters.
+    Status(Box<StatusReport>),
+    /// Fetch answers, in request key order.
+    Points {
+        /// One entry per requested key.
+        points: Vec<FetchedPoint>,
+    },
+    /// Evict outcome.
+    Evicted {
+        /// Entries actually removed.
+        removed: u64,
+    },
+    /// Garbage-collection outcome.
+    GcDone(GcReport),
+    /// The request could not be served; the connection stays open.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Shutdown acknowledged; the daemon is stopping.
+    Bye,
+}
+
+impl Serialize for Response {
+    fn to_content(&self) -> Content {
+        let mut map: Vec<(String, Content)> = Vec::new();
+        let tag = match self {
+            Response::Pong { .. } => "pong",
+            Response::Accepted { .. } => "accepted",
+            Response::Progress { .. } => "progress",
+            Response::Result { .. } => "result",
+            Response::Status(_) => "status",
+            Response::Points { .. } => "points",
+            Response::Evicted { .. } => "evicted",
+            Response::GcDone(_) => "gc",
+            Response::Error { .. } => "error",
+            Response::Bye => "bye",
+        };
+        map.push(("event".to_string(), Content::Str(tag.to_string())));
+        match self {
+            Response::Pong { proto } => map.push(("proto".to_string(), proto.to_content())),
+            Response::Accepted {
+                job,
+                points,
+                computed,
+                cached,
+                deduped,
+            } => {
+                map.push(("job".to_string(), job.to_content()));
+                map.push(("points".to_string(), points.to_content()));
+                map.push(("computed".to_string(), computed.to_content()));
+                map.push(("cached".to_string(), cached.to_content()));
+                map.push(("deduped".to_string(), deduped.to_content()));
+            }
+            Response::Progress { job, done, total } => {
+                map.push(("job".to_string(), job.to_content()));
+                map.push(("done".to_string(), done.to_content()));
+                map.push(("total".to_string(), total.to_content()));
+            }
+            Response::Result { job, sweeps } => {
+                map.push(("job".to_string(), job.to_content()));
+                map.push(("sweeps".to_string(), sweeps.to_content()));
+            }
+            Response::Status(report) => map.push(("status".to_string(), report.to_content())),
+            Response::Points { points } => map.push(("points".to_string(), points.to_content())),
+            Response::Evicted { removed } => {
+                map.push(("removed".to_string(), removed.to_content()));
+            }
+            Response::GcDone(report) => map.push(("report".to_string(), report.to_content())),
+            Response::Error { message } => {
+                map.push(("message".to_string(), message.to_content()));
+            }
+            Response::Bye => {}
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c
+            .as_map()
+            .ok_or_else(|| DeError("response must be a JSON object".to_string()))?;
+        let tag = field(map, "event")?
+            .as_str()
+            .ok_or_else(|| DeError("`event` must be a string".to_string()))?;
+        let u = |name: &str| -> Result<u64, DeError> { u64::from_content(field(map, name)?) };
+        match tag {
+            "pong" => Ok(Response::Pong {
+                proto: u32::from_content(field(map, "proto")?)?,
+            }),
+            "accepted" => Ok(Response::Accepted {
+                job: u("job")?,
+                points: u("points")?,
+                computed: u("computed")?,
+                cached: u("cached")?,
+                deduped: u("deduped")?,
+            }),
+            "progress" => Ok(Response::Progress {
+                job: u("job")?,
+                done: u("done")?,
+                total: u("total")?,
+            }),
+            "result" => Ok(Response::Result {
+                job: u("job")?,
+                sweeps: Vec::<SweepResult>::from_content(field(map, "sweeps")?)?,
+            }),
+            "status" => Ok(Response::Status(Box::new(StatusReport::from_content(
+                field(map, "status")?,
+            )?))),
+            "points" => Ok(Response::Points {
+                points: Vec::<FetchedPoint>::from_content(field(map, "points")?)?,
+            }),
+            "evicted" => Ok(Response::Evicted {
+                removed: u("removed")?,
+            }),
+            "gc" => Ok(Response::GcDone(GcReport::from_content(field(
+                map, "report",
+            )?)?)),
+            "error" => Ok(Response::Error {
+                message: String::from_content(field(map, "message")?)?,
+            }),
+            "bye" => Ok(Response::Bye),
+            other => Err(DeError(format!("unknown event `{other}`"))),
+        }
+    }
+}
+
+/// Encodes a message as one compact JSON line (no trailing newline —
+/// the transport appends it).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("protocol messages always serialize")
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the parse failure, suitable
+/// for echoing back in an `error` event.
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str::<Request>(line.trim()).map_err(|e| e.to_string())
+}
+
+/// Decodes one response line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the parse failure.
+pub fn decode_response(line: &str) -> Result<Response, String> {
+    serde_json::from_str::<Response>(line.trim()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            id: SchemeId::FastPass,
+            pattern: SyntheticPattern::Uniform,
+            rates: vec![0.02, 0.05],
+            size: 4,
+            fp_vcs: 2,
+            warmup: 100,
+            measure: 300,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn wire_spec_round_trips_through_names() {
+        let original = spec();
+        let wire = WireSpec::from_spec(&original);
+        let back = wire.to_spec().expect("valid spec");
+        assert_eq!(back.id, original.id);
+        assert_eq!(back.pattern, original.pattern);
+        assert_eq!(back.rates, original.rates);
+        assert_eq!(
+            (back.size, back.fp_vcs, back.warmup, back.measure, back.seed),
+            (
+                original.size,
+                original.fp_vcs,
+                original.warmup,
+                original.measure,
+                original.seed
+            )
+        );
+    }
+
+    #[test]
+    fn wire_spec_rejects_bad_axes() {
+        let good = WireSpec::from_spec(&spec());
+        let cases: Vec<(WireSpec, &str)> = vec![
+            (
+                WireSpec {
+                    scheme: "NoSuchScheme".into(),
+                    ..good.clone()
+                },
+                "scheme",
+            ),
+            (
+                WireSpec {
+                    pattern: "NoSuchPattern".into(),
+                    ..good.clone()
+                },
+                "pattern",
+            ),
+            (
+                WireSpec {
+                    rates: vec![],
+                    ..good.clone()
+                },
+                "rates",
+            ),
+            (
+                WireSpec {
+                    rates: vec![-0.1],
+                    ..good.clone()
+                },
+                "rate",
+            ),
+            (
+                WireSpec {
+                    size: 1,
+                    ..good.clone()
+                },
+                "size",
+            ),
+            (
+                WireSpec {
+                    fp_vcs: 0,
+                    ..good.clone()
+                },
+                "fp_vcs",
+            ),
+            (
+                WireSpec {
+                    measure: 0,
+                    ..good.clone()
+                },
+                "measure",
+            ),
+        ];
+        for (bad, what) in cases {
+            assert!(bad.to_spec().is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn scheme_and_pattern_names_parse_case_insensitively() {
+        assert_eq!(SchemeId::parse("fastpass"), Some(SchemeId::FastPass));
+        assert_eq!(SchemeId::parse("VCT-XY"), Some(SchemeId::Vct));
+        assert_eq!(SchemeId::parse("bogus"), None);
+        assert_eq!(
+            SyntheticPattern::from_name("Transpose"),
+            Some(SyntheticPattern::Transpose)
+        );
+        assert_eq!(SyntheticPattern::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Status,
+            Request::Submit {
+                specs: vec![WireSpec::from_spec(&spec())],
+            },
+            Request::Fetch {
+                keys: vec!["00000000000000ff".to_string()],
+            },
+            Request::Evict {
+                keys: vec!["00000000000000ff".to_string()],
+            },
+            Request::Gc,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = encode(&req);
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            let back = decode_request(&line).expect("round trip");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Pong {
+                proto: PROTO_VERSION,
+            },
+            Response::Accepted {
+                job: 3,
+                points: 6,
+                computed: 4,
+                cached: 1,
+                deduped: 1,
+            },
+            Response::Progress {
+                job: 3,
+                done: 5,
+                total: 6,
+            },
+            Response::Result {
+                job: 3,
+                sweeps: vec![SweepResult {
+                    scheme: "FastPass".into(),
+                    pattern: "uniform".into(),
+                    size: 4,
+                    points: vec![],
+                }],
+            },
+            Response::Status(Box::new(StatusReport {
+                proto: PROTO_VERSION,
+                points_computed: 6,
+                ..StatusReport::default()
+            })),
+            Response::Points {
+                points: vec![FetchedPoint {
+                    key: "00000000000000ff".into(),
+                    found: false,
+                    point: None,
+                }],
+            },
+            Response::Evicted { removed: 2 },
+            Response::GcDone(GcReport::default()),
+            Response::Error {
+                message: "nope".into(),
+            },
+            Response::Bye,
+        ];
+        for resp in resps {
+            let line = encode(&resp);
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            let back = decode_response(&line).expect("round trip");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_errors() {
+        assert!(decode_request("").is_err());
+        assert!(decode_request("not json").is_err());
+        assert!(decode_request("[1,2,3]").is_err());
+        assert!(decode_request("{\"cmd\":\"launch-missiles\"}").is_err());
+        assert!(
+            decode_request("{\"cmd\":\"submit\"}").is_err(),
+            "missing specs"
+        );
+        assert!(decode_response("{\"event\":\"warp\"}").is_err());
+    }
+}

@@ -62,6 +62,16 @@ impl SchemeId {
         }
     }
 
+    /// The inverse of [`SchemeId::name`], case-insensitively — the wire
+    /// protocol and `nocctl` spell schemes by name. Returns `None` for
+    /// unknown names.
+    pub fn parse(name: &str) -> Option<SchemeId> {
+        let mut all = ALL_SCHEMES.to_vec();
+        all.push(SchemeId::Vct);
+        all.into_iter()
+            .find(|id| id.name().eq_ignore_ascii_case(name))
+    }
+
     /// VNs per Table II.
     pub fn vns(self) -> usize {
         match self {

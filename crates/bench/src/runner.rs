@@ -119,7 +119,7 @@ where
 }
 
 /// One point of a latency-vs-injection-rate curve (Fig. 7).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyPoint {
     /// Offered injection rate (packets/node/cycle).
     pub rate: f64,
@@ -136,7 +136,7 @@ pub struct LatencyPoint {
 }
 
 /// A full sweep for one scheme on one pattern.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepResult {
     /// Scheme name.
     pub scheme: String,
@@ -224,15 +224,7 @@ impl SweepOptions {
     }
 }
 
-/// Bump when the cache entry format or simulation semantics change in a
-/// way that invalidates previously cached points. The version is folded
-/// into every [`point_cache_key`], so a bump forces recomputation of all
-/// previously cached points rather than silently serving stale results.
-///
-/// v2: the regular-pass rewrite (active-set worklist, occupancy bitmasks)
-/// plus the warmup-carryover accounting fix changed `NetStats` contents;
-/// v1 entries predate `delivered_carryover`/`window_start`.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+pub use crate::store::CACHE_SCHEMA_VERSION;
 
 /// FNV-1a 64-bit, used for stable cache keys (`DefaultHasher` makes no
 /// cross-version stability promise).
@@ -272,29 +264,14 @@ fn point_cache_key_versioned(spec: &SweepSpec, rate: f64, version: u32) -> u64 {
     fnv1a64(canonical.as_bytes())
 }
 
-fn cache_path(dir: &Path, key: u64) -> PathBuf {
-    dir.join(format!("{key:016x}.json"))
-}
-
 fn cache_load(dir: &Path, key: u64) -> Option<LatencyPoint> {
-    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
-    serde_json::from_str(&text).ok()
+    crate::store::Store::new(dir).load(key)
 }
 
 fn cache_store(dir: &Path, key: u64, point: &LatencyPoint) {
     // Cache writes are best-effort: a full disk or unwritable directory
     // degrades to recomputation, never to a wrong result.
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let Ok(json) = serde_json::to_string_pretty(point) else {
-        return;
-    };
-    let path = cache_path(dir, key);
-    let tmp = dir.join(format!("{key:016x}.tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, json).is_ok() {
-        let _ = std::fs::rename(&tmp, &path);
-    }
+    crate::store::Store::new(dir).store(key, point);
 }
 
 /// Builds a fresh simulation for a scheme/pattern/rate triple at the
@@ -315,8 +292,10 @@ pub fn make_sim(
 
 /// Simulates one sweep point. Every call builds a fresh [`Simulation`]
 /// from the spec's seed, so a point's result depends only on its inputs
-/// — never on which thread ran it or what ran before it.
-fn simulate_point(spec: &SweepSpec, rate: f64) -> LatencyPoint {
+/// — never on which thread ran it or what ran before it. Public so the
+/// `nocserve` daemon computes points through the exact same path as the
+/// batch executor (its bitwise-equivalence guarantee rests on this).
+pub fn simulate_point(spec: &SweepSpec, rate: f64) -> LatencyPoint {
     let mut sim = make_sim(
         spec.id,
         spec.pattern,
@@ -326,6 +305,16 @@ fn simulate_point(spec: &SweepSpec, rate: f64) -> LatencyPoint {
         spec.seed,
     );
     let stats = sim.run_windows(spec.warmup, spec.measure);
+    latency_point(rate, &stats)
+}
+
+/// Reduces one finished run's [`NetStats`] to the stored
+/// [`LatencyPoint`]. Shared by [`simulate_point`] and the daemon's
+/// batched workers so both paths derive identical points from identical
+/// stats.
+///
+/// [`NetStats`]: noc_core::stats::NetStats
+pub fn latency_point(rate: f64, stats: &noc_core::stats::NetStats) -> LatencyPoint {
     LatencyPoint {
         rate,
         avg_latency: stats.avg_latency(),
@@ -655,7 +644,7 @@ mod tests {
             CACHE_SCHEMA_VERSION - 1
         );
         assert!(
-            cache_path(&dir, current).exists(),
+            crate::store::Store::new(&dir).path_of(current).exists(),
             "recomputed point must be stored under the current-version key"
         );
         let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,363 @@
+//! Client side of the `nocserve` protocol, plus the `--serve` dispatch
+//! used by the figure binaries.
+//!
+//! [`Client`] wraps one Unix-socket connection and speaks the
+//! newline-delimited JSON protocol from [`crate::proto`]. The figure
+//! binaries call [`run_sweeps`], which routes a spec list either through
+//! the local batch executor ([`run_sweep_parallel`]) or — when
+//! `--serve[=SOCKET]` is on the command line or `NOC_SERVE` is set —
+//! through a running daemon. Both paths return the same
+//! [`SweepResult`]s: the daemon computes points with the same simulator
+//! entry points and the same cache keys, so the emitted JSON artifacts
+//! are bitwise identical (the `serve` CI job diffs them).
+
+use crate::proto::{
+    decode_response, encode, FetchedPoint, Request, Response, StatusReport, WireSpec,
+};
+use crate::runner::{run_sweep_parallel, SweepOptions, SweepResult, SweepSpec};
+use crate::store::GcReport;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the daemon socket; doubles as the
+/// env-only way to put a binary in serve mode (same effect as
+/// `--serve=<path>`).
+pub const SOCK_ENV: &str = "NOC_SERVE";
+
+/// Default socket path when serve mode is requested without a path.
+pub fn default_socket() -> PathBuf {
+    PathBuf::from("results/nocserve.sock")
+}
+
+/// How a binary should execute its sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecMode {
+    /// In-process batch executor (the default).
+    Batch,
+    /// Submit to the daemon at this socket.
+    Serve(PathBuf),
+}
+
+impl ExecMode {
+    /// Resolves the execution mode from a binary's argument list and the
+    /// environment: `--serve` / `--serve=SOCKET` wins, then a non-empty
+    /// [`SOCK_ENV`], else batch. `--serve` without a path uses
+    /// [`SOCK_ENV`] or the default socket.
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> ExecMode {
+        let env_sock = std::env::var(SOCK_ENV).ok();
+        ExecMode::from_parts(args, env_sock.as_deref())
+    }
+
+    /// The pure core of [`ExecMode::from_args`], with the environment
+    /// passed explicitly (testable without mutating process state).
+    fn from_parts<S: AsRef<str>>(args: &[S], env_sock: Option<&str>) -> ExecMode {
+        let env_sock = env_sock.filter(|s| !s.is_empty());
+        for arg in args {
+            let arg = arg.as_ref();
+            if arg == "--serve" {
+                return ExecMode::Serve(env_sock.map_or_else(default_socket, PathBuf::from));
+            }
+            if let Some(path) = arg.strip_prefix("--serve=") {
+                return ExecMode::Serve(PathBuf::from(path));
+            }
+        }
+        match env_sock {
+            Some(sock) => ExecMode::Serve(PathBuf::from(sock)),
+            None => ExecMode::Batch,
+        }
+    }
+
+    /// Resolves from [`std::env::args`].
+    pub fn from_env() -> ExecMode {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ExecMode::from_args(&args)
+    }
+}
+
+/// What the daemon said when it accepted a submit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// Job id on the daemon.
+    pub job: u64,
+    /// Total points in the job.
+    pub points: u64,
+    /// Points newly enqueued for simulation.
+    pub computed: u64,
+    /// Points served from the store or memory.
+    pub cached: u64,
+    /// Points piggybacked on another job's in-flight work.
+    pub deduped: u64,
+}
+
+/// One connection to a `nocserve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `sock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure (daemon not running, bad path).
+    pub fn connect(sock: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(sock)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        let mut line = encode(req);
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv failed: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".to_string());
+        }
+        decode_response(&line)
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, String> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Liveness probe; returns the daemon's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unexpected responses, as readable strings.
+    pub fn ping(&mut self) -> Result<u32, String> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong { proto } => Ok(proto),
+            other => Err(format!("unexpected reply to ping: {other:?}")),
+        }
+    }
+
+    /// Fetches the daemon's counters and store stats.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unexpected responses, as readable strings.
+    pub fn status(&mut self) -> Result<StatusReport, String> {
+        match self.roundtrip(&Request::Status)? {
+            Response::Status(report) => Ok(*report),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected reply to status: {other:?}")),
+        }
+    }
+
+    /// Looks up store entries by hex key.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unexpected responses, as readable strings.
+    pub fn fetch(&mut self, keys: Vec<String>) -> Result<Vec<FetchedPoint>, String> {
+        match self.roundtrip(&Request::Fetch { keys })? {
+            Response::Points { points } => Ok(points),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected reply to fetch: {other:?}")),
+        }
+    }
+
+    /// Evicts store entries by hex key; returns how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unexpected responses, as readable strings.
+    pub fn evict(&mut self, keys: Vec<String>) -> Result<u64, String> {
+        match self.roundtrip(&Request::Evict { keys })? {
+            Response::Evicted { removed } => Ok(removed),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected reply to evict: {other:?}")),
+        }
+    }
+
+    /// Runs a store garbage-collection pass on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unexpected responses, as readable strings.
+    pub fn gc(&mut self) -> Result<GcReport, String> {
+        match self.roundtrip(&Request::Gc)? {
+            Response::GcDone(report) => Ok(report),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected reply to gc: {other:?}")),
+        }
+    }
+
+    /// Asks the daemon to stop.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unexpected responses, as readable strings.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected reply to shutdown: {other:?}")),
+        }
+    }
+
+    /// Submits a sweep job and blocks until its terminal `result`,
+    /// invoking `progress(done, total)` on every progress event.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, daemon-side rejections (bad spec, worker failure)
+    /// and protocol violations, as readable strings.
+    pub fn submit(
+        &mut self,
+        specs: &[SweepSpec],
+        mut progress: impl FnMut(u64, u64),
+    ) -> Result<(SubmitReceipt, Vec<SweepResult>), String> {
+        let wire: Vec<WireSpec> = specs.iter().map(WireSpec::from_spec).collect();
+        self.send(&Request::Submit { specs: wire })?;
+        let receipt = match self.recv()? {
+            Response::Accepted {
+                job,
+                points,
+                computed,
+                cached,
+                deduped,
+            } => SubmitReceipt {
+                job,
+                points,
+                computed,
+                cached,
+                deduped,
+            },
+            Response::Error { message } => return Err(message),
+            other => return Err(format!("unexpected reply to submit: {other:?}")),
+        };
+        loop {
+            match self.recv()? {
+                Response::Progress { done, total, .. } => progress(done, total),
+                Response::Result { sweeps, .. } => return Ok((receipt, sweeps)),
+                Response::Error { message } => return Err(message),
+                other => return Err(format!("unexpected mid-job event: {other:?}")),
+            }
+        }
+    }
+}
+
+/// Runs `specs` through the daemon at `sock`, printing progress to
+/// stderr the way the batch executor logs per-point completion.
+///
+/// # Errors
+///
+/// Connection and protocol failures, as readable strings.
+pub fn run_sweeps_via(sock: &Path, specs: &[SweepSpec]) -> Result<Vec<SweepResult>, String> {
+    let mut client = Client::connect(sock)
+        .map_err(|e| format!("cannot reach nocserve at {}: {e}", sock.display()))?;
+    let mut last = 0u64;
+    let (receipt, sweeps) = client.submit(specs, |done, total| {
+        if done != last {
+            last = done;
+            eprintln!("[serve] job {done}/{total} points");
+        }
+    })?;
+    eprintln!(
+        "[serve] job {}: {} points ({} computed, {} cached, {} deduped)",
+        receipt.job, receipt.points, receipt.computed, receipt.cached, receipt.deduped
+    );
+    Ok(sweeps)
+}
+
+/// The figure binaries' sweep entry point: batch by default, daemon when
+/// `--serve` / `NOC_SERVE` asks for it ([`ExecMode::from_env`]).
+///
+/// Serve mode is explicit opt-in, so an unreachable daemon is an error,
+/// not a silent fallback — falling back would make the CI dedup and
+/// equivalence assertions vacuous.
+pub fn run_sweeps(specs: &[SweepSpec]) -> Vec<SweepResult> {
+    match ExecMode::from_env() {
+        ExecMode::Batch => run_sweep_parallel(specs, &SweepOptions::from_env()),
+        ExecMode::Serve(sock) => match run_sweeps_via(&sock, specs) {
+            Ok(sweeps) => sweeps,
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// For binaries whose jobs are not point-addressable (saturation
+/// searches, power models, p99 scans): if serve mode was requested,
+/// explain why this binary runs its custom jobs locally anyway. Sweeps
+/// submitted through the daemon cover only `(spec, rate)` points; these
+/// binaries' work units depend on intermediate results, so they cannot
+/// be deduplicated by content key yet.
+pub fn warn_if_serve_requested(binary: &str) {
+    if let ExecMode::Serve(sock) = ExecMode::from_env() {
+        eprintln!(
+            "[{binary}] note: serve mode ({}) covers rate-sweep points only; \
+             this binary's custom jobs run in-process",
+            sock.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_parses_serve_flags() {
+        let empty: [&str; 0] = [];
+        assert_eq!(ExecMode::from_parts(&empty, None), ExecMode::Batch);
+        assert_eq!(
+            ExecMode::from_parts(&["--trace", "foo"], None),
+            ExecMode::Batch
+        );
+        assert_eq!(
+            ExecMode::from_parts(&["--serve=/tmp/x.sock"], None),
+            ExecMode::Serve(PathBuf::from("/tmp/x.sock"))
+        );
+        // Bare --serve: env socket wins, then the default.
+        assert_eq!(
+            ExecMode::from_parts(&["--serve"], Some("/tmp/env.sock")),
+            ExecMode::Serve(PathBuf::from("/tmp/env.sock"))
+        );
+        assert_eq!(
+            ExecMode::from_parts(&["--serve"], Some("")),
+            ExecMode::Serve(default_socket())
+        );
+        assert_eq!(
+            ExecMode::from_parts(&["--serve"], None),
+            ExecMode::Serve(default_socket())
+        );
+        // Env alone flips the mode too (how CI drives unmodified argv).
+        assert_eq!(
+            ExecMode::from_parts(&empty, Some("/tmp/env.sock")),
+            ExecMode::Serve(PathBuf::from("/tmp/env.sock"))
+        );
+        // Explicit flag beats env.
+        assert_eq!(
+            ExecMode::from_parts(&["--serve=/a"], Some("/b")),
+            ExecMode::Serve(PathBuf::from("/a"))
+        );
+    }
+
+    #[test]
+    fn connect_to_missing_socket_is_an_error() {
+        let err = Client::connect(Path::new("/nonexistent/nocserve.sock"));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! The content-addressed sweep-result store.
+//!
+//! One simulation point — a `(scheme, pattern, config, rate, seed,
+//! windows)` tuple — is addressed by its FNV-64 cache key
+//! ([`crate::runner::point_cache_key`]) and stored as one JSON blob at
+//! `<dir>/<key:016x>.json`. The store is the single durable artifact
+//! shared by every consumer: the batch executor
+//! ([`crate::runner::run_sweep_parallel`]) reads and writes it directly,
+//! and the `nocserve` daemon owns it as its L2 result cache. Because the
+//! key is content-derived and the stored value is a pure function of the
+//! key's inputs, concurrent writers can only ever race to write the
+//! *same bytes* — last-rename-wins is correct by construction.
+//!
+//! ## Blob format
+//!
+//! Entries are written as a schema-versioned envelope:
+//!
+//! ```json
+//! { "schema_version": 2, "key": "00d57c9a6a2e4f11", "point": { … } }
+//! ```
+//!
+//! Loading accepts two shapes:
+//!
+//! * the envelope, when `schema_version` matches
+//!   [`CACHE_SCHEMA_VERSION`] and `key` matches the filename — the
+//!   current format;
+//! * a bare [`LatencyPoint`] object — the pre-envelope `FP_CACHE`
+//!   layout (PR 1). A key match already implies the current schema
+//!   (the version is folded into every key), so legacy entries stay
+//!   servable and [`Store::gc`] migrates them in place.
+//!
+//! Anything else — truncated JSON, a stale `schema_version`, a key
+//! field that disagrees with the filename — is a cache *miss*, never a
+//! wrong answer: the point is recomputed and the entry overwritten.
+//! [`Store::gc`] deletes such entries eagerly.
+//!
+//! Writes are atomic (unique temp file + rename) so a crashed or
+//! interrupted writer can leave at worst an orphaned `*.tmp.*` file,
+//! which `gc` sweeps up.
+
+use crate::runner::LatencyPoint;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Bump when the cache entry format or simulation semantics change in a
+/// way that invalidates previously cached points. The version is folded
+/// into every [`crate::runner::point_cache_key`], so a bump forces
+/// recomputation of all previously cached points rather than silently
+/// serving stale results; it is also stamped into every stored
+/// envelope, so [`Store::gc`] can identify and drop entries written by
+/// a different schema generation.
+///
+/// v2: the regular-pass rewrite (active-set worklist, occupancy
+/// bitmasks) plus the warmup-carryover accounting fix changed
+/// `NetStats` contents; v1 entries predate
+/// `delivered_carryover`/`window_start`.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
+
+/// The on-disk envelope around one stored point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Envelope {
+    /// Schema generation that produced this entry.
+    schema_version: u32,
+    /// The point's cache key, hex-encoded — must match the filename.
+    key: String,
+    /// The stored result.
+    point: LatencyPoint,
+}
+
+/// What one [`Store::gc`] pass found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Entries examined (every `*.json` with a 16-hex-digit name).
+    pub scanned: u64,
+    /// Valid current-schema envelopes left in place.
+    pub kept: u64,
+    /// Legacy bare-`LatencyPoint` blobs rewrapped into envelopes.
+    pub migrated: u64,
+    /// Envelopes deleted because their `schema_version` is not
+    /// [`CACHE_SCHEMA_VERSION`] or their `key` contradicts the filename.
+    pub dropped_stale: u64,
+    /// Blobs deleted because they parse as neither envelope nor legacy
+    /// point (truncated writes, corruption).
+    pub dropped_corrupt: u64,
+    /// Orphaned `*.tmp.*` files from interrupted atomic writes deleted.
+    pub dropped_temp: u64,
+}
+
+impl GcReport {
+    /// Total entries removed by the pass.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_stale + self.dropped_corrupt + self.dropped_temp
+    }
+}
+
+/// A snapshot of the store's size, for status reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of `*.json` entries present (valid or not).
+    pub entries: u64,
+    /// Total bytes across those entries.
+    pub bytes: u64,
+}
+
+/// The content-addressed point store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// A store rooted at `dir`. The directory is created lazily on
+    /// first write, so constructing a store never touches the disk.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Store { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The blob path of `key`.
+    pub fn path_of(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Parses a hex key as printed by [`format_key`] (16 hex digits,
+    /// leading zeros required). Returns `None` on anything else.
+    pub fn parse_key(s: &str) -> Option<u64> {
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+
+    /// Loads the point stored under `key`, or `None` if the entry is
+    /// absent, truncated, corrupt, written under a different schema
+    /// version, or self-inconsistent. A miss is always safe: the caller
+    /// recomputes and overwrites.
+    pub fn load(&self, key: u64) -> Option<LatencyPoint> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        decode_entry(&text, key).map(|(point, _)| point)
+    }
+
+    /// Stores `point` under `key` atomically (unique temp file +
+    /// rename). Best-effort: a full disk or unwritable directory
+    /// degrades to recomputation on the next load, never to a wrong
+    /// result. Returns whether the entry landed.
+    pub fn store(&self, key: u64, point: &LatencyPoint) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let envelope = Envelope {
+            schema_version: CACHE_SCHEMA_VERSION,
+            key: format_key(key),
+            point: point.clone(),
+        };
+        let Ok(json) = serde_json::to_string_pretty(&envelope) else {
+            return false;
+        };
+        let tmp = self
+            .dir
+            .join(format!("{key:016x}.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, json).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        std::fs::rename(&tmp, self.path_of(key)).is_ok()
+    }
+
+    /// Removes the entry stored under `key`. Returns whether an entry
+    /// was actually deleted.
+    pub fn evict(&self, key: u64) -> bool {
+        std::fs::remove_file(self.path_of(key)).is_ok()
+    }
+
+    /// Walks the store once: keeps valid current-schema envelopes,
+    /// rewraps legacy bare-point blobs into envelopes, deletes
+    /// stale-schema entries, corrupt blobs and orphaned temp files.
+    ///
+    /// A missing or empty directory is a clean no-op report.
+    pub fn gc(&self) -> GcReport {
+        let mut report = GcReport::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return report;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.contains(".tmp.") {
+                if std::fs::remove_file(&path).is_ok() {
+                    report.dropped_temp += 1;
+                }
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let Some(key) = Self::parse_key(stem) else {
+                continue;
+            };
+            report.scanned += 1;
+            let verdict = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| decode_entry(&text, key));
+            match verdict {
+                Some((_, true)) => report.kept += 1,
+                Some((point, false)) => {
+                    // Legacy bare blob: rewrap in place. If the rewrite
+                    // fails the old blob stays readable — migration is
+                    // retried on the next gc pass.
+                    if self.store(key, &point) {
+                        report.migrated += 1;
+                    } else {
+                        report.kept += 1;
+                    }
+                }
+                None => {
+                    // Distinguish stale-schema from corruption for the
+                    // report; both are deleted either way.
+                    let stale = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| serde_json::from_str::<Envelope>(&text).ok())
+                        .is_some();
+                    if std::fs::remove_file(&path).is_ok() {
+                        if stale {
+                            report.dropped_stale += 1;
+                        } else {
+                            report.dropped_corrupt += 1;
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Counts entries and bytes currently on disk.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".json")
+                && name
+                    .strip_suffix(".json")
+                    .is_some_and(|s| Store::parse_key(s).is_some())
+            {
+                stats.entries += 1;
+                stats.bytes += entry.metadata().map_or(0, |m| m.len());
+            }
+        }
+        stats
+    }
+}
+
+/// Renders a key in the store's canonical 16-hex-digit form.
+pub fn format_key(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Decodes one blob's text for `key`. Returns the point and whether the
+/// blob was already a current-schema envelope (`false` = legacy bare
+/// point), or `None` for stale/corrupt/mismatched entries.
+fn decode_entry(text: &str, key: u64) -> Option<(LatencyPoint, bool)> {
+    if let Ok(env) = serde_json::from_str::<Envelope>(text) {
+        if env.schema_version == CACHE_SCHEMA_VERSION && env.key == format_key(key) {
+            return Some((env.point, true));
+        }
+        return None;
+    }
+    serde_json::from_str::<LatencyPoint>(text)
+        .ok()
+        .map(|p| (p, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(rate: f64, lat: f64) -> LatencyPoint {
+        LatencyPoint {
+            rate,
+            avg_latency: lat,
+            throughput: rate,
+            delivered: 10,
+            fastpass_fraction: 0.0,
+            dropped_fraction: 0.0,
+        }
+    }
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("nocstore_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::new(dir)
+    }
+
+    #[test]
+    fn round_trips_an_envelope() {
+        let store = temp_store("roundtrip");
+        assert!(store.load(7).is_none());
+        assert!(store.store(7, &point(0.1, 12.0)));
+        let got = store.load(7).expect("stored entry loads");
+        assert_eq!(got.avg_latency, 12.0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn legacy_bare_point_loads_and_gc_migrates_it() {
+        let store = temp_store("legacy");
+        std::fs::create_dir_all(store.dir()).unwrap();
+        let legacy = serde_json::to_string_pretty(&point(0.05, 9.0)).unwrap();
+        std::fs::write(store.path_of(3), legacy).unwrap();
+        assert_eq!(store.load(3).expect("legacy entry loads").avg_latency, 9.0);
+
+        let report = store.gc();
+        assert_eq!(report.migrated, 1, "{report:?}");
+        assert_eq!(report.dropped(), 0, "{report:?}");
+        // Now an envelope: loads, and a second gc keeps it.
+        assert_eq!(
+            store.load(3).expect("migrated entry loads").avg_latency,
+            9.0
+        );
+        let report = store.gc();
+        assert_eq!((report.kept, report.migrated), (1, 0), "{report:?}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stale_schema_and_corrupt_blobs_are_misses_and_gc_drops_them() {
+        let store = temp_store("stale");
+        std::fs::create_dir_all(store.dir()).unwrap();
+        // Stale: a well-formed envelope from a previous schema version.
+        let stale = Envelope {
+            schema_version: CACHE_SCHEMA_VERSION - 1,
+            key: format_key(1),
+            point: point(0.1, 99_999.0),
+        };
+        std::fs::write(store.path_of(1), serde_json::to_string(&stale).unwrap()).unwrap();
+        // Corrupt: a truncated write.
+        std::fs::write(store.path_of(2), "{\"schema_version\": 2, \"ke").unwrap();
+        // Orphaned temp file from an interrupted writer.
+        std::fs::write(store.dir().join("0000000000000003.tmp.1234"), "x").unwrap();
+
+        assert!(store.load(1).is_none(), "stale entry must not be served");
+        assert!(store.load(2).is_none(), "corrupt entry must not be served");
+
+        let report = store.gc();
+        assert_eq!(report.dropped_stale, 1, "{report:?}");
+        assert_eq!(report.dropped_corrupt, 1, "{report:?}");
+        assert_eq!(report.dropped_temp, 1, "{report:?}");
+        assert_eq!(store.stats().entries, 0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn key_mismatch_inside_envelope_is_a_miss() {
+        let store = temp_store("mismatch");
+        std::fs::create_dir_all(store.dir()).unwrap();
+        let wrong = Envelope {
+            schema_version: CACHE_SCHEMA_VERSION,
+            key: format_key(99),
+            point: point(0.1, 1.0),
+        };
+        std::fs::write(store.path_of(5), serde_json::to_string(&wrong).unwrap()).unwrap();
+        assert!(store.load(5).is_none());
+        let report = store.gc();
+        assert_eq!(report.dropped_stale, 1, "{report:?}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn evict_removes_exactly_one_entry() {
+        let store = temp_store("evict");
+        assert!(store.store(1, &point(0.1, 1.0)));
+        assert!(store.store(2, &point(0.2, 2.0)));
+        assert!(store.evict(1));
+        assert!(!store.evict(1), "double evict reports nothing removed");
+        assert!(store.load(1).is_none());
+        assert!(store.load(2).is_some());
+        assert_eq!(store.stats().entries, 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn parse_key_requires_canonical_form() {
+        assert_eq!(Store::parse_key("00000000000000ff"), Some(255));
+        assert_eq!(Store::parse_key(&format_key(u64::MAX)), Some(u64::MAX));
+        assert!(Store::parse_key("ff").is_none(), "short form rejected");
+        assert!(Store::parse_key("00000000000000zz").is_none());
+        assert!(Store::parse_key("00000000000000ff0").is_none());
+    }
+
+    #[test]
+    fn gc_on_missing_directory_is_a_clean_noop() {
+        let store = temp_store("missing");
+        assert_eq!(store.gc(), GcReport::default());
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+}

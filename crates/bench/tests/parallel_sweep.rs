@@ -71,15 +71,18 @@ fn cache_hit_skips_simulation() {
     };
     let first = run_sweep_parallel(&specs, &opts);
 
-    // Corrupt every cached point with a sentinel latency. If the second
-    // run simulates anything, that point reverts to its true value.
+    // Rewrite every cached point with a sentinel latency (through the
+    // store so the entries stay valid envelopes). If the second run
+    // simulates anything, that point reverts to its true value.
+    let store = bench::Store::new(&scratch.0);
     let mut corrupted = 0;
     for entry in std::fs::read_dir(&scratch.0).unwrap() {
         let path = entry.unwrap().path();
-        let text = std::fs::read_to_string(&path).unwrap();
-        let mut point: bench::LatencyPoint = serde_json::from_str(&text).unwrap();
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let key = bench::Store::parse_key(&stem).expect("cache files are named by hex key");
+        let mut point = store.load(key).expect("fresh cache entry loads");
         point.avg_latency = 123_456.75;
-        std::fs::write(&path, serde_json::to_string_pretty(&point).unwrap()).unwrap();
+        assert!(store.store(key, &point));
         corrupted += 1;
     }
     let total_points: usize = specs.iter().map(|s| s.rates.len()).sum();

@@ -63,6 +63,25 @@ fn determinism_ignores_idents_in_strings_and_comments() {
     assert!(rules_fired("crates/noc-sim/src/foo.rs", src).is_empty());
 }
 
+#[test]
+fn determinism_exempts_the_service_crate_but_not_the_simulator() {
+    // The daemon's uptime clock, accept-loop threads and hash-keyed
+    // point registry are intentional — the same source under a sim
+    // crate's path is a violation. One fixture, two paths.
+    let src = "use std::collections::HashMap;\npub fn f() { let t = std::time::Instant::now(); \
+               let h = std::thread::spawn(|| 1); let m: HashMap<u64, u64> = HashMap::new(); \
+               drop((t, h, m)); }\n";
+    assert!(
+        !rules_fired("crates/noc-serve/src/core.rs", src).contains(&"determinism"),
+        "noc-serve is a whitelisted service crate"
+    );
+    let diags = lint_source("crates/noc-sim/src/core.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "determinism"),
+        "the identical source must stay banned in noc-sim: {diags:?}"
+    );
+}
+
 // ---- hot-loop-alloc --------------------------------------------------------
 
 #[test]
@@ -299,6 +318,19 @@ fn panic_hygiene_permits_unwrap_in_bench_and_tests() {
     assert!(rules_fired("crates/bench/src/foo.rs", bench).is_empty());
     let test_fn = "#[test]\nfn t() { Some(1).unwrap(); }\n";
     assert!(rules_fired("crates/noc-core/src/foo.rs", test_fn).is_empty());
+}
+
+#[test]
+fn panic_hygiene_holds_the_daemon_crate_to_no_bare_unwrap() {
+    // The determinism exemption for noc-serve does NOT relax panic
+    // hygiene: a worker thread dying on a bare unwrap takes queued jobs
+    // with it, so the daemon uses expect/`?` like the simulator does.
+    let src = "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let diags = lint_source("crates/noc-serve/src/server.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "panic-hygiene"),
+        "bare unwrap must fire in noc-serve: {diags:?}"
+    );
 }
 
 // ---- routing-locality ------------------------------------------------------

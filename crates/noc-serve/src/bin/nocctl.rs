@@ -1,0 +1,176 @@
+//! Operator CLI for a running `nocserve` daemon.
+//!
+//! ```text
+//! nocctl [--sock PATH] ping [--wait SECS]
+//! nocctl [--sock PATH] status [--json]
+//! nocctl [--sock PATH] fetch KEY...
+//! nocctl [--sock PATH] evict KEY...
+//! nocctl [--sock PATH] gc
+//! nocctl [--sock PATH] shutdown
+//! ```
+//!
+//! The socket defaults to `NOC_SERVE_SOCK`, then `NOC_SERVE`, then
+//! `results/nocserve.sock`. `ping --wait N` retries for up to N seconds
+//! — CI uses it as the daemon-readiness barrier. `status --json` dumps
+//! the raw [`bench::proto::StatusReport`] (CI's `serve-summary.json`).
+
+use bench::serve_client::Client;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: nocctl [--sock PATH] <ping [--wait SECS] | status [--json] | fetch KEY... | evict KEY... | gc | shutdown>";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sock = std::env::var("NOC_SERVE_SOCK")
+        .or_else(|_| std::env::var("NOC_SERVE"))
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map_or_else(bench::serve_client::default_socket, PathBuf::from);
+    if args.first().is_some_and(|a| a == "--sock") {
+        args.remove(0);
+        if args.is_empty() {
+            return Err(format!("--sock needs a value\n{USAGE}"));
+        }
+        sock = PathBuf::from(args.remove(0));
+    }
+    let Some(cmd) = args.first().cloned() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[1..];
+
+    let connect = || {
+        Client::connect(&sock)
+            .map_err(|e| format!("cannot reach nocserve at {}: {e}", sock.display()))
+    };
+    match cmd.as_str() {
+        "ping" => {
+            let wait_secs: u64 = match rest {
+                [] => 0,
+                [flag, secs] if flag == "--wait" => secs
+                    .parse()
+                    .map_err(|_| format!("--wait wants seconds, got `{secs}`"))?,
+                _ => return Err(USAGE.to_string()),
+            };
+            let deadline = Instant::now() + Duration::from_secs(wait_secs);
+            loop {
+                match connect().and_then(|mut c| c.ping()) {
+                    Ok(proto) => {
+                        println!("pong (proto v{proto}) from {}", sock.display());
+                        return Ok(());
+                    }
+                    Err(e) if Instant::now() >= deadline => return Err(e),
+                    Err(_) => std::thread::sleep(Duration::from_millis(100)),
+                }
+            }
+        }
+        "status" => {
+            let report = connect()?.status()?;
+            if rest.iter().any(|a| a == "--json") {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report)
+                        .map_err(|e| format!("cannot encode status: {e}"))?
+                );
+            } else {
+                println!(
+                    "nocserve at {} (proto v{}, schema v{})",
+                    sock.display(),
+                    report.proto,
+                    report.schema
+                );
+                println!(
+                    "  uptime {}s, {} workers",
+                    report.uptime_secs, report.workers
+                );
+                println!(
+                    "  connections {}, requests {} ({} malformed)",
+                    report.connections, report.requests, report.bad_requests
+                );
+                println!(
+                    "  jobs {}/{} complete; points {} requested = {} computed + {} store hits + {} memory hits + {} deduped ({} failed)",
+                    report.jobs_completed,
+                    report.jobs_submitted,
+                    report.points_requested,
+                    report.points_computed,
+                    report.store_hits,
+                    report.memory_hits,
+                    report.dedup_waits,
+                    report.points_failed
+                );
+                println!(
+                    "  queue {} (+{} in flight); store {}: {} entries, {} bytes ({} evictions)",
+                    report.queue_depth,
+                    report.inflight,
+                    report.store_dir,
+                    report.store.entries,
+                    report.store.bytes,
+                    report.evictions
+                );
+            }
+            Ok(())
+        }
+        "fetch" => {
+            if rest.is_empty() {
+                return Err(format!("fetch needs at least one KEY\n{USAGE}"));
+            }
+            let points = connect()?.fetch(rest.to_vec())?;
+            let mut missing = 0;
+            for p in &points {
+                match &p.point {
+                    Some(point) => println!(
+                        "{}  rate={} avg_latency={} throughput={}",
+                        p.key, point.rate, point.avg_latency, point.throughput
+                    ),
+                    None => {
+                        println!("{}  (not stored)", p.key);
+                        missing += 1;
+                    }
+                }
+            }
+            if missing > 0 {
+                return Err(format!("{missing} of {} keys not stored", points.len()));
+            }
+            Ok(())
+        }
+        "evict" => {
+            if rest.is_empty() {
+                return Err(format!("evict needs at least one KEY\n{USAGE}"));
+            }
+            let removed = connect()?.evict(rest.to_vec())?;
+            println!("evicted {removed} of {} entries", rest.len());
+            Ok(())
+        }
+        "gc" => {
+            let report = connect()?.gc()?;
+            println!(
+                "gc: scanned {}, kept {}, migrated {}, dropped {} ({} stale, {} corrupt, {} temp)",
+                report.scanned,
+                report.kept,
+                report.migrated,
+                report.dropped(),
+                report.dropped_stale,
+                report.dropped_corrupt,
+                report.dropped_temp
+            );
+            Ok(())
+        }
+        "shutdown" => {
+            connect()?.shutdown()?;
+            println!("nocserve at {} is shutting down", sock.display());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}

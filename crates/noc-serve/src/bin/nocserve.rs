@@ -1,0 +1,60 @@
+//! The sweep-service daemon.
+//!
+//! ```text
+//! nocserve [--sock PATH] [--store DIR] [--jobs N] [--batch N] [--statsd PATH]
+//! ```
+//!
+//! Flags override the environment ([`ServeConfig::from_env`]:
+//! `NOC_SERVE_SOCK`/`NOC_SERVE`, `NOC_SERVE_STORE`/`FP_CACHE`,
+//! `NOC_JOBS`, `NOC_SERVE_BATCH`, `NOC_SERVE_STATSD`). Runs in the
+//! foreground until a client sends `shutdown`; drive it with `nocctl`
+//! or any figure binary's `--serve` mode.
+
+use noc_serve::{serve, ServeConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: nocserve [--sock PATH] [--store DIR] [--jobs N] [--batch N] [--statsd PATH]";
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        let outcome = match arg.as_str() {
+            "--sock" => value("--sock").map(|v| config.socket = PathBuf::from(v)),
+            "--store" => value("--store").map(|v| config.store_dir = PathBuf::from(v)),
+            "--statsd" => value("--statsd").map(|v| config.statsd = Some(PathBuf::from(v))),
+            "--jobs" => value("--jobs").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|_| format!("--jobs wants a number, got `{v}`"))
+            }),
+            "--batch" => value("--batch").and_then(|v| {
+                v.parse()
+                    .map(|n| config.batch = n)
+                    .map_err(|_| format!("--batch wants a number, got `{v}`"))
+            }),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag `{other}`\n{USAGE}")),
+        };
+        if let Err(message) = outcome {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    }
+    match serve(&config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: cannot serve on {}: {e}", config.socket.display());
+            ExitCode::FAILURE
+        }
+    }
+}

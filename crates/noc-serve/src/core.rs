@@ -1,0 +1,746 @@
+//! The daemon engine: point registry, worker pool, job tracking.
+//!
+//! Every sweep point is identified by its content-derived cache key
+//! ([`bench::point_cache_key`]). The engine keeps one state per key —
+//! `Queued → Running → Done`/`Failed` — in a single registry shared by
+//! all jobs, which is what makes cross-client deduplication free: a
+//! submit that names a key another job is already computing simply
+//! *observes* that key instead of enqueueing it again. Lookup order on
+//! submit is memory (resolved this lifetime), then the on-disk store,
+//! then the queue.
+//!
+//! Workers claim queued points in batches that share a
+//! `(warmup, measure)` window shape and run them through
+//! [`noc_sim::batch::run_windows_batched`] over sims built by
+//! [`bench::runner::make_sim`] — the same entry points as the batch
+//! executor, which is the whole bitwise-equivalence argument: a point's
+//! bytes depend only on its key inputs, never on which path (or which
+//! batch) computed it. A panicking point poisons only its batch: the
+//! worker catches the unwind, marks those keys `Failed` and keeps
+//! serving.
+
+use crate::statsd::StatsdSink;
+use bench::proto::StatusReport;
+use bench::runner::{latency_point, make_sim};
+use bench::store::format_key;
+use bench::{point_cache_key, LatencyPoint, Store, SweepResult, SweepSpec, CACHE_SCHEMA_VERSION};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration, normally read from the environment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Socket path to listen on.
+    pub socket: PathBuf,
+    /// Result store directory (shared with batch runs' `FP_CACHE`).
+    pub store_dir: PathBuf,
+    /// Worker threads simulating points.
+    pub workers: usize,
+    /// Max points per worker claim (same-window batch).
+    pub batch: usize,
+    /// statsd line file, if telemetry is wanted.
+    pub statsd: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the environment:
+    ///
+    /// * `NOC_SERVE_SOCK`, falling back to `NOC_SERVE`, then
+    ///   `results/nocserve.sock`;
+    /// * `NOC_SERVE_STORE`, falling back to `FP_CACHE`, then
+    ///   `results/cache` — deliberately the batch executor's default, so
+    ///   daemon and batch runs share one store;
+    /// * `NOC_JOBS` workers (default: available cores);
+    /// * `NOC_SERVE_BATCH` points per claim (default 4);
+    /// * `NOC_SERVE_STATSD` telemetry file (default: off).
+    pub fn from_env() -> ServeConfig {
+        let env = |k: &str| std::env::var(k).ok().filter(|s| !s.is_empty());
+        ServeConfig {
+            socket: env("NOC_SERVE_SOCK")
+                .or_else(|| env("NOC_SERVE"))
+                .map_or_else(bench::serve_client::default_socket, PathBuf::from),
+            store_dir: env("NOC_SERVE_STORE")
+                .or_else(|| env("FP_CACHE"))
+                .map_or_else(|| PathBuf::from("results/cache"), PathBuf::from),
+            workers: bench::num_jobs(),
+            batch: env("NOC_SERVE_BATCH")
+                .and_then(|s| s.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(4),
+            statsd: env("NOC_SERVE_STATSD").map(PathBuf::from),
+        }
+    }
+}
+
+/// Lifecycle of one point in the registry.
+enum PointState {
+    /// Waiting for a worker; carries everything needed to simulate it.
+    Queued { spec: SweepSpec, rate: f64 },
+    /// A worker is simulating it right now.
+    Running,
+    /// Resolved; served from memory from now on.
+    Done(LatencyPoint),
+    /// The simulation panicked; jobs naming it fail with this message.
+    Failed(String),
+}
+
+/// Counter block behind the `status` report.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: u64,
+    requests: u64,
+    bad_requests: u64,
+    jobs_submitted: u64,
+    jobs_completed: u64,
+    points_requested: u64,
+    points_computed: u64,
+    points_failed: u64,
+    store_hits: u64,
+    memory_hits: u64,
+    dedup_waits: u64,
+    evictions: u64,
+}
+
+/// Mutable engine state, guarded by one mutex.
+struct State {
+    points: HashMap<u64, PointState>,
+    queue: VecDeque<u64>,
+    counters: Counters,
+    next_job: u64,
+    inflight: u64,
+}
+
+/// Everything shared between connections and workers.
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: the queue grew or shutdown was requested.
+    work_cv: Condvar,
+    /// Signals job waiters: some point resolved or shutdown was requested.
+    done_cv: Condvar,
+    store: Store,
+    statsd: StatsdSink,
+    started: Instant,
+    workers: usize,
+    batch: usize,
+    shutdown: AtomicBool,
+}
+
+/// A submitted job: the accepted counts plus the key grid to collect.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Job id, unique within this daemon.
+    pub id: u64,
+    /// Total points (with multiplicity across specs).
+    pub total: u64,
+    /// Points newly enqueued by this submit.
+    pub computed: u64,
+    /// Points served from the store or memory at submit time.
+    pub cached: u64,
+    /// Points already in flight for another job.
+    pub deduped: u64,
+    specs: Vec<SweepSpec>,
+    /// `keys[i][j]` = key of `specs[i].rates[j]`.
+    keys: Vec<Vec<u64>>,
+}
+
+/// A progress snapshot for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Points resolved (done or failed) so far.
+    pub done: u64,
+    /// Total points in the job.
+    pub total: u64,
+    /// Whether every point has resolved.
+    pub complete: bool,
+}
+
+/// The sweep-service engine. Cheap to clone (an [`Arc`] handle); the
+/// worker pool runs until [`Daemon::request_shutdown`].
+#[derive(Clone)]
+pub struct Daemon {
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Boots the engine: opens the store and spawns the worker pool.
+    /// Threads are detached; they exit promptly after
+    /// [`Daemon::request_shutdown`].
+    pub fn start(config: &ServeConfig) -> Daemon {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                points: HashMap::new(),
+                queue: VecDeque::new(),
+                counters: Counters::default(),
+                next_job: 1,
+                inflight: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            store: Store::new(config.store_dir.clone()),
+            statsd: StatsdSink::new(config.statsd.clone()),
+            started: Instant::now(),
+            workers: config.workers.max(1),
+            batch: config.batch.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        for _ in 0..shared.workers {
+            let worker = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&worker));
+        }
+        Daemon { shared }
+    }
+
+    /// The store this daemon owns.
+    pub fn store(&self) -> &Store {
+        &self.shared.store
+    }
+
+    /// Registers a sweep job: resolves each point against memory, then
+    /// the store, then the in-flight registry, enqueueing only what no
+    /// one has computed or started. Returns the job handle to collect.
+    pub fn submit(&self, specs: Vec<SweepSpec>) -> Job {
+        let mut keys = Vec::with_capacity(specs.len());
+        let mut total = 0u64;
+        let (mut computed, mut cached, mut deduped) = (0u64, 0u64, 0u64);
+        let mut state = self.shared.state.lock().expect("engine lock");
+        let id = state.next_job;
+        state.next_job += 1;
+        for spec in &specs {
+            let mut spec_keys = Vec::with_capacity(spec.rates.len());
+            for &rate in &spec.rates {
+                let key = point_cache_key(spec, rate);
+                spec_keys.push(key);
+                total += 1;
+                match state.points.get(&key) {
+                    Some(PointState::Done(_) | PointState::Failed(_)) => {
+                        cached += 1;
+                        state.counters.memory_hits += 1;
+                    }
+                    Some(PointState::Queued { .. } | PointState::Running) => {
+                        deduped += 1;
+                        state.counters.dedup_waits += 1;
+                    }
+                    None => {
+                        if let Some(point) = self.shared.store.load(key) {
+                            state.points.insert(key, PointState::Done(point));
+                            cached += 1;
+                            state.counters.store_hits += 1;
+                        } else {
+                            state.points.insert(
+                                key,
+                                PointState::Queued {
+                                    spec: spec.clone(),
+                                    rate,
+                                },
+                            );
+                            state.queue.push_back(key);
+                            computed += 1;
+                        }
+                    }
+                }
+            }
+            keys.push(spec_keys);
+        }
+        state.counters.jobs_submitted += 1;
+        state.counters.points_requested += total;
+        let queue_depth = state.queue.len() as u64;
+        drop(state);
+        self.shared.work_cv.notify_all();
+        let statsd = &self.shared.statsd;
+        statsd.count("jobs_submitted", 1);
+        statsd.count("points_requested", total);
+        statsd.count("points_enqueued", computed);
+        statsd.count("points_cached", cached);
+        statsd.count("points_deduped", deduped);
+        statsd.gauge("queue_depth", queue_depth);
+        Job {
+            id,
+            total,
+            computed,
+            cached,
+            deduped,
+            specs,
+            keys,
+        }
+    }
+
+    fn progress_locked(&self, state: &State, job: &Job) -> JobProgress {
+        let mut done = 0u64;
+        for spec_keys in &job.keys {
+            for key in spec_keys {
+                if matches!(
+                    state.points.get(key),
+                    Some(PointState::Done(_) | PointState::Failed(_))
+                ) {
+                    done += 1;
+                }
+            }
+        }
+        JobProgress {
+            done,
+            total: job.total,
+            complete: done == job.total,
+        }
+    }
+
+    /// Blocks until `job`'s done count exceeds `last_done`, the job
+    /// completes, or shutdown is requested; returns the fresh snapshot.
+    pub fn wait_progress(&self, job: &Job, last_done: u64) -> JobProgress {
+        let mut state = self.shared.state.lock().expect("engine lock");
+        loop {
+            let snap = self.progress_locked(&state, job);
+            if snap.complete || snap.done > last_done || self.is_shutdown() {
+                return snap;
+            }
+            let (next, _) = self
+                .shared
+                .done_cv
+                .wait_timeout(state, Duration::from_millis(200))
+                .expect("engine lock");
+            state = next;
+        }
+    }
+
+    /// Assembles a completed job's sweeps in spec/rate order.
+    ///
+    /// # Errors
+    ///
+    /// If any point failed (worker panic) or the daemon is shutting
+    /// down before completion, a readable message naming the first
+    /// failed point.
+    pub fn collect(&self, job: &Job) -> Result<Vec<SweepResult>, String> {
+        let mut state = self.shared.state.lock().expect("engine lock");
+        let mut sweeps = Vec::with_capacity(job.specs.len());
+        for (spec, spec_keys) in job.specs.iter().zip(&job.keys) {
+            let mut points = Vec::with_capacity(spec_keys.len());
+            for (key, &rate) in spec_keys.iter().zip(&spec.rates) {
+                match state.points.get(key) {
+                    Some(PointState::Done(point)) => points.push(point.clone()),
+                    Some(PointState::Failed(msg)) => {
+                        return Err(format!(
+                            "point {} ({} {} rate={rate}) failed: {msg}",
+                            format_key(*key),
+                            spec.id.name(),
+                            spec.pattern.name()
+                        ));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "point {} unresolved (daemon shutting down?)",
+                            format_key(*key)
+                        ));
+                    }
+                }
+            }
+            sweeps.push(SweepResult {
+                scheme: spec.id.name().to_string(),
+                pattern: spec.pattern.name().to_string(),
+                size: spec.size,
+                points,
+            });
+        }
+        state.counters.jobs_completed += 1;
+        drop(state);
+        self.shared.statsd.count("jobs_completed", 1);
+        Ok(sweeps)
+    }
+
+    /// Looks up one stored point: memory first, then the store.
+    pub fn fetch(&self, key: u64) -> Option<LatencyPoint> {
+        let state = self.shared.state.lock().expect("engine lock");
+        if let Some(PointState::Done(point)) = state.points.get(&key) {
+            return Some(point.clone());
+        }
+        drop(state);
+        self.shared.store.load(key)
+    }
+
+    /// Evicts `key` from both memory and the store. Returns whether
+    /// anything was removed. Queued/running points are left alone —
+    /// evicting an in-flight point would break jobs waiting on it.
+    pub fn evict(&self, key: u64) -> bool {
+        let mut state = self.shared.state.lock().expect("engine lock");
+        let in_memory = matches!(state.points.get(&key), Some(PointState::Done(_)));
+        if in_memory {
+            state.points.remove(&key);
+        }
+        let removed = self.shared.store.evict(key) || in_memory;
+        if removed {
+            state.counters.evictions += 1;
+        }
+        drop(state);
+        if removed {
+            self.shared.statsd.count("evictions", 1);
+        }
+        removed
+    }
+
+    /// Runs a store gc pass (see [`Store::gc`]).
+    pub fn gc(&self) -> bench::GcReport {
+        let report = self.shared.store.gc();
+        self.shared.statsd.count("gc_dropped", report.dropped());
+        report
+    }
+
+    /// Records an accepted connection (transport layer calls this).
+    pub fn note_connection(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("engine lock")
+            .counters
+            .connections += 1;
+        self.shared.statsd.count("connections", 1);
+    }
+
+    /// Records a parsed request or a malformed line.
+    pub fn note_request(&self, well_formed: bool) {
+        let mut state = self.shared.state.lock().expect("engine lock");
+        if well_formed {
+            state.counters.requests += 1;
+        } else {
+            state.counters.bad_requests += 1;
+        }
+        drop(state);
+        self.shared.statsd.count(
+            if well_formed {
+                "requests"
+            } else {
+                "bad_requests"
+            },
+            1,
+        );
+    }
+
+    /// Snapshots every counter into a [`StatusReport`].
+    pub fn status(&self) -> StatusReport {
+        let state = self.shared.state.lock().expect("engine lock");
+        let c = &state.counters;
+        StatusReport {
+            proto: bench::PROTO_VERSION,
+            schema: CACHE_SCHEMA_VERSION,
+            uptime_secs: self.shared.started.elapsed().as_secs(),
+            workers: self.shared.workers as u64,
+            connections: c.connections,
+            requests: c.requests,
+            bad_requests: c.bad_requests,
+            jobs_submitted: c.jobs_submitted,
+            jobs_completed: c.jobs_completed,
+            points_requested: c.points_requested,
+            points_computed: c.points_computed,
+            points_failed: c.points_failed,
+            store_hits: c.store_hits,
+            memory_hits: c.memory_hits,
+            dedup_waits: c.dedup_waits,
+            evictions: c.evictions,
+            queue_depth: state.queue.len() as u64,
+            inflight: state.inflight,
+            store: self.shared.store.stats(),
+            store_dir: self.shared.store.dir().display().to_string(),
+        }
+    }
+
+    /// Flags shutdown and wakes every worker and job waiter.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// One claimed point: key plus what to simulate.
+struct Claim {
+    key: u64,
+    spec: SweepSpec,
+    rate: f64,
+}
+
+/// Pops a batch of queued points sharing one `(warmup, measure)` window
+/// shape (the batched runner steps all sims in lockstep windows).
+fn claim_batch(state: &mut State, max: usize) -> Vec<Claim> {
+    let mut batch: Vec<Claim> = Vec::new();
+    let mut window: Option<(u64, u64)> = None;
+    let mut skipped = VecDeque::new();
+    while batch.len() < max {
+        let Some(key) = state.queue.pop_front() else {
+            break;
+        };
+        let fits = match state.points.get(&key) {
+            Some(PointState::Queued { spec, .. }) => {
+                window.is_none() || window == Some((spec.warmup, spec.measure))
+            }
+            // Not queued anymore (evicted mid-queue): drop the stale
+            // queue entry silently.
+            _ => {
+                continue;
+            }
+        };
+        if !fits {
+            skipped.push_back(key);
+            continue;
+        }
+        let Some(PointState::Queued { spec, rate }) = state.points.insert(key, PointState::Running)
+        else {
+            unreachable!("checked Queued above");
+        };
+        window = Some((spec.warmup, spec.measure));
+        batch.push(Claim { key, spec, rate });
+    }
+    // Mismatched-window points go back to the queue front, in order.
+    while let Some(key) = skipped.pop_back() {
+        state.queue.push_front(key);
+    }
+    state.inflight += batch.len() as u64;
+    batch
+}
+
+/// Simulates one claimed batch. Split out so the worker can wrap the
+/// whole simulation in `catch_unwind`.
+fn run_claims(claims: &[Claim]) -> Vec<LatencyPoint> {
+    let mut sims: Vec<_> = claims
+        .iter()
+        .map(|c| {
+            make_sim(
+                c.spec.id,
+                c.spec.pattern,
+                c.rate,
+                c.spec.size,
+                c.spec.fp_vcs,
+                c.spec.seed,
+            )
+        })
+        .collect();
+    let (warmup, measure) = (claims[0].spec.warmup, claims[0].spec.measure);
+    let stats = noc_sim::batch::run_windows_batched(&mut sims, warmup, measure);
+    claims
+        .iter()
+        .zip(&stats)
+        .map(|(c, s)| latency_point(c.rate, s))
+        .collect()
+}
+
+/// Worker thread body: claim, simulate, persist, publish, repeat.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let claims = {
+            let mut state = shared.state.lock().expect("engine lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let claims = claim_batch(&mut state, shared.batch);
+                if !claims.is_empty() {
+                    break claims;
+                }
+                let (next, _) = shared
+                    .work_cv
+                    .wait_timeout(state, Duration::from_millis(200))
+                    .expect("engine lock");
+                state = next;
+            }
+        };
+
+        let begun = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_claims(&claims)));
+
+        // Persist outside the lock: identical keys can only ever race
+        // to write identical bytes.
+        if let Ok(points) = &outcome {
+            for (claim, point) in claims.iter().zip(points) {
+                shared.store.store(claim.key, point);
+            }
+        }
+
+        let n = claims.len() as u64;
+        let mut state = shared.state.lock().expect("engine lock");
+        state.inflight -= n;
+        match outcome {
+            Ok(points) => {
+                state.counters.points_computed += n;
+                for (claim, point) in claims.into_iter().zip(points) {
+                    state.points.insert(claim.key, PointState::Done(point));
+                }
+                shared.statsd.count("points_computed", n);
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                state.counters.points_failed += n;
+                for claim in claims {
+                    state
+                        .points
+                        .insert(claim.key, PointState::Failed(msg.clone()));
+                }
+                shared.statsd.count("points_failed", n);
+            }
+        }
+        drop(state);
+        shared
+            .statsd
+            .timing_ms("batch_ms", begun.elapsed().as_millis() as u64);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Renders a caught panic payload readably.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bench::SchemeId;
+    use traffic::SyntheticPattern;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nocserve_core_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(tag: &str) -> ServeConfig {
+        ServeConfig {
+            socket: temp_dir(tag).join("sock"),
+            store_dir: temp_dir(tag),
+            workers: 2,
+            batch: 4,
+            statsd: None,
+        }
+    }
+
+    fn tiny_spec(seed: u64) -> SweepSpec {
+        SweepSpec {
+            id: SchemeId::Vct,
+            pattern: SyntheticPattern::Uniform,
+            rates: vec![0.02, 0.05],
+            size: 4,
+            fp_vcs: 2,
+            warmup: 100,
+            measure: 200,
+            seed,
+        }
+    }
+
+    fn wait_complete(daemon: &Daemon, job: &Job) {
+        let mut done = 0;
+        loop {
+            let snap = daemon.wait_progress(job, done);
+            done = snap.done;
+            if snap.complete {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn computes_then_serves_from_memory() {
+        let cfg = config("memory");
+        let daemon = Daemon::start(&cfg);
+        let job = daemon.submit(vec![tiny_spec(7)]);
+        assert_eq!((job.total, job.computed, job.cached), (2, 2, 0));
+        wait_complete(&daemon, &job);
+        let first = daemon.collect(&job).expect("job completes");
+        assert_eq!(first[0].points.len(), 2);
+
+        // Same submit again: all memory hits, nothing recomputed.
+        let again = daemon.submit(vec![tiny_spec(7)]);
+        assert_eq!((again.computed, again.cached), (0, 2));
+        wait_complete(&daemon, &again);
+        let second = daemon.collect(&again).expect("cached job completes");
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
+        let status = daemon.status();
+        assert_eq!(status.points_computed, 2);
+        assert_eq!(status.memory_hits, 2);
+        daemon.request_shutdown();
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn warm_store_restart_serves_without_recompute() {
+        let cfg = config("restart");
+        let daemon = Daemon::start(&cfg);
+        let job = daemon.submit(vec![tiny_spec(9)]);
+        wait_complete(&daemon, &job);
+        let first = daemon.collect(&job).expect("job completes");
+        daemon.request_shutdown();
+
+        // "Restart": a fresh engine over the same store directory.
+        let daemon = Daemon::start(&cfg);
+        let job = daemon.submit(vec![tiny_spec(9)]);
+        assert_eq!((job.computed, job.cached), (0, 2), "warm store serves all");
+        wait_complete(&daemon, &job);
+        let second = daemon.collect(&job).expect("warm job completes");
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
+        assert_eq!(daemon.status().points_computed, 0);
+        assert_eq!(daemon.status().store_hits, 2);
+        daemon.request_shutdown();
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_compute_each_point_once() {
+        let cfg = config("dedup");
+        let daemon = Daemon::start(&cfg);
+        let jobs: Vec<Job> = (0..4).map(|_| daemon.submit(vec![tiny_spec(11)])).collect();
+        for job in &jobs {
+            wait_complete(&daemon, job);
+        }
+        let baseline = serde_json::to_string(&daemon.collect(&jobs[0]).unwrap()).unwrap();
+        for job in &jobs[1..] {
+            let sweeps = daemon.collect(job).expect("deduped job completes");
+            assert_eq!(serde_json::to_string(&sweeps).unwrap(), baseline);
+        }
+        let status = daemon.status();
+        assert_eq!(status.points_computed, 2, "each unique point exactly once");
+        assert_eq!(status.points_requested, 8);
+        assert_eq!(
+            status.store_hits + status.memory_hits + status.dedup_waits,
+            6,
+            "the other six lookups resolved without simulation: {status:?}"
+        );
+        daemon.request_shutdown();
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn evict_forces_recompute_of_exactly_that_point() {
+        let cfg = config("evict");
+        let daemon = Daemon::start(&cfg);
+        let spec = tiny_spec(13);
+        let job = daemon.submit(vec![spec.clone()]);
+        wait_complete(&daemon, &job);
+        daemon.collect(&job).unwrap();
+        let key = point_cache_key(&spec, spec.rates[0]);
+        assert!(daemon.evict(key));
+        assert!(!daemon.evict(key), "second evict finds nothing");
+
+        let again = daemon.submit(vec![spec]);
+        assert_eq!((again.computed, again.cached), (1, 1));
+        wait_complete(&daemon, &again);
+        daemon.collect(&again).unwrap();
+        assert_eq!(daemon.status().points_computed, 3);
+        daemon.request_shutdown();
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! `nocserve` — the persistent sweep service.
+//!
+//! The figure binaries historically ran every sweep in-process, each
+//! invocation paying cold-start simulation for points another run had
+//! already computed (shared only through the `FP_CACHE` blob
+//! directory). This crate turns that cache into a *service*: one
+//! daemon owns the content-addressed result store
+//! ([`bench::store::Store`]), accepts sweep jobs over a Unix socket
+//! (newline-delimited JSON, [`bench::proto`]), shards points across a
+//! worker pool, and deduplicates identical in-flight points across
+//! concurrent clients so every point is simulated **exactly once** no
+//! matter how many jobs ask for it.
+//!
+//! Three layers answer a point lookup, cheapest first:
+//!
+//! 1. the in-memory results map (points resolved this daemon lifetime);
+//! 2. the on-disk store — survives restarts, shared with batch runs;
+//! 3. the worker pool — [`bench::runner::simulate_point`]'s exact
+//!    pipeline ([`bench::runner::make_sim`] +
+//!    [`noc_sim::batch::run_windows_batched`]), so daemon-computed
+//!    points are bitwise identical to batch-computed ones. The `serve`
+//!    CI job diffs the resulting JSON artifacts to hold that line.
+//!
+//! Module map: [`core`] is the engine (state machine, worker pool,
+//! dedup registry, counters); [`server`] the transport (accept loop,
+//! per-connection protocol handler); [`statsd`] the telemetry sink
+//! (statsd-format lines). The `nocserve` binary boots the engine
+//! behind the transport; `nocctl` is the operator CLI
+//! (ping/status/fetch/evict/gc/shutdown).
+//!
+//! Unlike the simulation crates, this crate *intentionally* uses wall
+//! clocks, threads and OS sockets — it is a service, not a model.
+//! `noc-lint` scopes its determinism rules to the sim crates and lists
+//! `noc-serve` in its service-crate whitelist; nothing here may leak
+//! into simulation results beyond the [`bench`] entry points above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod server;
+pub mod statsd;
+
+pub use crate::core::{Daemon, JobProgress, ServeConfig};
+pub use server::serve;
+pub use statsd::StatsdSink;

@@ -1,0 +1,243 @@
+//! The daemon transport: Unix-socket accept loop and the per-connection
+//! protocol handler.
+//!
+//! Each connection gets its own thread speaking the newline-delimited
+//! JSON protocol of [`bench::proto`]. Malformed lines are answered with
+//! an `error` event and the connection stays usable; a client that
+//! disconnects mid-job just loses its stream — the engine keeps
+//! computing and the results land in the store, so the retry is free.
+//! A `shutdown` request flags the engine, which the accept loop (polling
+//! between non-blocking accepts) observes to stop the daemon.
+
+use crate::core::{Daemon, ServeConfig};
+use bench::proto::{decode_request, encode, FetchedPoint, Request, Response};
+use bench::store::format_key;
+use bench::Store;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// Boots the engine, binds the socket and serves until a client sends
+/// `shutdown`. Removes a stale socket file left by a previous daemon
+/// before binding (the store keeps all durable state, so rebinding is
+/// always safe).
+///
+/// # Errors
+///
+/// Propagates socket bind failures (bad path, permissions).
+pub fn serve(config: &ServeConfig) -> std::io::Result<()> {
+    if let Some(parent) = config.socket.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)?;
+    listener.set_nonblocking(true)?;
+    let daemon = Daemon::start(config);
+    eprintln!(
+        "[nocserve] listening on {} (store {}, {} workers, batch {})",
+        config.socket.display(),
+        config.store_dir.display(),
+        config.workers.max(1),
+        config.batch.max(1)
+    );
+
+    while !daemon.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                daemon.note_connection();
+                let handler = daemon.clone();
+                std::thread::spawn(move || handle_connection(&handler, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                eprintln!("[nocserve] accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&config.socket);
+    eprintln!("[nocserve] shut down");
+    Ok(())
+}
+
+/// Writes one response line; `false` means the client is gone.
+fn send(stream: &mut UnixStream, resp: &Response) -> bool {
+    let mut line = encode(resp);
+    line.push('\n');
+    stream.write_all(line.as_bytes()).is_ok()
+}
+
+/// Serves one connection until EOF, a dead peer, or shutdown.
+fn handle_connection(daemon: &Daemon, stream: UnixStream) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return; // peer vanished mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match decode_request(&line) {
+            Ok(request) => {
+                daemon.note_request(true);
+                request
+            }
+            Err(message) => {
+                daemon.note_request(false);
+                if !send(&mut writer, &Response::Error { message }) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request {
+            Request::Ping => send(
+                &mut writer,
+                &Response::Pong {
+                    proto: bench::PROTO_VERSION,
+                },
+            ),
+            Request::Status => send(&mut writer, &Response::Status(Box::new(daemon.status()))),
+            Request::Submit { specs } => handle_submit(daemon, &mut writer, specs),
+            Request::Fetch { keys } => handle_fetch(daemon, &mut writer, &keys),
+            Request::Evict { keys } => handle_evict(daemon, &mut writer, &keys),
+            Request::Gc => send(&mut writer, &Response::GcDone(daemon.gc())),
+            Request::Shutdown => {
+                let _ = send(&mut writer, &Response::Bye);
+                daemon.request_shutdown();
+                false
+            }
+        };
+        if !keep_going || daemon.is_shutdown() {
+            return;
+        }
+    }
+}
+
+/// Runs one submit: validate specs, register the job, stream progress,
+/// send the terminal result. Returns `false` when the peer is gone.
+fn handle_submit(daemon: &Daemon, writer: &mut UnixStream, specs: Vec<bench::WireSpec>) -> bool {
+    let mut decoded = Vec::with_capacity(specs.len());
+    for wire in &specs {
+        match wire.to_spec() {
+            Ok(spec) => decoded.push(spec),
+            Err(message) => {
+                return send(
+                    writer,
+                    &Response::Error {
+                        message: format!("bad spec: {message}"),
+                    },
+                );
+            }
+        }
+    }
+    if decoded.is_empty() {
+        return send(
+            writer,
+            &Response::Error {
+                message: "submit carries no specs".to_string(),
+            },
+        );
+    }
+    let job = daemon.submit(decoded);
+    if !send(
+        writer,
+        &Response::Accepted {
+            job: job.id,
+            points: job.total,
+            computed: job.computed,
+            cached: job.cached,
+            deduped: job.deduped,
+        },
+    ) {
+        return false;
+    }
+    let mut done = 0;
+    loop {
+        let snap = daemon.wait_progress(&job, done);
+        if snap.done > done
+            && !send(
+                writer,
+                &Response::Progress {
+                    job: job.id,
+                    done: snap.done,
+                    total: snap.total,
+                },
+            )
+        {
+            // Client hung up mid-job: the engine keeps computing; the
+            // points land in the store for the retry.
+            return false;
+        }
+        done = snap.done;
+        if snap.complete {
+            break;
+        }
+        if daemon.is_shutdown() {
+            return send(
+                writer,
+                &Response::Error {
+                    message: "daemon shutting down".to_string(),
+                },
+            );
+        }
+    }
+    match daemon.collect(&job) {
+        Ok(sweeps) => send(
+            writer,
+            &Response::Result {
+                job: job.id,
+                sweeps,
+            },
+        ),
+        Err(message) => send(writer, &Response::Error { message }),
+    }
+}
+
+/// Answers a fetch: parse each key, look it up, echo in request order.
+fn handle_fetch(daemon: &Daemon, writer: &mut UnixStream, keys: &[String]) -> bool {
+    let mut points = Vec::with_capacity(keys.len());
+    for raw in keys {
+        let Some(key) = Store::parse_key(raw) else {
+            return send(
+                writer,
+                &Response::Error {
+                    message: format!("bad key `{raw}` (want 16 hex digits)"),
+                },
+            );
+        };
+        let point = daemon.fetch(key);
+        points.push(FetchedPoint {
+            key: format_key(key),
+            found: point.is_some(),
+            point,
+        });
+    }
+    send(writer, &Response::Points { points })
+}
+
+/// Answers an evict: parse each key, drop it, count removals.
+fn handle_evict(daemon: &Daemon, writer: &mut UnixStream, keys: &[String]) -> bool {
+    let mut removed = 0;
+    for raw in keys {
+        let Some(key) = Store::parse_key(raw) else {
+            return send(
+                writer,
+                &Response::Error {
+                    message: format!("bad key `{raw}` (want 16 hex digits)"),
+                },
+            );
+        };
+        if daemon.evict(key) {
+            removed += 1;
+        }
+    }
+    send(writer, &Response::Evicted { removed })
+}

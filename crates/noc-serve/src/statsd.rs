@@ -1,0 +1,109 @@
+//! Telemetry sink emitting [statsd line protocol] counters.
+//!
+//! The daemon appends one metric per line to a plain file (set
+//! `NOC_SERVE_STATSD=<path>`), so "scraping" is `tail -f` or feeding
+//! the file to any statsd relay. Lines look like:
+//!
+//! ```text
+//! nocserve.points_computed:4|c
+//! nocserve.queue_depth:2|g
+//! nocserve.batch_ms:118|ms
+//! ```
+//!
+//! Writes are best-effort appends: telemetry must never take the
+//! service down, so a missing directory or full disk silently drops
+//! lines. When no path is configured every call is a no-op.
+//!
+//! [statsd line protocol]: https://github.com/statsd/statsd/blob/master/docs/metric_types.md
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Prefix stamped onto every metric name.
+const PREFIX: &str = "nocserve";
+
+/// A statsd-line sink, either file-backed or disabled.
+#[derive(Debug, Clone, Default)]
+pub struct StatsdSink {
+    path: Option<PathBuf>,
+}
+
+impl StatsdSink {
+    /// A sink appending to `path`; `None` disables emission.
+    pub fn new(path: Option<PathBuf>) -> StatsdSink {
+        StatsdSink { path }
+    }
+
+    /// A sink configured from `NOC_SERVE_STATSD` (empty/unset disables).
+    pub fn from_env() -> StatsdSink {
+        StatsdSink::new(
+            std::env::var("NOC_SERVE_STATSD")
+                .ok()
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from),
+        )
+    }
+
+    /// Whether lines are actually being written anywhere.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Emits a counter increment (`|c`).
+    pub fn count(&self, metric: &str, value: u64) {
+        self.emit(metric, value, "c");
+    }
+
+    /// Emits a gauge level (`|g`).
+    pub fn gauge(&self, metric: &str, value: u64) {
+        self.emit(metric, value, "g");
+    }
+
+    /// Emits a timing in milliseconds (`|ms`).
+    pub fn timing_ms(&self, metric: &str, value: u64) {
+        self.emit(metric, value, "ms");
+    }
+
+    fn emit(&self, metric: &str, value: u64, kind: &str) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        let line = format!("{PREFIX}.{metric}:{value}|{kind}\n");
+        // O_APPEND keeps concurrent small writes line-atomic; failures
+        // drop the line, never the service.
+        let _ = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_statsd_lines_in_order() {
+        let path = std::env::temp_dir().join(format!("nocstatsd_{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let sink = StatsdSink::new(Some(path.clone()));
+        assert!(sink.enabled());
+        sink.count("points_computed", 4);
+        sink.gauge("queue_depth", 2);
+        sink.timing_ms("batch_ms", 118);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "nocserve.points_computed:4|c\nnocserve.queue_depth:2|g\nnocserve.batch_ms:118|ms\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_sink_is_a_noop() {
+        let sink = StatsdSink::new(None);
+        assert!(!sink.enabled());
+        sink.count("anything", 1); // must not panic or create files
+    }
+}

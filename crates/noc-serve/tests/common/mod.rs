@@ -1,0 +1,101 @@
+//! Shared harness for the daemon integration tests: boots a real
+//! `serve()` loop on a scratch socket/store, hands out protocol
+//! clients, and tears the daemon down (socket removed, thread joined)
+//! when dropped.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of the harness.
+#![allow(dead_code)]
+
+use bench::serve_client::Client;
+use noc_serve::{serve, ServeConfig};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One live daemon on scratch paths.
+pub struct TestDaemon {
+    /// Socket the daemon listens on.
+    pub sock: PathBuf,
+    /// Store directory it owns.
+    pub store_dir: PathBuf,
+    scratch: PathBuf,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A scratch directory unique to `tag` within this test process.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nocserve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+impl TestDaemon {
+    /// Boots a daemon whose socket lives under a fresh scratch dir and
+    /// whose store is `store_dir` (so warm-restart tests can reuse it).
+    pub fn boot(tag: &str, store_dir: PathBuf) -> TestDaemon {
+        let scratch = scratch_dir(tag);
+        let sock = scratch.join("d.sock");
+        let config = ServeConfig {
+            socket: sock.clone(),
+            store_dir: store_dir.clone(),
+            workers: 2,
+            batch: 4,
+            statsd: None,
+        };
+        let handle = std::thread::spawn(move || {
+            serve(&config).expect("daemon serves");
+        });
+        let daemon = TestDaemon {
+            sock,
+            store_dir,
+            scratch,
+            handle: Some(handle),
+        };
+        // Readiness barrier: the bind happens inside the thread.
+        daemon.client().ping().expect("daemon answers ping");
+        daemon
+    }
+
+    /// Boots a daemon with its store inside its own scratch dir.
+    pub fn boot_fresh(tag: &str) -> TestDaemon {
+        let store = scratch_dir(tag).join("store");
+        TestDaemon::boot(tag, store)
+    }
+
+    /// Connects a client, retrying while the daemon finishes binding.
+    pub fn client(&self) -> Client {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match Client::connect(&self.sock) {
+                Ok(client) => return client,
+                Err(e) if Instant::now() >= deadline => {
+                    panic!("daemon at {} never came up: {e}", self.sock.display())
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Stops the daemon and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            if let Ok(mut client) = Client::connect(&self.sock) {
+                let _ = client.shutdown();
+            }
+            handle.join().expect("daemon thread exits cleanly");
+        }
+    }
+}
+
+impl Drop for TestDaemon {
+    fn drop(&mut self) {
+        self.stop();
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}

@@ -1,0 +1,103 @@
+//! The service's core guarantee: sweeps answered by the daemon are
+//! **bitwise identical** to the batch executor's, and land in the store
+//! under exactly the batch executor's cache keys — so batch runs and
+//! daemon runs share one cache with no translation layer.
+
+mod common;
+
+use bench::{point_cache_key, run_sweep_parallel, SchemeId, Store, SweepOptions, SweepSpec};
+use common::TestDaemon;
+use traffic::SyntheticPattern;
+
+fn specs() -> Vec<SweepSpec> {
+    [
+        (SchemeId::FastPass, SyntheticPattern::Uniform),
+        (SchemeId::Vct, SyntheticPattern::Uniform),
+        (SchemeId::FastPass, SyntheticPattern::Transpose),
+    ]
+    .into_iter()
+    .map(|(id, pattern)| SweepSpec {
+        id,
+        pattern,
+        rates: vec![0.02, 0.05, 0.08],
+        size: 4,
+        fp_vcs: 2,
+        warmup: 500,
+        measure: 1_500,
+        seed: 5,
+    })
+    .collect()
+}
+
+#[test]
+fn daemon_results_are_bitwise_identical_to_batch() {
+    let specs = specs();
+
+    // Batch reference with the cache off: pure simulation.
+    let batch = run_sweep_parallel(&specs, &SweepOptions::quiet(2));
+    let batch_json = serde_json::to_string_pretty(&batch).unwrap();
+
+    let daemon = TestDaemon::boot_fresh("equivalence");
+    let mut progress_calls = 0;
+    let (receipt, served) = daemon
+        .client()
+        .submit(&specs, |done, total| {
+            assert!(done <= total);
+            progress_calls += 1;
+        })
+        .expect("job completes");
+    assert_eq!(receipt.points, 9);
+    assert_eq!(receipt.computed, 9, "cold daemon simulates everything");
+    assert!(progress_calls > 0, "progress must stream");
+
+    assert_eq!(
+        serde_json::to_string_pretty(&served).unwrap(),
+        batch_json,
+        "daemon sweeps must be bitwise identical to the batch executor's"
+    );
+}
+
+#[test]
+fn daemon_stores_points_under_the_batch_executors_keys() {
+    let specs = specs();
+    let daemon = TestDaemon::boot_fresh("keys");
+    daemon
+        .client()
+        .submit(&specs, |_, _| {})
+        .expect("job completes");
+
+    // Every (spec, rate) must sit in the store under point_cache_key —
+    // checked both through the store API and over the wire.
+    let store = Store::new(&daemon.store_dir);
+    let mut keys = Vec::new();
+    for spec in &specs {
+        for &rate in &spec.rates {
+            let key = point_cache_key(spec, rate);
+            assert!(
+                store.load(key).is_some(),
+                "point {} missing from store",
+                bench::format_key(key)
+            );
+            keys.push(bench::format_key(key));
+        }
+    }
+    let fetched = daemon.client().fetch(keys).expect("fetch");
+    assert!(
+        fetched.iter().all(|p| p.found),
+        "all keys resolve over the wire"
+    );
+
+    // And a *batch* run over the same store directory now serves
+    // everything from cache: the two executors interoperate byte-level.
+    let opts = SweepOptions {
+        jobs: 2,
+        cache_dir: Some(daemon.store_dir.clone()),
+        progress: false,
+    };
+    let warm = run_sweep_parallel(&specs, &opts);
+    let cold = run_sweep_parallel(&specs, &SweepOptions::quiet(2));
+    assert_eq!(
+        serde_json::to_string_pretty(&warm).unwrap(),
+        serde_json::to_string_pretty(&cold).unwrap()
+    );
+}

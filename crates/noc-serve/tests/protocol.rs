@@ -1,0 +1,237 @@
+//! Wire-protocol robustness: malformed lines, half-dead clients and
+//! daemon restarts must never wedge the service or corrupt results.
+
+mod common;
+
+use bench::proto::{decode_response, encode, Request, Response, WireSpec};
+use bench::{point_cache_key, SchemeId, SweepSpec};
+use common::TestDaemon;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use traffic::SyntheticPattern;
+
+fn tiny_spec(seed: u64) -> SweepSpec {
+    SweepSpec {
+        id: SchemeId::Vct,
+        pattern: SyntheticPattern::Uniform,
+        rates: vec![0.02, 0.05],
+        size: 4,
+        fp_vcs: 2,
+        warmup: 100,
+        measure: 200,
+        seed,
+    }
+}
+
+/// A spec big enough that a client can plausibly disconnect before the
+/// workers finish it.
+fn slow_spec(seed: u64) -> SweepSpec {
+    SweepSpec {
+        measure: 5_000,
+        warmup: 1_000,
+        rates: vec![0.02, 0.05, 0.08],
+        ..tiny_spec(seed)
+    }
+}
+
+/// Raw socket access for tests that need to violate the protocol.
+struct RawConn {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl RawConn {
+    fn open(daemon: &TestDaemon) -> RawConn {
+        let stream = UnixStream::connect(&daemon.sock).expect("connect");
+        RawConn {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write line");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read line");
+        assert!(n > 0, "daemon closed the connection unexpectedly");
+        decode_response(&line).expect("daemon speaks the protocol")
+    }
+}
+
+#[test]
+fn malformed_lines_get_errors_and_the_connection_stays_usable() {
+    let daemon = TestDaemon::boot_fresh("malformed");
+    let mut conn = RawConn::open(&daemon);
+
+    for garbage in [
+        "not json at all",
+        "[1,2,3]",
+        "{\"cmd\":\"launch-missiles\"}",
+        "{\"cmd\":\"submit\"}",
+        "{\"no_cmd_field\":true}",
+    ] {
+        conn.send_line(garbage);
+        let resp = conn.recv();
+        assert!(
+            matches!(resp, Response::Error { .. }),
+            "`{garbage}` should draw an error, got {resp:?}"
+        );
+    }
+
+    // Same connection still serves real requests.
+    conn.send_line(&encode(&Request::Ping));
+    assert!(matches!(conn.recv(), Response::Pong { .. }));
+
+    // A submit with a well-formed frame but an invalid spec is rejected
+    // with a readable message, and the connection survives that too.
+    let mut bad = WireSpec::from_spec(&tiny_spec(1));
+    bad.scheme = "NoSuchScheme".to_string();
+    conn.send_line(&encode(&Request::Submit { specs: vec![bad] }));
+    match conn.recv() {
+        Response::Error { message } => assert!(
+            message.contains("NoSuchScheme"),
+            "error should name the bad scheme: {message}"
+        ),
+        other => panic!("bad spec should draw an error, got {other:?}"),
+    }
+    conn.send_line(&encode(&Request::Ping));
+    assert!(matches!(conn.recv(), Response::Pong { .. }));
+
+    let status = daemon.client().status().expect("status");
+    assert_eq!(status.bad_requests, 5, "malformed lines counted");
+    assert_eq!(status.points_computed, 0, "nothing was simulated");
+}
+
+#[test]
+fn fetch_and_evict_reject_bad_keys_but_answer_good_ones() {
+    let daemon = TestDaemon::boot_fresh("badkeys");
+    let mut client = daemon.client();
+    for bad in ["xyz", "ff", "00000000000000ff0"] {
+        let err = client.fetch(vec![bad.to_string()]).unwrap_err();
+        assert!(err.contains("bad key"), "{err}");
+        let err = client.evict(vec![bad.to_string()]).unwrap_err();
+        assert!(err.contains("bad key"), "{err}");
+    }
+    // A well-formed but unknown key is found:false, not an error.
+    let points = client.fetch(vec!["00000000000000ff".to_string()]).unwrap();
+    assert_eq!(points.len(), 1);
+    assert!(!points[0].found);
+    assert_eq!(
+        client.evict(vec!["00000000000000ff".to_string()]).unwrap(),
+        0
+    );
+}
+
+#[test]
+fn client_disconnect_mid_job_leaves_the_daemon_healthy() {
+    let daemon = TestDaemon::boot_fresh("disconnect");
+    let spec = slow_spec(31);
+
+    // Submit and vanish: read the accepted line, then drop the socket
+    // while workers are still simulating.
+    {
+        let mut conn = RawConn::open(&daemon);
+        conn.send_line(&encode(&Request::Submit {
+            specs: vec![WireSpec::from_spec(&spec)],
+        }));
+        let resp = conn.recv();
+        assert!(matches!(resp, Response::Accepted { .. }), "{resp:?}");
+    } // <- connection dropped here, job in flight
+
+    // The daemon keeps computing; a well-behaved client asking for the
+    // same points rides the in-flight work (or the finished store) and
+    // gets complete results.
+    let (receipt, sweeps) = daemon
+        .client()
+        .submit(std::slice::from_ref(&spec), |_, _| {})
+        .expect("retry completes");
+    assert_eq!(receipt.computed, 0, "retry must not recompute: {receipt:?}");
+    assert_eq!(sweeps.len(), 1);
+    assert_eq!(sweeps[0].points.len(), spec.rates.len());
+
+    // Every point was simulated exactly once despite the dead client.
+    let status = daemon.client().status().expect("status");
+    assert_eq!(status.points_computed, spec.rates.len() as u64);
+    assert_eq!(status.points_failed, 0);
+}
+
+#[test]
+fn restarted_daemon_serves_warm_store_without_recompute() {
+    let store = common::scratch_dir("warmstore").join("store");
+
+    let first_run = {
+        let daemon = TestDaemon::boot("warm1", store.clone());
+        let (receipt, sweeps) = daemon
+            .client()
+            .submit(&[tiny_spec(41)], |_, _| {})
+            .expect("cold job completes");
+        assert_eq!(receipt.computed, 2);
+        daemon.shutdown();
+        serde_json::to_string_pretty(&sweeps).unwrap()
+    };
+
+    // Fresh daemon, same store: everything is a store hit.
+    let daemon = TestDaemon::boot("warm2", store.clone());
+    let (receipt, sweeps) = daemon
+        .client()
+        .submit(&[tiny_spec(41)], |_, _| {})
+        .expect("warm job completes");
+    assert_eq!(
+        (receipt.computed, receipt.cached),
+        (0, 2),
+        "warm store must serve every point: {receipt:?}"
+    );
+    assert_eq!(serde_json::to_string_pretty(&sweeps).unwrap(), first_run);
+    let status = daemon.client().status().expect("status");
+    assert_eq!(status.points_computed, 0);
+    assert_eq!(status.store_hits, 2);
+    let _ = std::fs::remove_dir_all(store.parent().unwrap());
+}
+
+#[test]
+fn evict_through_the_wire_forces_recompute_of_that_point_only() {
+    let daemon = TestDaemon::boot_fresh("wire_evict");
+    let spec = tiny_spec(53);
+    let mut client = daemon.client();
+    client
+        .submit(std::slice::from_ref(&spec), |_, _| {})
+        .unwrap();
+
+    let victim = bench::format_key(point_cache_key(&spec, spec.rates[0]));
+    assert_eq!(client.evict(vec![victim.clone()]).unwrap(), 1);
+    let points = client.fetch(vec![victim]).unwrap();
+    assert!(!points[0].found, "evicted point must be gone");
+
+    let (receipt, _) = client
+        .submit(std::slice::from_ref(&spec), |_, _| {})
+        .unwrap();
+    assert_eq!(
+        (receipt.computed, receipt.cached),
+        (1, 1),
+        "only the evicted point recomputes: {receipt:?}"
+    );
+}
+
+#[test]
+fn gc_over_the_wire_reports_planted_damage() {
+    let daemon = TestDaemon::boot_fresh("wire_gc");
+    let spec = tiny_spec(61);
+    let mut client = daemon.client();
+    client
+        .submit(std::slice::from_ref(&spec), |_, _| {})
+        .unwrap();
+
+    // Plant a corrupt blob and an orphan temp file next to the two
+    // valid entries, then gc through the protocol.
+    std::fs::write(daemon.store_dir.join("00000000000000aa.json"), "{{{").unwrap();
+    std::fs::write(daemon.store_dir.join("00000000000000bb.tmp.1"), "x").unwrap();
+    let report = client.gc().unwrap();
+    assert_eq!(report.kept, 2, "{report:?}");
+    assert_eq!(report.dropped_corrupt, 1, "{report:?}");
+    assert_eq!(report.dropped_temp, 1, "{report:?}");
+}

@@ -68,6 +68,15 @@ impl SyntheticPattern {
         }
     }
 
+    /// The inverse of [`SyntheticPattern::name`], case-insensitively —
+    /// sweep-service requests and CLI flags spell patterns by their
+    /// figure names. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<SyntheticPattern> {
+        SyntheticPattern::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+
     /// The destination for `src` under this pattern, or `None` when the
     /// pattern maps a node to itself (such sources stay silent, the
     /// standard convention).

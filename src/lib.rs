@@ -12,6 +12,8 @@
 //! * [`trace`] — flit-level event tracing and per-router metrics.
 //! * [`check`] — the bounded model checker over small configurations.
 //! * [`prove`] — the static channel-dependency-graph deadlock certifier.
+//! * [`serve`] — the persistent sweep service (`nocserve`/`nocctl`) over
+//!   the content-addressed result store.
 //!
 //! # Quickstart
 //!
@@ -26,6 +28,7 @@ pub use noc_check as check;
 pub use noc_core as core;
 pub use noc_power as power;
 pub use noc_prove as prove;
+pub use noc_serve as serve;
 pub use noc_sim as sim;
 pub use noc_trace as trace;
 pub use traffic;
