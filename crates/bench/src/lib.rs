@@ -36,7 +36,10 @@ pub mod trace_out;
 pub use bench_out::{git_sha, BenchReport, BENCH_SCHEMA_VERSION};
 pub use hotbench::Measurement;
 pub use phases::{PhaseTimes, WallProbe};
-pub use proto::{StatusReport, WireSpec, PROTO_VERSION};
+pub use proto::{
+    FlightRecord, FlightStats, HistogramSummary, MetricValue, MetricsReport, StatusReport,
+    WireSpec, WorkerReport, PROTO_VERSION,
+};
 pub use registry::{SchemeId, ALL_SCHEMES};
 pub use runner::{
     emit_json, env_u64, num_jobs, parallel_map, parallel_map_with, point_cache_key,
@@ -44,7 +47,7 @@ pub use runner::{
     CACHE_SCHEMA_VERSION,
 };
 pub use serve_client::{run_sweeps, Client, ExecMode};
-pub use store::{format_key, GcReport, Store, StoreStats};
+pub use store::{format_key, GcReport, Provenance, Store, StoreStats};
 pub use telemetry::{merge_counter_tracks, series_summary, sparkline, windows_json};
 pub use trace_out::{
     check_chrome_trace, check_chrome_trace_full, run_traced_point, trace_out_dir, TraceCheckSummary,

@@ -28,14 +28,240 @@
 //! `Serialize`/`Deserialize` by hand over the shim's [`Content`] tree.
 
 use crate::runner::{LatencyPoint, SweepResult, SweepSpec};
-use crate::store::{GcReport, StoreStats};
+use crate::store::{GcReport, Provenance, StoreStats};
 use crate::SchemeId;
 use serde::{field, Content, DeError, Deserialize, Serialize};
 use traffic::SyntheticPattern;
 
 /// Wire protocol version, echoed in `pong` and `status` so clients can
 /// detect a daemon speaking a different generation.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2 added the observability surface: the `metrics` and `watch`
+/// commands, the `flight` event stream, and the optional provenance
+/// stamp on `fetch` answers.
+pub const PROTO_VERSION: u32 = 2;
+
+/// Flight-recorder event names — the vocabulary of one job's lifecycle
+/// span chain (`submitted → resolved → claimed → batch_started →
+/// batch_done → stored → responded`), plus the sampler's `queue` depth
+/// records. Shared by the daemon (producer), `nocctl watch`/`flight`
+/// (consumers) and the chain validator so the three cannot drift.
+pub mod flight_event {
+    /// A submit was accepted; carries `job` and `points`.
+    pub const SUBMITTED: &str = "submitted";
+    /// One point of a job resolved at submit time; carries `job`, `key`
+    /// and `kind` (one of [`KIND_MEMORY`], [`KIND_STORE`],
+    /// [`KIND_DEDUP`], [`KIND_ENQUEUED`]).
+    pub const RESOLVED: &str = "resolved";
+    /// A worker claimed a queued point; carries `key`, `worker` and the
+    /// queue wait in `wall_ms`.
+    pub const CLAIMED: &str = "claimed";
+    /// A worker began simulating a claimed batch; carries `worker` and
+    /// `points`.
+    pub const BATCH_STARTED: &str = "batch_started";
+    /// A batch finished; carries `worker`, `points`, `wall_ms` and
+    /// `cycles` (warmup + measure window per point).
+    pub const BATCH_DONE: &str = "batch_done";
+    /// A computed point landed in the on-disk store; carries `key` and
+    /// `worker`.
+    pub const STORED: &str = "stored";
+    /// A point's simulation panicked; carries `key` and `worker`.
+    pub const FAILED: &str = "failed";
+    /// The terminal result (or error) for a job was sent; carries `job`.
+    pub const RESPONDED: &str = "responded";
+    /// A sampler tick's queue-depth reading; carries `depth`.
+    pub const QUEUE: &str = "queue";
+
+    /// `resolved` kind: served from the in-memory results map.
+    pub const KIND_MEMORY: &str = "memory";
+    /// `resolved` kind: served from the on-disk store.
+    pub const KIND_STORE: &str = "store";
+    /// `resolved` kind: rode another job's in-flight computation.
+    pub const KIND_DEDUP: &str = "dedup";
+    /// `resolved` kind: newly enqueued for the worker pool.
+    pub const KIND_ENQUEUED: &str = "enqueued";
+}
+
+/// One flight-recorder event: a timestamped lifecycle record with only
+/// the fields that event carries (see [`flight_event`]).
+///
+/// Serialization is hand-written: absent optional fields are *omitted*
+/// (keeping the JSONL log compact and grep-friendly), and the decoder
+/// tolerates both missing optionals and unknown extra fields, so a v2
+/// client can tail a future daemon's log without choking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightRecord {
+    /// Microseconds since the daemon started.
+    pub ts_us: u64,
+    /// Event name (one of [`flight_event`]).
+    pub event: String,
+    /// Job id, for job-scoped events.
+    pub job: Option<u64>,
+    /// Point cache key (16 hex digits), for point-scoped events.
+    pub key: Option<String>,
+    /// Resolution kind, for `resolved` events.
+    pub kind: Option<String>,
+    /// Worker id, for worker-scoped events.
+    pub worker: Option<u64>,
+    /// Point count (job total or batch size).
+    pub points: Option<u64>,
+    /// Wall-clock milliseconds (batch duration, queue wait).
+    pub wall_ms: Option<u64>,
+    /// Simulated cycles per point (warmup + measure).
+    pub cycles: Option<u64>,
+    /// Queue depth, for `queue` samples.
+    pub depth: Option<u64>,
+}
+
+impl FlightRecord {
+    /// A record of `event` with no fields set (the producer fills in
+    /// what the event carries).
+    pub fn of(event: &str) -> FlightRecord {
+        FlightRecord {
+            event: event.to_string(),
+            ..FlightRecord::default()
+        }
+    }
+}
+
+impl Serialize for FlightRecord {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            ("ts_us".to_string(), self.ts_us.to_content()),
+            ("event".to_string(), self.event.to_content()),
+        ];
+        let numbers = [
+            ("job", &self.job),
+            ("worker", &self.worker),
+            ("points", &self.points),
+            ("wall_ms", &self.wall_ms),
+            ("cycles", &self.cycles),
+            ("depth", &self.depth),
+        ];
+        if let Some(key) = &self.key {
+            map.push(("key".to_string(), key.to_content()));
+        }
+        if let Some(kind) = &self.kind {
+            map.push(("kind".to_string(), kind.to_content()));
+        }
+        for (name, value) in numbers {
+            if let Some(v) = value {
+                map.push((name.to_string(), v.to_content()));
+            }
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for FlightRecord {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c
+            .as_map()
+            .ok_or_else(|| DeError("flight record must be a JSON object".to_string()))?;
+        let opt_u = |name: &str| -> Result<Option<u64>, DeError> {
+            match field(map, name) {
+                Ok(content) => Option::<u64>::from_content(content),
+                Err(_) => Ok(None),
+            }
+        };
+        let opt_s = |name: &str| -> Result<Option<String>, DeError> {
+            match field(map, name) {
+                Ok(content) => Option::<String>::from_content(content),
+                Err(_) => Ok(None),
+            }
+        };
+        Ok(FlightRecord {
+            ts_us: u64::from_content(field(map, "ts_us")?)?,
+            event: String::from_content(field(map, "event")?)?,
+            job: opt_u("job")?,
+            key: opt_s("key")?,
+            kind: opt_s("kind")?,
+            worker: opt_u("worker")?,
+            points: opt_u("points")?,
+            wall_ms: opt_u("wall_ms")?,
+            cycles: opt_u("cycles")?,
+            depth: opt_u("depth")?,
+        })
+    }
+}
+
+/// One named counter or gauge reading in a [`MetricsReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricValue {
+    /// Metric name (statsd-compatible, unprefixed).
+    pub name: String,
+    /// Current value (counters: lifetime total; gauges: last sample).
+    pub value: u64,
+}
+
+/// A fixed-bucket histogram's summary: totals plus bucket-resolution
+/// percentiles (each percentile reports its bucket's upper bound).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (exact, not bucketed).
+    pub max: u64,
+    /// 50th-percentile bucket bound.
+    pub p50: u64,
+    /// 90th-percentile bucket bound.
+    pub p90: u64,
+    /// 99th-percentile bucket bound.
+    pub p99: u64,
+}
+
+/// One worker's utilization block in a [`MetricsReport`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerReport {
+    /// Worker id (0-based).
+    pub worker: u64,
+    /// Batches this worker has simulated.
+    pub batches: u64,
+    /// Points this worker has simulated.
+    pub points: u64,
+    /// Wall-clock milliseconds spent simulating.
+    pub busy_ms: u64,
+    /// Busy fraction over the sampler's observations (0.0–1.0).
+    pub utilization: f64,
+}
+
+/// The flight recorder's own health counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightStats {
+    /// Events published to the bus.
+    pub emitted: u64,
+    /// Events the writer thread has durably written.
+    pub written: u64,
+    /// Events dropped because the bounded queue was full (the
+    /// never-stall contract: logging sheds load instead of blocking).
+    pub dropped: u64,
+    /// Live `watch` subscribers.
+    pub watchers: u64,
+}
+
+/// The full metrics-registry dump answered to [`Request::Metrics`] —
+/// what `nocctl metrics [--json]` renders.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Wire protocol version.
+    pub proto: u32,
+    /// Seconds since the daemon started.
+    pub uptime_secs: u64,
+    /// Lifetime counters, in registry order.
+    pub counters: Vec<MetricValue>,
+    /// Last-sampled gauges (queue depth, inflight points).
+    pub gauges: Vec<MetricValue>,
+    /// Histogram summaries with percentiles.
+    pub histograms: Vec<HistogramSummary>,
+    /// Per-worker utilization.
+    pub workers: Vec<WorkerReport>,
+    /// Flight-recorder health.
+    pub flight: FlightStats,
+}
 
 /// One sweep spec as it travels on the wire: scheme and pattern by
 /// display name, everything else verbatim from [`SweepSpec`].
@@ -144,6 +370,14 @@ pub enum Request {
     /// Run a store garbage-collection pass; answered with
     /// [`Response::GcDone`].
     Gc,
+    /// Metrics-registry dump (counters, percentiles, worker
+    /// utilization); answered with [`Response::Metrics`].
+    Metrics,
+    /// Subscribe this connection to the live flight-event stream:
+    /// answered with [`Response::Watching`], then a [`Response::Flight`]
+    /// stream until the peer hangs up or the daemon shuts down. The
+    /// connection serves no other requests afterwards.
+    Watch,
     /// Stop the daemon after answering [`Response::Bye`].
     Shutdown,
 }
@@ -158,6 +392,8 @@ impl Serialize for Request {
             Request::Fetch { .. } => "fetch",
             Request::Evict { .. } => "evict",
             Request::Gc => "gc",
+            Request::Metrics => "metrics",
+            Request::Watch => "watch",
             Request::Shutdown => "shutdown",
         };
         map.push(("cmd".to_string(), Content::Str(cmd.to_string())));
@@ -193,6 +429,8 @@ impl Deserialize for Request {
                 keys: Vec::<String>::from_content(field(map, "keys")?)?,
             }),
             "gc" => Ok(Request::Gc),
+            "metrics" => Ok(Request::Metrics),
+            "watch" => Ok(Request::Watch),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(DeError(format!("unknown cmd `{other}`"))),
         }
@@ -246,8 +484,12 @@ pub struct StatusReport {
     pub store_dir: String,
 }
 
-/// One `fetch` answer: the key, whether the store had it, and the point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One `fetch` answer: the key, whether the store had it, the point,
+/// and — when the envelope was stamped — its compute provenance.
+///
+/// `Deserialize` is hand-written so `provenance` is optional on the
+/// wire: a v2 client still decodes a v1 daemon's answers.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FetchedPoint {
     /// The requested key.
     pub key: String,
@@ -255,6 +497,25 @@ pub struct FetchedPoint {
     pub found: bool,
     /// The stored point, when found.
     pub point: Option<LatencyPoint>,
+    /// How and when the point was computed, when the store recorded it.
+    pub provenance: Option<Provenance>,
+}
+
+impl Deserialize for FetchedPoint {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c
+            .as_map()
+            .ok_or_else(|| DeError("fetched point must be a JSON object".to_string()))?;
+        Ok(FetchedPoint {
+            key: String::from_content(field(map, "key")?)?,
+            found: bool::from_content(field(map, "found")?)?,
+            point: Option::<LatencyPoint>::from_content(field(map, "point")?)?,
+            provenance: match field(map, "provenance") {
+                Ok(content) => Option::<Provenance>::from_content(content)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// A daemon response line, tagged by `"event"`.
@@ -309,6 +570,12 @@ pub enum Response {
     },
     /// Garbage-collection outcome.
     GcDone(GcReport),
+    /// The metrics-registry dump.
+    Metrics(Box<MetricsReport>),
+    /// A watch subscription is live; [`Response::Flight`] events follow.
+    Watching,
+    /// One live flight-recorder event on a watching connection.
+    Flight(FlightRecord),
     /// The request could not be served; the connection stays open.
     Error {
         /// Human-readable reason.
@@ -330,6 +597,9 @@ impl Serialize for Response {
             Response::Points { .. } => "points",
             Response::Evicted { .. } => "evicted",
             Response::GcDone(_) => "gc",
+            Response::Metrics(_) => "metrics",
+            Response::Watching => "watching",
+            Response::Flight(_) => "flight",
             Response::Error { .. } => "error",
             Response::Bye => "bye",
         };
@@ -364,10 +634,12 @@ impl Serialize for Response {
                 map.push(("removed".to_string(), removed.to_content()));
             }
             Response::GcDone(report) => map.push(("report".to_string(), report.to_content())),
+            Response::Metrics(report) => map.push(("metrics".to_string(), report.to_content())),
+            Response::Flight(record) => map.push(("record".to_string(), record.to_content())),
             Response::Error { message } => {
                 map.push(("message".to_string(), message.to_content()));
             }
-            Response::Bye => {}
+            Response::Watching | Response::Bye => {}
         }
         Content::Map(map)
     }
@@ -413,6 +685,13 @@ impl Deserialize for Response {
             }),
             "gc" => Ok(Response::GcDone(GcReport::from_content(field(
                 map, "report",
+            )?)?)),
+            "metrics" => Ok(Response::Metrics(Box::new(MetricsReport::from_content(
+                field(map, "metrics")?,
+            )?))),
+            "watching" => Ok(Response::Watching),
+            "flight" => Ok(Response::Flight(FlightRecord::from_content(field(
+                map, "record",
             )?)?)),
             "error" => Ok(Response::Error {
                 message: String::from_content(field(map, "message")?)?,
@@ -571,6 +850,8 @@ mod tests {
                 keys: vec!["00000000000000ff".to_string()],
             },
             Request::Gc,
+            Request::Metrics,
+            Request::Watch,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -618,10 +899,61 @@ mod tests {
                     key: "00000000000000ff".into(),
                     found: false,
                     point: None,
+                    provenance: Some(Provenance {
+                        unix_ms: 1_700_000_000_000,
+                        wall_ms: 42,
+                        worker: None,
+                        git_sha: "abc123".into(),
+                        cycles: 300,
+                    }),
                 }],
             },
             Response::Evicted { removed: 2 },
             Response::GcDone(GcReport::default()),
+            Response::Metrics(Box::new(MetricsReport {
+                proto: PROTO_VERSION,
+                uptime_secs: 9,
+                counters: vec![MetricValue {
+                    name: "points_computed".into(),
+                    value: 6,
+                }],
+                gauges: vec![MetricValue {
+                    name: "queue_depth".into(),
+                    value: 0,
+                }],
+                histograms: vec![HistogramSummary {
+                    name: "batch_wall_ms".into(),
+                    count: 3,
+                    sum: 420,
+                    max: 200,
+                    p50: 100,
+                    p90: 200,
+                    p99: 200,
+                }],
+                workers: vec![WorkerReport {
+                    worker: 0,
+                    batches: 2,
+                    points: 6,
+                    busy_ms: 400,
+                    utilization: 0.5,
+                }],
+                flight: FlightStats {
+                    emitted: 40,
+                    written: 40,
+                    dropped: 0,
+                    watchers: 1,
+                },
+            })),
+            Response::Watching,
+            Response::Flight(FlightRecord {
+                ts_us: 1_234,
+                event: flight_event::BATCH_DONE.into(),
+                worker: Some(1),
+                points: Some(4),
+                wall_ms: Some(118),
+                cycles: Some(300),
+                ..FlightRecord::default()
+            }),
             Response::Error {
                 message: "nope".into(),
             },
@@ -646,5 +978,49 @@ mod tests {
             "missing specs"
         );
         assert!(decode_response("{\"event\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn flight_records_omit_absent_fields_and_tolerate_missing_ones() {
+        // A sparse record serializes without its unset fields…
+        let line = encode(&FlightRecord {
+            ts_us: 7,
+            event: flight_event::QUEUE.into(),
+            depth: Some(3),
+            ..FlightRecord::default()
+        });
+        for absent in ["job", "key", "kind", "worker", "wall_ms", "cycles"] {
+            assert!(
+                !line.contains(absent),
+                "`{absent}` should be omitted: {line}"
+            );
+        }
+        // …and the minimal possible line still decodes.
+        let minimal: FlightRecord =
+            serde_json::from_str("{\"ts_us\":1,\"event\":\"submitted\"}").expect("minimal decodes");
+        assert_eq!(minimal.event, flight_event::SUBMITTED);
+        assert_eq!(minimal.job, None);
+    }
+
+    #[test]
+    fn decoders_ignore_unknown_fields() {
+        // Forward compatibility: a future daemon may add fields to any
+        // message; today's decoders must skip what they don't know.
+        let req = decode_request("{\"cmd\":\"metrics\",\"verbosity\":\"max\"}").expect("request");
+        assert_eq!(req, Request::Metrics);
+        let resp =
+            decode_response("{\"event\":\"pong\",\"proto\":2,\"motd\":\"hi\"}").expect("response");
+        assert_eq!(resp, Response::Pong { proto: 2 });
+        let record: FlightRecord = serde_json::from_str(
+            "{\"ts_us\":5,\"event\":\"stored\",\"key\":\"00000000000000ff\",\"shard\":9}",
+        )
+        .expect("flight record");
+        assert_eq!(record.key.as_deref(), Some("00000000000000ff"));
+        // A fetch answer without the provenance key (a v1 daemon)
+        // decodes with provenance: None.
+        let fetched: FetchedPoint =
+            serde_json::from_str("{\"key\":\"00000000000000ff\",\"found\":false,\"point\":null}")
+                .expect("v1 fetch answer");
+        assert_eq!(fetched.provenance, None);
     }
 }

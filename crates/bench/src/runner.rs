@@ -268,10 +268,10 @@ fn cache_load(dir: &Path, key: u64) -> Option<LatencyPoint> {
     crate::store::Store::new(dir).load(key)
 }
 
-fn cache_store(dir: &Path, key: u64, point: &LatencyPoint) {
+fn cache_store(dir: &Path, key: u64, point: &LatencyPoint, provenance: &crate::store::Provenance) {
     // Cache writes are best-effort: a full disk or unwritable directory
     // degrades to recomputation, never to a wrong result.
-    crate::store::Store::new(dir).store(key, point);
+    crate::store::Store::new(dir).store_with_provenance(key, point, Some(provenance));
 }
 
 /// Builds a fresh simulation for a scheme/pattern/rate triple at the
@@ -379,11 +379,18 @@ pub fn run_sweep_parallel(specs: &[SweepSpec], opts: &SweepOptions) -> Vec<Sweep
         })
         .collect();
     let total = points.len();
+    // Resolved once per run so cache writes don't each shell out.
+    let git_sha = if opts.cache_dir.is_some() {
+        crate::bench_out::git_sha()
+    } else {
+        String::new()
+    };
     let jobs: Vec<_> = points
         .iter()
         .map(|&(si, _, rate)| {
             let spec = &specs[si];
             let cache_dir = opts.cache_dir.as_deref();
+            let git_sha = &git_sha;
             move || -> (LatencyPoint, bool) {
                 let key = cache_dir.map(|d| (d, point_cache_key(spec, rate)));
                 if let Some((dir, k)) = key {
@@ -391,9 +398,18 @@ pub fn run_sweep_parallel(specs: &[SweepSpec], opts: &SweepOptions) -> Vec<Sweep
                         return (hit, true);
                     }
                 }
+                let begun = std::time::Instant::now();
                 let point = simulate_point(spec, rate);
                 if let Some((dir, k)) = key {
-                    cache_store(dir, k, &point);
+                    // Provenance is metadata only — worker None marks
+                    // the in-process batch executor as the producer.
+                    let stamp = crate::store::Provenance::now(
+                        begun.elapsed().as_millis() as u64,
+                        None,
+                        git_sha.clone(),
+                        spec.warmup + spec.measure,
+                    );
+                    cache_store(dir, k, &point, &stamp);
                 }
                 (point, false)
             }
@@ -629,7 +645,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let stale_key = point_cache_key_versioned(&spec, 0.02, CACHE_SCHEMA_VERSION - 1);
         let poisoned = mk(0.02, 99_999.0);
-        cache_store(&dir, stale_key, &poisoned);
+        let stamp = crate::store::Provenance::now(0, None, String::new(), 0);
+        cache_store(&dir, stale_key, &poisoned, &stamp);
 
         let opts = SweepOptions {
             jobs: 1,

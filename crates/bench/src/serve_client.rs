@@ -12,7 +12,8 @@
 //! are bitwise identical (the `serve` CI job diffs them).
 
 use crate::proto::{
-    decode_response, encode, FetchedPoint, Request, Response, StatusReport, WireSpec,
+    decode_response, encode, FetchedPoint, FlightRecord, MetricsReport, Request, Response,
+    StatusReport, WireSpec,
 };
 use crate::runner::{run_sweep_parallel, SweepOptions, SweepResult, SweepSpec};
 use crate::store::GcReport;
@@ -198,6 +199,58 @@ impl Client {
             Response::GcDone(report) => Ok(report),
             Response::Error { message } => Err(message),
             other => Err(format!("unexpected reply to gc: {other:?}")),
+        }
+    }
+
+    /// Fetches the daemon's metrics-registry dump (counters,
+    /// histogram percentiles, worker utilization, flight health).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unexpected responses, as readable strings.
+    pub fn metrics(&mut self) -> Result<MetricsReport, String> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(*report),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected reply to metrics: {other:?}")),
+        }
+    }
+
+    /// Subscribes to the live flight-event stream and invokes
+    /// `on_event` for each record; the subscription ends when
+    /// `on_event` returns `false`, the daemon shuts down, or the
+    /// connection drops. The connection is consumed: the daemon serves
+    /// nothing else on a watching connection.
+    ///
+    /// # Errors
+    ///
+    /// Subscription failures and protocol violations, as readable
+    /// strings. A daemon closing the stream (shutdown) is a clean end,
+    /// not an error.
+    pub fn watch(mut self, mut on_event: impl FnMut(FlightRecord) -> bool) -> Result<(), String> {
+        match self.roundtrip(&Request::Watch)? {
+            Response::Watching => {}
+            Response::Error { message } => return Err(message),
+            other => return Err(format!("unexpected reply to watch: {other:?}")),
+        }
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("recv failed: {e}"))?;
+            if n == 0 {
+                return Ok(()); // daemon shut down: clean end of stream
+            }
+            match decode_response(&line)? {
+                Response::Flight(record) => {
+                    if !on_event(record) {
+                        return Ok(());
+                    }
+                }
+                Response::Error { message } => return Err(message),
+                other => return Err(format!("unexpected event while watching: {other:?}")),
+            }
         }
     }
 

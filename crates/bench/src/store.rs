@@ -13,11 +13,21 @@
 //!
 //! ## Blob format
 //!
-//! Entries are written as a schema-versioned envelope:
+//! Entries are written as a schema-versioned envelope, optionally
+//! stamped with compute provenance (who computed the point, when, how
+//! long it took):
 //!
 //! ```json
-//! { "schema_version": 2, "key": "00d57c9a6a2e4f11", "point": { … } }
+//! { "schema_version": 3, "key": "00d57c9a6a2e4f11", "point": { … },
+//!   "provenance": { "unix_ms": …, "wall_ms": 118, "worker": 2,
+//!                   "git_sha": "…", "cycles": 5000 } }
 //! ```
+//!
+//! Provenance is *metadata*: it never participates in cache keys or
+//! point comparison, so two writers racing on one key still only ever
+//! disagree about bookkeeping, never about results. The field is
+//! optional on read — envelopes written without it decode to
+//! `provenance: None`.
 //!
 //! Loading accepts two shapes:
 //!
@@ -39,7 +49,7 @@
 //! which `gc` sweeps up.
 
 use crate::runner::LatencyPoint;
-use serde::{Deserialize, Serialize};
+use serde::{field, Content, DeError, Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Bump when the cache entry format or simulation semantics change in a
@@ -54,10 +64,59 @@ use std::path::{Path, PathBuf};
 /// bitmasks) plus the warmup-carryover accounting fix changed
 /// `NetStats` contents; v1 entries predate
 /// `delivered_carryover`/`window_start`.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: envelopes gained the optional `provenance` stamp. The stored
+/// points themselves are unchanged, but the bump keeps every generation
+/// of on-disk bytes attributable to exactly one schema version.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
+
+/// Who computed a stored point, when, and at what cost. Pure metadata:
+/// never folded into cache keys, never compared for cache hits — it
+/// exists so `nocctl fetch` (and any forensic reader of the store) can
+/// answer "when and how was this point computed".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Wall-clock milliseconds since the Unix epoch at store time.
+    pub unix_ms: u64,
+    /// Wall-clock milliseconds the computation took. Daemon workers
+    /// simulate same-window batches in lockstep, so batched points share
+    /// their batch's wall time.
+    pub wall_ms: u64,
+    /// Daemon worker id that simulated the point; `None` means the
+    /// batch executor computed it in-process.
+    pub worker: Option<u64>,
+    /// Git revision of the producing build ([`crate::git_sha`]).
+    pub git_sha: String,
+    /// Simulated cycles per point (warmup + measurement window).
+    pub cycles: u64,
+}
+
+impl Provenance {
+    /// A stamp dated now. `git_sha` is passed in (rather than resolved
+    /// here) so callers can resolve it once per run, not once per point.
+    pub fn now(wall_ms: u64, worker: Option<u64>, git_sha: String, cycles: u64) -> Provenance {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        Provenance {
+            unix_ms,
+            wall_ms,
+            worker,
+            git_sha,
+            cycles,
+        }
+    }
+}
 
 /// The on-disk envelope around one stored point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) for two reasons: `None`
+/// provenance is *omitted* rather than written as `null`, and — because
+/// the derive's deserializer treats every field as required — a
+/// hand-rolled decode is what lets pre-v3 envelopes (no `provenance`
+/// key) still parse as envelopes, so [`Store::gc`] classifies them as
+/// stale-schema rather than corrupt.
+#[derive(Debug, Clone)]
 struct Envelope {
     /// Schema generation that produced this entry.
     schema_version: u32,
@@ -65,6 +124,42 @@ struct Envelope {
     key: String,
     /// The stored result.
     point: LatencyPoint,
+    /// Compute provenance, when the writer stamped it.
+    provenance: Option<Provenance>,
+}
+
+impl Serialize for Envelope {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            (
+                "schema_version".to_string(),
+                self.schema_version.to_content(),
+            ),
+            ("key".to_string(), self.key.to_content()),
+            ("point".to_string(), self.point.to_content()),
+        ];
+        if let Some(p) = &self.provenance {
+            map.push(("provenance".to_string(), p.to_content()));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for Envelope {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c
+            .as_map()
+            .ok_or_else(|| DeError("envelope must be a JSON object".to_string()))?;
+        Ok(Envelope {
+            schema_version: u32::from_content(field(map, "schema_version")?)?,
+            key: String::from_content(field(map, "key")?)?,
+            point: LatencyPoint::from_content(field(map, "point")?)?,
+            provenance: match field(map, "provenance") {
+                Ok(content) => Option::<Provenance>::from_content(content)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// What one [`Store::gc`] pass found and did.
@@ -139,8 +234,14 @@ impl Store {
     /// version, or self-inconsistent. A miss is always safe: the caller
     /// recomputes and overwrites.
     pub fn load(&self, key: u64) -> Option<LatencyPoint> {
+        self.load_entry(key).map(|(point, _)| point)
+    }
+
+    /// Like [`Store::load`], but also surfaces the envelope's compute
+    /// provenance (absent on legacy entries and provenance-less writes).
+    pub fn load_entry(&self, key: u64) -> Option<(LatencyPoint, Option<Provenance>)> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
-        decode_entry(&text, key).map(|(point, _)| point)
+        decode_entry(&text, key).map(|(point, provenance, _)| (point, provenance))
     }
 
     /// Stores `point` under `key` atomically (unique temp file +
@@ -148,6 +249,16 @@ impl Store {
     /// degrades to recomputation on the next load, never to a wrong
     /// result. Returns whether the entry landed.
     pub fn store(&self, key: u64, point: &LatencyPoint) -> bool {
+        self.store_with_provenance(key, point, None)
+    }
+
+    /// [`Store::store`] with a compute-provenance stamp in the envelope.
+    pub fn store_with_provenance(
+        &self,
+        key: u64,
+        point: &LatencyPoint,
+        provenance: Option<&Provenance>,
+    ) -> bool {
         if std::fs::create_dir_all(&self.dir).is_err() {
             return false;
         }
@@ -155,6 +266,7 @@ impl Store {
             schema_version: CACHE_SCHEMA_VERSION,
             key: format_key(key),
             point: point.clone(),
+            provenance: provenance.cloned(),
         };
         let Ok(json) = serde_json::to_string_pretty(&envelope) else {
             return false;
@@ -206,8 +318,8 @@ impl Store {
                 .ok()
                 .and_then(|text| decode_entry(&text, key));
             match verdict {
-                Some((_, true)) => report.kept += 1,
-                Some((point, false)) => {
+                Some((_, _, true)) => report.kept += 1,
+                Some((point, _, false)) => {
                     // Legacy bare blob: rewrap in place. If the rewrite
                     // fails the old blob stays readable — migration is
                     // retried on the next gc pass.
@@ -264,19 +376,20 @@ pub fn format_key(key: u64) -> String {
     format!("{key:016x}")
 }
 
-/// Decodes one blob's text for `key`. Returns the point and whether the
-/// blob was already a current-schema envelope (`false` = legacy bare
-/// point), or `None` for stale/corrupt/mismatched entries.
-fn decode_entry(text: &str, key: u64) -> Option<(LatencyPoint, bool)> {
+/// Decodes one blob's text for `key`. Returns the point, its provenance
+/// stamp (if any) and whether the blob was already a current-schema
+/// envelope (`false` = legacy bare point), or `None` for
+/// stale/corrupt/mismatched entries.
+fn decode_entry(text: &str, key: u64) -> Option<(LatencyPoint, Option<Provenance>, bool)> {
     if let Ok(env) = serde_json::from_str::<Envelope>(text) {
         if env.schema_version == CACHE_SCHEMA_VERSION && env.key == format_key(key) {
-            return Some((env.point, true));
+            return Some((env.point, env.provenance, true));
         }
         return None;
     }
     serde_json::from_str::<LatencyPoint>(text)
         .ok()
-        .map(|p| (p, false))
+        .map(|p| (p, None, false))
 }
 
 #[cfg(test)]
@@ -340,6 +453,7 @@ mod tests {
             schema_version: CACHE_SCHEMA_VERSION - 1,
             key: format_key(1),
             point: point(0.1, 99_999.0),
+            provenance: None,
         };
         std::fs::write(store.path_of(1), serde_json::to_string(&stale).unwrap()).unwrap();
         // Corrupt: a truncated write.
@@ -366,11 +480,65 @@ mod tests {
             schema_version: CACHE_SCHEMA_VERSION,
             key: format_key(99),
             point: point(0.1, 1.0),
+            provenance: None,
         };
         std::fs::write(store.path_of(5), serde_json::to_string(&wrong).unwrap()).unwrap();
         assert!(store.load(5).is_none());
         let report = store.gc();
         assert_eq!(report.dropped_stale, 1, "{report:?}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn provenance_round_trips_and_never_perturbs_the_point() {
+        let store = temp_store("provenance");
+        let prov = Provenance {
+            unix_ms: 1_700_000_000_000,
+            wall_ms: 118,
+            worker: Some(2),
+            git_sha: "deadbeef".to_string(),
+            cycles: 5_000,
+        };
+        assert!(store.store_with_provenance(11, &point(0.1, 12.0), Some(&prov)));
+        let (got, stamped) = store.load_entry(11).expect("stamped entry loads");
+        assert_eq!(stamped.as_ref(), Some(&prov));
+        // The plain load path sees exactly the bytes-equal point.
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&store.load(11).unwrap()).unwrap()
+        );
+        // A provenance-less write under the same schema loads with None
+        // — and without a "provenance": null key on disk.
+        assert!(store.store(12, &point(0.2, 9.0)));
+        let (_, none) = store.load_entry(12).expect("plain entry loads");
+        assert!(none.is_none());
+        let text = std::fs::read_to_string(store.path_of(12)).unwrap();
+        assert!(!text.contains("provenance"), "omitted, not null: {text}");
+        // gc keeps both shapes.
+        let report = store.gc();
+        assert_eq!((report.kept, report.dropped()), (2, 0), "{report:?}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn pre_provenance_envelope_is_stale_schema_not_corrupt() {
+        // A v2-era envelope has no `provenance` key at all. It must
+        // still *parse* as an envelope so gc classifies it stale (and a
+        // load treats it as a miss) rather than lumping it in with
+        // truncated-write corruption.
+        let store = temp_store("prev3");
+        std::fs::create_dir_all(store.dir()).unwrap();
+        let v2 = format!(
+            "{{\"schema_version\": {}, \"key\": \"{}\", \"point\": {}}}",
+            CACHE_SCHEMA_VERSION - 1,
+            format_key(4),
+            serde_json::to_string(&point(0.05, 7.0)).unwrap()
+        );
+        std::fs::write(store.path_of(4), v2).unwrap();
+        assert!(store.load(4).is_none(), "stale generation is a miss");
+        let report = store.gc();
+        assert_eq!(report.dropped_stale, 1, "{report:?}");
+        assert_eq!(report.dropped_corrupt, 0, "{report:?}");
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

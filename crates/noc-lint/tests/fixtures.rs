@@ -333,6 +333,32 @@ fn panic_hygiene_holds_the_daemon_crate_to_no_bare_unwrap() {
     );
 }
 
+#[test]
+fn observability_modules_inherit_the_service_crate_scoping() {
+    // Crate-level scoping must cover modules added after the rules were
+    // written: the flight recorder's writer thread and the metrics
+    // registry's wall-clock sampling are fine under noc-serve, but the
+    // panic bar still applies to both files — a flight-writer thread
+    // dying on a bare unwrap would silently stop the lifecycle log.
+    let clocky = "pub fn tick() { let t = std::time::Instant::now(); \
+                  let h = std::thread::spawn(|| 1); drop((t, h)); }\n";
+    for file in [
+        "crates/noc-serve/src/flight.rs",
+        "crates/noc-serve/src/metrics.rs",
+    ] {
+        assert!(
+            !rules_fired(file, clocky).contains(&"determinism"),
+            "{file} is inside the whitelisted service crate"
+        );
+        let unwrap = "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        let diags = lint_source(file, unwrap);
+        assert!(
+            diags.iter().any(|d| d.rule == "panic-hygiene"),
+            "bare unwrap must fire in {file}: {diags:?}"
+        );
+    }
+}
+
 // ---- routing-locality ------------------------------------------------------
 
 #[test]

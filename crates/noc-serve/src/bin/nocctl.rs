@@ -3,23 +3,33 @@
 //! ```text
 //! nocctl [--sock PATH] ping [--wait SECS]
 //! nocctl [--sock PATH] status [--json]
+//! nocctl [--sock PATH] metrics [--json]
+//! nocctl [--sock PATH] watch
 //! nocctl [--sock PATH] fetch KEY...
 //! nocctl [--sock PATH] evict KEY...
 //! nocctl [--sock PATH] gc
 //! nocctl [--sock PATH] shutdown
+//! nocctl flight IN.jsonl [--chrome OUT.json]
 //! ```
 //!
 //! The socket defaults to `NOC_SERVE_SOCK`, then `NOC_SERVE`, then
 //! `results/nocserve.sock`. `ping --wait N` retries for up to N seconds
 //! — CI uses it as the daemon-readiness barrier. `status --json` dumps
-//! the raw [`bench::proto::StatusReport`] (CI's `serve-summary.json`).
+//! the raw [`bench::proto::StatusReport`] (CI's `serve-summary.json`);
+//! `metrics --json` the full [`bench::proto::MetricsReport`]. `watch`
+//! streams the daemon's live flight records as JSON lines until the
+//! daemon shuts down (or ctrl-C). `flight` works **offline**: it loads
+//! a flight-recorder JSONL log, proves every job's span chain is
+//! complete, and with `--chrome` exports a Perfetto-loadable Chrome
+//! trace (validated structurally after writing).
 
 use bench::serve_client::Client;
+use noc_serve::flight::{check_daemon_trace, chrome_trace, load_flight, validate_chains};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: nocctl [--sock PATH] <ping [--wait SECS] | status [--json] | fetch KEY... | evict KEY... | gc | shutdown>";
+const USAGE: &str = "usage: nocctl [--sock PATH] <ping [--wait SECS] | status [--json] | metrics [--json] | watch | fetch KEY... | evict KEY... | gc | shutdown> | nocctl flight IN.jsonl [--chrome OUT.json]";
 
 fn main() -> ExitCode {
     match run() {
@@ -121,6 +131,108 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "metrics" => {
+            let report = connect()?.metrics()?;
+            if rest.iter().any(|a| a == "--json") {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report)
+                        .map_err(|e| format!("cannot encode metrics: {e}"))?
+                );
+            } else {
+                println!(
+                    "nocserve metrics at {} (proto v{}, uptime {}s)",
+                    sock.display(),
+                    report.proto,
+                    report.uptime_secs
+                );
+                println!("  counters:");
+                for c in &report.counters {
+                    println!("    {:<24} {}", c.name, c.value);
+                }
+                println!("  gauges:");
+                for g in &report.gauges {
+                    println!("    {:<24} {}", g.name, g.value);
+                }
+                println!("  histograms (count / p50 / p90 / p99 / max):");
+                for h in &report.histograms {
+                    println!(
+                        "    {:<24} {} / {} / {} / {} / {}",
+                        h.name, h.count, h.p50, h.p90, h.p99, h.max
+                    );
+                }
+                println!("  workers:");
+                for w in &report.workers {
+                    println!(
+                        "    worker {}: {} batches, {} points, {}ms busy, {:.0}% utilized",
+                        w.worker,
+                        w.batches,
+                        w.points,
+                        w.busy_ms,
+                        w.utilization * 100.0
+                    );
+                }
+                let f = &report.flight;
+                println!(
+                    "  flight: {} emitted, {} written, {} dropped, {} watchers",
+                    f.emitted, f.written, f.dropped, f.watchers
+                );
+            }
+            Ok(())
+        }
+        "watch" => {
+            if !rest.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            eprintln!("watching {} (until daemon shutdown)…", sock.display());
+            connect()?.watch(|record| match serde_json::to_string(&record) {
+                Ok(line) => {
+                    println!("{line}");
+                    true
+                }
+                Err(_) => false,
+            })?;
+            Ok(())
+        }
+        "flight" => {
+            let (input, chrome_out) = match rest {
+                [input] => (input, None),
+                [input, flag, out] if flag == "--chrome" => (input, Some(out)),
+                _ => {
+                    return Err(format!(
+                        "flight wants IN.jsonl [--chrome OUT.json]\n{USAGE}"
+                    ))
+                }
+            };
+            let records = load_flight(&PathBuf::from(input))?;
+            let problems = validate_chains(&records);
+            if !problems.is_empty() {
+                for p in &problems {
+                    eprintln!("  broken chain: {p}");
+                }
+                return Err(format!(
+                    "{}: {} of {} records leave broken span chains",
+                    input,
+                    problems.len(),
+                    records.len()
+                ));
+            }
+            println!(
+                "{input}: {} records, every span chain complete",
+                records.len()
+            );
+            if let Some(out) = chrome_out {
+                let json = chrome_trace(&records);
+                let summary = check_daemon_trace(&json)
+                    .map_err(|e| format!("exported trace failed validation: {e}"))?;
+                std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!(
+                    "{out}: chrome trace with {} job spans, {} batch spans, {} queue samples",
+                    summary.jobs, summary.batch_spans, summary.counter_samples
+                );
+            }
+            Ok(())
+        }
         "fetch" => {
             if rest.is_empty() {
                 return Err(format!("fetch needs at least one KEY\n{USAGE}"));
@@ -129,10 +241,28 @@ fn run() -> Result<(), String> {
             let mut missing = 0;
             for p in &points {
                 match &p.point {
-                    Some(point) => println!(
-                        "{}  rate={} avg_latency={} throughput={}",
-                        p.key, point.rate, point.avg_latency, point.throughput
-                    ),
+                    Some(point) => {
+                        println!(
+                            "{}  rate={} avg_latency={} throughput={}",
+                            p.key, point.rate, point.avg_latency, point.throughput
+                        );
+                        if let Some(prov) = &p.provenance {
+                            let by = match prov.worker {
+                                Some(w) => format!("worker {w}"),
+                                None => "batch executor".to_string(),
+                            };
+                            println!(
+                                "    computed by {by} in {}ms ({} cycles, git {})",
+                                prov.wall_ms,
+                                prov.cycles,
+                                if prov.git_sha.is_empty() {
+                                    "unknown"
+                                } else {
+                                    &prov.git_sha
+                                }
+                            );
+                        }
+                    }
                     None => {
                         println!("{}  (not stored)", p.key);
                         missing += 1;

@@ -1,21 +1,24 @@
 //! The sweep-service daemon.
 //!
 //! ```text
-//! nocserve [--sock PATH] [--store DIR] [--jobs N] [--batch N] [--statsd PATH]
+//! nocserve [--sock PATH] [--store DIR] [--jobs N] [--batch N]
+//!          [--statsd TARGET] [--flight PATH] [--tick-ms N]
 //! ```
 //!
 //! Flags override the environment ([`ServeConfig::from_env`]:
 //! `NOC_SERVE_SOCK`/`NOC_SERVE`, `NOC_SERVE_STORE`/`FP_CACHE`,
-//! `NOC_JOBS`, `NOC_SERVE_BATCH`, `NOC_SERVE_STATSD`). Runs in the
-//! foreground until a client sends `shutdown`; drive it with `nocctl`
-//! or any figure binary's `--serve` mode.
+//! `NOC_JOBS`, `NOC_SERVE_BATCH`, `NOC_SERVE_STATSD`,
+//! `NOC_SERVE_FLIGHT`, `NOC_SERVE_TICK_MS`). `--statsd` takes a file
+//! path or `udp://host:port`; `--flight` names the JSONL lifecycle log
+//! `nocctl flight` consumes. Runs in the foreground until a client
+//! sends `shutdown`; drive it with `nocctl` or any figure binary's
+//! `--serve` mode.
 
 use noc_serve::{serve, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: nocserve [--sock PATH] [--store DIR] [--jobs N] [--batch N] [--statsd PATH]";
+const USAGE: &str = "usage: nocserve [--sock PATH] [--store DIR] [--jobs N] [--batch N] [--statsd TARGET] [--flight PATH] [--tick-ms N]";
 
 fn main() -> ExitCode {
     let mut config = ServeConfig::from_env();
@@ -28,7 +31,15 @@ fn main() -> ExitCode {
         let outcome = match arg.as_str() {
             "--sock" => value("--sock").map(|v| config.socket = PathBuf::from(v)),
             "--store" => value("--store").map(|v| config.store_dir = PathBuf::from(v)),
-            "--statsd" => value("--statsd").map(|v| config.statsd = Some(PathBuf::from(v))),
+            "--statsd" => value("--statsd").map(|v| config.statsd = Some(v)),
+            "--flight" => value("--flight").map(|v| config.flight = Some(PathBuf::from(v))),
+            "--tick-ms" => value("--tick-ms").and_then(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .map(|n| config.tick_ms = n)
+                    .ok_or_else(|| format!("--tick-ms wants a positive number, got `{v}`"))
+            }),
             "--jobs" => value("--jobs").and_then(|v| {
                 v.parse()
                     .map(|n| config.workers = n)

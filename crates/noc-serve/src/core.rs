@@ -18,16 +18,31 @@
 //! batch) computed it. A panicking point poisons only its batch: the
 //! worker catches the unwind, marks those keys `Failed` and keeps
 //! serving.
+//!
+//! Observability rides alongside, never inside, the engine lock: every
+//! lifecycle step updates the lock-free [`MetricsRegistry`] and
+//! publishes a [`FlightRecord`] to the [`FlightBus`] *after* dropping
+//! the state lock, and a sampler tick thread turns the registry into
+//! statsd lines and queue-depth flight samples every
+//! [`ServeConfig::tick_ms`]. Points computed by workers are persisted
+//! with a [`Provenance`] stamp (wall time, worker id, daemon git sha)
+//! so a fetched result can say where it came from.
 
+use crate::flight::FlightBus;
+use crate::metrics::MetricsRegistry;
 use crate::statsd::StatsdSink;
-use bench::proto::StatusReport;
+use bench::proto::{flight_event, StatusReport};
 use bench::runner::{latency_point, make_sim};
-use bench::store::format_key;
-use bench::{point_cache_key, LatencyPoint, Store, SweepResult, SweepSpec, CACHE_SCHEMA_VERSION};
+use bench::store::{format_key, Provenance};
+use bench::{
+    point_cache_key, FlightRecord, LatencyPoint, MetricsReport, Store, SweepResult, SweepSpec,
+    CACHE_SCHEMA_VERSION,
+};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -42,8 +57,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Max points per worker claim (same-window batch).
     pub batch: usize,
-    /// statsd line file, if telemetry is wanted.
-    pub statsd: Option<PathBuf>,
+    /// statsd target (file path or `udp://host:port`), if telemetry is
+    /// wanted.
+    pub statsd: Option<String>,
+    /// Flight-recorder JSONL path, if lifecycle logging is wanted.
+    pub flight: Option<PathBuf>,
+    /// Sampler tick period: gauge sampling, worker utilization and the
+    /// statsd drain all run at this cadence.
+    pub tick_ms: u64,
 }
 
 impl ServeConfig {
@@ -56,7 +77,9 @@ impl ServeConfig {
     ///   daemon and batch runs share one store;
     /// * `NOC_JOBS` workers (default: available cores);
     /// * `NOC_SERVE_BATCH` points per claim (default 4);
-    /// * `NOC_SERVE_STATSD` telemetry file (default: off).
+    /// * `NOC_SERVE_STATSD` telemetry target (default: off);
+    /// * `NOC_SERVE_FLIGHT` flight-recorder JSONL path (default: off);
+    /// * `NOC_SERVE_TICK_MS` sampler period (default 500).
     pub fn from_env() -> ServeConfig {
         let env = |k: &str| std::env::var(k).ok().filter(|s| !s.is_empty());
         ServeConfig {
@@ -71,7 +94,12 @@ impl ServeConfig {
                 .and_then(|s| s.parse().ok())
                 .filter(|&n| n > 0)
                 .unwrap_or(4),
-            statsd: env("NOC_SERVE_STATSD").map(PathBuf::from),
+            statsd: env("NOC_SERVE_STATSD"),
+            flight: env("NOC_SERVE_FLIGHT").map(PathBuf::from),
+            tick_ms: env("NOC_SERVE_TICK_MS")
+                .and_then(|s| s.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(500),
         }
     }
 }
@@ -79,7 +107,12 @@ impl ServeConfig {
 /// Lifecycle of one point in the registry.
 enum PointState {
     /// Waiting for a worker; carries everything needed to simulate it.
-    Queued { spec: SweepSpec, rate: f64 },
+    Queued {
+        spec: SweepSpec,
+        rate: f64,
+        /// When it entered the queue (feeds the queue-wait histogram).
+        since: Instant,
+    },
     /// A worker is simulating it right now.
     Running,
     /// Resolved; served from memory from now on.
@@ -88,33 +121,17 @@ enum PointState {
     Failed(String),
 }
 
-/// Counter block behind the `status` report.
-#[derive(Debug, Default)]
-struct Counters {
-    connections: u64,
-    requests: u64,
-    bad_requests: u64,
-    jobs_submitted: u64,
-    jobs_completed: u64,
-    points_requested: u64,
-    points_computed: u64,
-    points_failed: u64,
-    store_hits: u64,
-    memory_hits: u64,
-    dedup_waits: u64,
-    evictions: u64,
-}
-
-/// Mutable engine state, guarded by one mutex.
+/// Mutable engine state, guarded by one mutex. Counters live in the
+/// lock-free [`MetricsRegistry`] instead — only the point registry and
+/// queue need the lock.
 struct State {
     points: HashMap<u64, PointState>,
     queue: VecDeque<u64>,
-    counters: Counters,
     next_job: u64,
     inflight: u64,
 }
 
-/// Everything shared between connections and workers.
+/// Everything shared between connections, workers and the sampler.
 struct Shared {
     state: Mutex<State>,
     /// Signals workers: the queue grew or shutdown was requested.
@@ -123,6 +140,10 @@ struct Shared {
     done_cv: Condvar,
     store: Store,
     statsd: StatsdSink,
+    metrics: MetricsRegistry,
+    flight: FlightBus,
+    /// Daemon-wide build identity, stamped into point provenance.
+    git_sha: String,
     started: Instant,
     workers: usize,
     batch: usize,
@@ -166,32 +187,44 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// Boots the engine: opens the store and spawns the worker pool.
-    /// Threads are detached; they exit promptly after
-    /// [`Daemon::request_shutdown`].
-    pub fn start(config: &ServeConfig) -> Daemon {
+    /// Boots the engine: opens the store, starts the flight recorder,
+    /// and spawns the worker pool plus the sampler tick. Threads are
+    /// detached; they exit promptly after [`Daemon::request_shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// If the flight-recorder log cannot be created — a misconfigured
+    /// `--flight` path should fail loudly at boot, not silently record
+    /// nothing.
+    pub fn start(config: &ServeConfig) -> Result<Daemon, String> {
+        let flight = FlightBus::new(config.flight.as_deref())?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 points: HashMap::new(),
                 queue: VecDeque::new(),
-                counters: Counters::default(),
                 next_job: 1,
                 inflight: 0,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             store: Store::new(config.store_dir.clone()),
-            statsd: StatsdSink::new(config.statsd.clone()),
+            statsd: StatsdSink::new(config.statsd.as_deref()),
+            metrics: MetricsRegistry::new(config.workers.max(1)),
+            flight,
+            git_sha: bench::git_sha(),
             started: Instant::now(),
             workers: config.workers.max(1),
             batch: config.batch.max(1),
             shutdown: AtomicBool::new(false),
         });
-        for _ in 0..shared.workers {
-            let worker = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(&worker));
+        for worker in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared, worker));
         }
-        Daemon { shared }
+        let tick = Arc::clone(&shared);
+        let tick_ms = config.tick_ms.max(1);
+        std::thread::spawn(move || tick_loop(&tick, tick_ms));
+        Ok(Daemon { shared })
     }
 
     /// The store this daemon owns.
@@ -203,9 +236,14 @@ impl Daemon {
     /// the store, then the in-flight registry, enqueueing only what no
     /// one has computed or started. Returns the job handle to collect.
     pub fn submit(&self, specs: Vec<SweepSpec>) -> Job {
+        let m = &self.shared.metrics;
         let mut keys = Vec::with_capacity(specs.len());
         let mut total = 0u64;
         let (mut computed, mut cached, mut deduped) = (0u64, 0u64, 0u64);
+        // Flight records are buffered while holding the lock and
+        // published only after dropping it — the bus must never extend
+        // the engine's critical section.
+        let mut trail: Vec<FlightRecord> = Vec::new();
         let mut state = self.shared.state.lock().expect("engine lock");
         let id = state.next_job;
         state.next_job += 1;
@@ -215,48 +253,65 @@ impl Daemon {
                 let key = point_cache_key(spec, rate);
                 spec_keys.push(key);
                 total += 1;
-                match state.points.get(&key) {
+                let kind = match state.points.get(&key) {
                     Some(PointState::Done(_) | PointState::Failed(_)) => {
                         cached += 1;
-                        state.counters.memory_hits += 1;
+                        m.memory_hits.add(1);
+                        flight_event::KIND_MEMORY
                     }
                     Some(PointState::Queued { .. } | PointState::Running) => {
                         deduped += 1;
-                        state.counters.dedup_waits += 1;
+                        m.dedup_waits.add(1);
+                        flight_event::KIND_DEDUP
                     }
                     None => {
                         if let Some(point) = self.shared.store.load(key) {
                             state.points.insert(key, PointState::Done(point));
                             cached += 1;
-                            state.counters.store_hits += 1;
+                            m.store_hits.add(1);
+                            flight_event::KIND_STORE
                         } else {
                             state.points.insert(
                                 key,
                                 PointState::Queued {
                                     spec: spec.clone(),
                                     rate,
+                                    since: Instant::now(),
                                 },
                             );
                             state.queue.push_back(key);
                             computed += 1;
+                            flight_event::KIND_ENQUEUED
                         }
                     }
-                }
+                };
+                let mut r = FlightRecord::of(flight_event::RESOLVED);
+                r.job = Some(id);
+                r.key = Some(format_key(key));
+                r.kind = Some(kind.to_string());
+                trail.push(r);
             }
             keys.push(spec_keys);
         }
-        state.counters.jobs_submitted += 1;
-        state.counters.points_requested += total;
+        m.jobs_submitted.add(1);
+        m.points_requested.add(total);
+        m.points_enqueued.add(computed);
+        m.points_cached.add(cached);
+        m.points_deduped.add(deduped);
+        m.points_per_job.record(total);
         let queue_depth = state.queue.len() as u64;
         drop(state);
         self.shared.work_cv.notify_all();
-        let statsd = &self.shared.statsd;
-        statsd.count("jobs_submitted", 1);
-        statsd.count("points_requested", total);
-        statsd.count("points_enqueued", computed);
-        statsd.count("points_cached", cached);
-        statsd.count("points_deduped", deduped);
-        statsd.gauge("queue_depth", queue_depth);
+        let mut r = FlightRecord::of(flight_event::SUBMITTED);
+        r.job = Some(id);
+        r.points = Some(total);
+        self.shared.flight.publish(r);
+        for r in trail {
+            self.shared.flight.publish(r);
+        }
+        let mut r = FlightRecord::of(flight_event::QUEUE);
+        r.depth = Some(queue_depth);
+        self.shared.flight.publish(r);
         Job {
             id,
             total,
@@ -313,7 +368,7 @@ impl Daemon {
     /// down before completion, a readable message naming the first
     /// failed point.
     pub fn collect(&self, job: &Job) -> Result<Vec<SweepResult>, String> {
-        let mut state = self.shared.state.lock().expect("engine lock");
+        let state = self.shared.state.lock().expect("engine lock");
         let mut sweeps = Vec::with_capacity(job.specs.len());
         for (spec, spec_keys) in job.specs.iter().zip(&job.keys) {
             let mut points = Vec::with_capacity(spec_keys.len());
@@ -343,20 +398,29 @@ impl Daemon {
                 points,
             });
         }
-        state.counters.jobs_completed += 1;
         drop(state);
-        self.shared.statsd.count("jobs_completed", 1);
+        self.shared.metrics.jobs_completed.add(1);
         Ok(sweeps)
     }
 
     /// Looks up one stored point: memory first, then the store.
     pub fn fetch(&self, key: u64) -> Option<LatencyPoint> {
+        self.fetch_entry(key).map(|(point, _)| point)
+    }
+
+    /// Looks up one stored point together with its provenance stamp.
+    /// The store is consulted first (it carries provenance); memory
+    /// covers points whose envelope predates the stamp or that only
+    /// live in this lifetime.
+    pub fn fetch_entry(&self, key: u64) -> Option<(LatencyPoint, Option<Provenance>)> {
+        if let Some(entry) = self.shared.store.load_entry(key) {
+            return Some(entry);
+        }
         let state = self.shared.state.lock().expect("engine lock");
         if let Some(PointState::Done(point)) = state.points.get(&key) {
-            return Some(point.clone());
+            return Some((point.clone(), None));
         }
-        drop(state);
-        self.shared.store.load(key)
+        None
     }
 
     /// Evicts `key` from both memory and the store. Returns whether
@@ -369,12 +433,9 @@ impl Daemon {
             state.points.remove(&key);
         }
         let removed = self.shared.store.evict(key) || in_memory;
-        if removed {
-            state.counters.evictions += 1;
-        }
         drop(state);
         if removed {
-            self.shared.statsd.count("evictions", 1);
+            self.shared.metrics.evictions.add(1);
         }
         removed
     }
@@ -382,66 +443,85 @@ impl Daemon {
     /// Runs a store gc pass (see [`Store::gc`]).
     pub fn gc(&self) -> bench::GcReport {
         let report = self.shared.store.gc();
-        self.shared.statsd.count("gc_dropped", report.dropped());
+        self.shared.metrics.gc_dropped.add(report.dropped());
         report
     }
 
     /// Records an accepted connection (transport layer calls this).
     pub fn note_connection(&self) {
-        self.shared
-            .state
-            .lock()
-            .expect("engine lock")
-            .counters
-            .connections += 1;
-        self.shared.statsd.count("connections", 1);
+        self.shared.metrics.connections.add(1);
     }
 
     /// Records a parsed request or a malformed line.
     pub fn note_request(&self, well_formed: bool) {
-        let mut state = self.shared.state.lock().expect("engine lock");
         if well_formed {
-            state.counters.requests += 1;
+            self.shared.metrics.requests.add(1);
         } else {
-            state.counters.bad_requests += 1;
+            self.shared.metrics.bad_requests.add(1);
         }
-        drop(state);
-        self.shared.statsd.count(
-            if well_formed {
-                "requests"
-            } else {
-                "bad_requests"
-            },
-            1,
-        );
+    }
+
+    /// Publishes the terminal `responded` flight record for `job` (the
+    /// transport layer calls this right after writing the terminal
+    /// response line).
+    pub fn note_responded(&self, job: u64) {
+        let mut r = FlightRecord::of(flight_event::RESPONDED);
+        r.job = Some(job);
+        self.shared.flight.publish(r);
+    }
+
+    /// Subscribes a live `watch` stream to the flight bus.
+    pub fn subscribe_flight(&self) -> Receiver<FlightRecord> {
+        self.shared.flight.subscribe()
     }
 
     /// Snapshots every counter into a [`StatusReport`].
     pub fn status(&self) -> StatusReport {
+        let m = &self.shared.metrics;
         let state = self.shared.state.lock().expect("engine lock");
-        let c = &state.counters;
+        let (queue_depth, inflight) = (state.queue.len() as u64, state.inflight);
+        drop(state);
         StatusReport {
             proto: bench::PROTO_VERSION,
             schema: CACHE_SCHEMA_VERSION,
             uptime_secs: self.shared.started.elapsed().as_secs(),
             workers: self.shared.workers as u64,
-            connections: c.connections,
-            requests: c.requests,
-            bad_requests: c.bad_requests,
-            jobs_submitted: c.jobs_submitted,
-            jobs_completed: c.jobs_completed,
-            points_requested: c.points_requested,
-            points_computed: c.points_computed,
-            points_failed: c.points_failed,
-            store_hits: c.store_hits,
-            memory_hits: c.memory_hits,
-            dedup_waits: c.dedup_waits,
-            evictions: c.evictions,
-            queue_depth: state.queue.len() as u64,
-            inflight: state.inflight,
+            connections: m.connections.get(),
+            requests: m.requests.get(),
+            bad_requests: m.bad_requests.get(),
+            jobs_submitted: m.jobs_submitted.get(),
+            jobs_completed: m.jobs_completed.get(),
+            points_requested: m.points_requested.get(),
+            points_computed: m.points_computed.get(),
+            points_failed: m.points_failed.get(),
+            store_hits: m.store_hits.get(),
+            memory_hits: m.memory_hits.get(),
+            dedup_waits: m.dedup_waits.get(),
+            evictions: m.evictions.get(),
+            queue_depth,
+            inflight,
             store: self.shared.store.stats(),
             store_dir: self.shared.store.dir().display().to_string(),
         }
+    }
+
+    /// Snapshots the full metrics registry (counters, gauges,
+    /// histograms, per-worker utilization, flight-bus health) into the
+    /// wire report behind `nocctl metrics`.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.sample_now();
+        self.shared.metrics.report(
+            self.shared.started.elapsed().as_secs(),
+            self.shared.flight.stats(),
+        )
+    }
+
+    /// One sampler observation (also called by the tick thread).
+    fn sample_now(&self) {
+        let state = self.shared.state.lock().expect("engine lock");
+        let (depth, inflight) = (state.queue.len() as u64, state.inflight);
+        drop(state);
+        self.shared.metrics.sample(depth, inflight);
     }
 
     /// Flags shutdown and wakes every worker and job waiter.
@@ -455,6 +535,35 @@ impl Daemon {
     pub fn is_shutdown(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
+
+    /// Final observability drain: pushes remaining counter deltas and
+    /// timings to statsd, then flushes and joins the flight writer so
+    /// the JSONL log is complete on disk. Call once, after the last
+    /// request is answered.
+    pub fn flush_observability(&self) {
+        self.shared.metrics.drain_into(&self.shared.statsd);
+        self.shared.flight.shutdown();
+    }
+}
+
+/// Sampler tick body: every `tick_ms`, sample the gauges and worker
+/// busy bits, publish a queue-depth flight record, and drain the
+/// registry into the statsd sink.
+fn tick_loop(shared: &Arc<Shared>, tick_ms: u64) {
+    let daemon = Daemon {
+        shared: Arc::clone(shared),
+    };
+    loop {
+        std::thread::sleep(Duration::from_millis(tick_ms));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        daemon.sample_now();
+        let mut r = FlightRecord::of(flight_event::QUEUE);
+        r.depth = Some(shared.metrics.queue_depth.load(Ordering::Relaxed));
+        shared.flight.publish(r);
+        shared.metrics.drain_into(&shared.statsd);
+    }
 }
 
 /// One claimed point: key plus what to simulate.
@@ -462,6 +571,8 @@ struct Claim {
     key: u64,
     spec: SweepSpec,
     rate: f64,
+    /// How long it sat queued before this claim.
+    queued_ms: u64,
 }
 
 /// Pops a batch of queued points sharing one `(warmup, measure)` window
@@ -488,12 +599,18 @@ fn claim_batch(state: &mut State, max: usize) -> Vec<Claim> {
             skipped.push_back(key);
             continue;
         }
-        let Some(PointState::Queued { spec, rate }) = state.points.insert(key, PointState::Running)
+        let Some(PointState::Queued { spec, rate, since }) =
+            state.points.insert(key, PointState::Running)
         else {
             unreachable!("checked Queued above");
         };
         window = Some((spec.warmup, spec.measure));
-        batch.push(Claim { key, spec, rate });
+        batch.push(Claim {
+            key,
+            spec,
+            rate,
+            queued_ms: since.elapsed().as_millis() as u64,
+        });
     }
     // Mismatched-window points go back to the queue front, in order.
     while let Some(key) = skipped.pop_back() {
@@ -529,7 +646,8 @@ fn run_claims(claims: &[Claim]) -> Vec<LatencyPoint> {
 }
 
 /// Worker thread body: claim, simulate, persist, publish, repeat.
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, worker: usize) {
+    let worker_id = worker as u64;
     loop {
         let claims = {
             let mut state = shared.state.lock().expect("engine lock");
@@ -549,43 +667,85 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
 
+        let m = &shared.metrics;
+        let n = claims.len() as u64;
+        let cycles = claims[0].spec.warmup + claims[0].spec.measure;
+        m.worker_busy(worker, true);
+        for claim in &claims {
+            m.queue_wait_ms.record(claim.queued_ms);
+            m.note_timing("queue_wait_ms", claim.queued_ms);
+        }
+        let mut r = FlightRecord::of(flight_event::CLAIMED);
+        r.worker = Some(worker_id);
+        r.points = Some(n);
+        r.cycles = Some(cycles);
+        shared.flight.publish(r);
+        let mut r = FlightRecord::of(flight_event::BATCH_STARTED);
+        r.worker = Some(worker_id);
+        r.points = Some(n);
+        r.cycles = Some(cycles);
+        shared.flight.publish(r);
+
         let begun = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| run_claims(&claims)));
+        let wall_ms = begun.elapsed().as_millis() as u64;
 
         // Persist outside the lock: identical keys can only ever race
-        // to write identical bytes.
+        // to write identical bytes (provenance differs per writer, but
+        // the *point* — the only payload correctness depends on — is
+        // key-determined).
         if let Ok(points) = &outcome {
+            let provenance =
+                Provenance::now(wall_ms, Some(worker_id), shared.git_sha.clone(), cycles);
             for (claim, point) in claims.iter().zip(points) {
-                shared.store.store(claim.key, point);
+                shared
+                    .store
+                    .store_with_provenance(claim.key, point, Some(&provenance));
             }
         }
 
-        let n = claims.len() as u64;
+        let mut trail: Vec<FlightRecord> = Vec::with_capacity(claims.len() + 1);
         let mut state = shared.state.lock().expect("engine lock");
         state.inflight -= n;
         match outcome {
             Ok(points) => {
-                state.counters.points_computed += n;
+                m.points_computed.add(n);
                 for (claim, point) in claims.into_iter().zip(points) {
+                    let mut r = FlightRecord::of(flight_event::STORED);
+                    r.worker = Some(worker_id);
+                    r.key = Some(format_key(claim.key));
+                    trail.push(r);
                     state.points.insert(claim.key, PointState::Done(point));
                 }
-                shared.statsd.count("points_computed", n);
             }
             Err(panic) => {
                 let msg = panic_message(&panic);
-                state.counters.points_failed += n;
+                m.points_failed.add(n);
                 for claim in claims {
+                    let mut r = FlightRecord::of(flight_event::FAILED);
+                    r.worker = Some(worker_id);
+                    r.key = Some(format_key(claim.key));
+                    trail.push(r);
                     state
                         .points
                         .insert(claim.key, PointState::Failed(msg.clone()));
                 }
-                shared.statsd.count("points_failed", n);
             }
         }
         drop(state);
-        shared
-            .statsd
-            .timing_ms("batch_ms", begun.elapsed().as_millis() as u64);
+        m.worker_busy(worker, false);
+        m.worker_batch(worker, n, wall_ms);
+        m.batch_wall_ms.record(wall_ms);
+        m.note_timing("batch_ms", wall_ms);
+        for r in trail {
+            shared.flight.publish(r);
+        }
+        let mut r = FlightRecord::of(flight_event::BATCH_DONE);
+        r.worker = Some(worker_id);
+        r.points = Some(n);
+        r.wall_ms = Some(wall_ms);
+        r.cycles = Some(cycles);
+        shared.flight.publish(r);
         shared.done_cv.notify_all();
     }
 }
@@ -620,7 +780,13 @@ mod tests {
             workers: 2,
             batch: 4,
             statsd: None,
+            flight: None,
+            tick_ms: 500,
         }
+    }
+
+    fn boot(cfg: &ServeConfig) -> Daemon {
+        Daemon::start(cfg).expect("engine boots")
     }
 
     fn tiny_spec(seed: u64) -> SweepSpec {
@@ -650,7 +816,7 @@ mod tests {
     #[test]
     fn computes_then_serves_from_memory() {
         let cfg = config("memory");
-        let daemon = Daemon::start(&cfg);
+        let daemon = boot(&cfg);
         let job = daemon.submit(vec![tiny_spec(7)]);
         assert_eq!((job.total, job.computed, job.cached), (2, 2, 0));
         wait_complete(&daemon, &job);
@@ -676,14 +842,14 @@ mod tests {
     #[test]
     fn warm_store_restart_serves_without_recompute() {
         let cfg = config("restart");
-        let daemon = Daemon::start(&cfg);
+        let daemon = boot(&cfg);
         let job = daemon.submit(vec![tiny_spec(9)]);
         wait_complete(&daemon, &job);
         let first = daemon.collect(&job).expect("job completes");
         daemon.request_shutdown();
 
         // "Restart": a fresh engine over the same store directory.
-        let daemon = Daemon::start(&cfg);
+        let daemon = boot(&cfg);
         let job = daemon.submit(vec![tiny_spec(9)]);
         assert_eq!((job.computed, job.cached), (0, 2), "warm store serves all");
         wait_complete(&daemon, &job);
@@ -701,7 +867,7 @@ mod tests {
     #[test]
     fn concurrent_identical_jobs_compute_each_point_once() {
         let cfg = config("dedup");
-        let daemon = Daemon::start(&cfg);
+        let daemon = boot(&cfg);
         let jobs: Vec<Job> = (0..4).map(|_| daemon.submit(vec![tiny_spec(11)])).collect();
         for job in &jobs {
             wait_complete(&daemon, job);
@@ -726,7 +892,7 @@ mod tests {
     #[test]
     fn evict_forces_recompute_of_exactly_that_point() {
         let cfg = config("evict");
-        let daemon = Daemon::start(&cfg);
+        let daemon = boot(&cfg);
         let spec = tiny_spec(13);
         let job = daemon.submit(vec![spec.clone()]);
         wait_complete(&daemon, &job);
@@ -740,6 +906,65 @@ mod tests {
         wait_complete(&daemon, &again);
         daemon.collect(&again).unwrap();
         assert_eq!(daemon.status().points_computed, 3);
+        daemon.request_shutdown();
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn computed_points_carry_worker_provenance() {
+        let cfg = config("provenance");
+        let daemon = boot(&cfg);
+        let spec = tiny_spec(17);
+        let job = daemon.submit(vec![spec.clone()]);
+        wait_complete(&daemon, &job);
+        daemon.collect(&job).expect("job completes");
+        let key = point_cache_key(&spec, spec.rates[0]);
+        let (point, provenance) = daemon.fetch_entry(key).expect("stored point");
+        assert_eq!(point, daemon.fetch(key).expect("fetch agrees"));
+        let provenance = provenance.expect("worker-computed points are stamped");
+        assert!(provenance.worker.is_some(), "{provenance:?}");
+        assert_eq!(provenance.cycles, spec.warmup + spec.measure);
+        daemon.request_shutdown();
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn metrics_report_tracks_engine_activity() {
+        let cfg = config("metrics");
+        let daemon = boot(&cfg);
+        let job = daemon.submit(vec![tiny_spec(19)]);
+        wait_complete(&daemon, &job);
+        daemon.collect(&job).expect("job completes");
+        let report = daemon.metrics_report();
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(u64::MAX)
+        };
+        assert_eq!(counter("jobs_submitted"), 1);
+        assert_eq!(counter("points_computed"), 2);
+        assert_eq!(counter("points_enqueued"), 2);
+        let batches = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "batch_wall_ms")
+            .expect("batch histogram");
+        assert!(batches.count >= 1, "{batches:?}");
+        let per_job = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "points_per_job")
+            .expect("per-job histogram");
+        assert_eq!((per_job.count, per_job.max), (1, 2));
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(
+            report.workers.iter().map(|w| w.points).sum::<u64>(),
+            2,
+            "{report:?}"
+        );
         daemon.request_shutdown();
         let _ = std::fs::remove_dir_all(&cfg.store_dir);
     }

@@ -22,11 +22,15 @@
 //!    CI job diffs the resulting JSON artifacts to hold that line.
 //!
 //! Module map: [`core`] is the engine (state machine, worker pool,
-//! dedup registry, counters); [`server`] the transport (accept loop,
-//! per-connection protocol handler); [`statsd`] the telemetry sink
-//! (statsd-format lines). The `nocserve` binary boots the engine
-//! behind the transport; `nocctl` is the operator CLI
-//! (ping/status/fetch/evict/gc/shutdown).
+//! dedup registry); [`server`] the transport (accept loop,
+//! per-connection protocol handler); [`metrics`] the lock-free metrics
+//! registry (counters, gauges, histograms, worker utilization);
+//! [`flight`] the flight recorder (JSONL lifecycle log, live `watch`
+//! fan-out, Perfetto export); [`statsd`] the buffered telemetry sink
+//! the registry drains into (statsd-format lines over a file or UDP).
+//! The `nocserve` binary boots the engine behind the transport;
+//! `nocctl` is the operator CLI
+//! (ping/status/metrics/watch/flight/fetch/evict/gc/shutdown).
 //!
 //! Unlike the simulation crates, this crate *intentionally* uses wall
 //! clocks, threads and OS sockets — it is a service, not a model.
@@ -38,9 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod core;
+pub mod flight;
+pub mod metrics;
 pub mod server;
 pub mod statsd;
 
 pub use crate::core::{Daemon, JobProgress, ServeConfig};
+pub use flight::{check_daemon_trace, chrome_trace, load_flight, validate_chains, FlightBus};
+pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use server::serve;
 pub use statsd::StatsdSink;

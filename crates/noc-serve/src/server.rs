@@ -15,6 +15,7 @@ use bench::store::format_key;
 use bench::Store;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::mpsc::RecvTimeoutError;
 use std::time::Duration;
 
 /// Boots the engine, binds the socket and serves until a client sends
@@ -34,7 +35,7 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<()> {
     let _ = std::fs::remove_file(&config.socket);
     let listener = UnixListener::bind(&config.socket)?;
     listener.set_nonblocking(true)?;
-    let daemon = Daemon::start(config);
+    let daemon = Daemon::start(config).map_err(std::io::Error::other)?;
     eprintln!(
         "[nocserve] listening on {} (store {}, {} workers, batch {})",
         config.socket.display(),
@@ -59,6 +60,9 @@ pub fn serve(config: &ServeConfig) -> std::io::Result<()> {
             }
         }
     }
+    // Final drain: push remaining telemetry and join the flight writer
+    // so the JSONL log is complete before the process exits.
+    daemon.flush_observability();
     let _ = std::fs::remove_file(&config.socket);
     eprintln!("[nocserve] shut down");
     Ok(())
@@ -105,6 +109,11 @@ fn handle_connection(daemon: &Daemon, stream: UnixStream) {
                 },
             ),
             Request::Status => send(&mut writer, &Response::Status(Box::new(daemon.status()))),
+            Request::Metrics => send(
+                &mut writer,
+                &Response::Metrics(Box::new(daemon.metrics_report())),
+            ),
+            Request::Watch => handle_watch(daemon, &mut writer),
             Request::Submit { specs } => handle_submit(daemon, &mut writer, specs),
             Request::Fetch { keys } => handle_fetch(daemon, &mut writer, &keys),
             Request::Evict { keys } => handle_evict(daemon, &mut writer, &keys),
@@ -181,6 +190,7 @@ fn handle_submit(daemon: &Daemon, writer: &mut UnixStream, specs: Vec<bench::Wir
             break;
         }
         if daemon.is_shutdown() {
+            daemon.note_responded(job.id);
             return send(
                 writer,
                 &Response::Error {
@@ -189,6 +199,12 @@ fn handle_submit(daemon: &Daemon, writer: &mut UnixStream, specs: Vec<bench::Wir
             );
         }
     }
+    // The terminal line (result or error) closes the job's flight span
+    // either way — `responded` means "a terminal answer is being
+    // written", not "the job succeeded". Published *before* the write
+    // so that once the client has the answer, the record is already on
+    // the bus: a shutdown racing in right after cannot lose it.
+    daemon.note_responded(job.id);
     match daemon.collect(&job) {
         Ok(sweeps) => send(
             writer,
@@ -198,6 +214,33 @@ fn handle_submit(daemon: &Daemon, writer: &mut UnixStream, specs: Vec<bench::Wir
             },
         ),
         Err(message) => send(writer, &Response::Error { message }),
+    }
+}
+
+/// Turns the connection into a live flight-record stream: answers
+/// `watching`, then forwards every published record until the peer
+/// hangs up or the daemon shuts down. Always returns `false` — a
+/// watching connection is monopolized and never goes back to
+/// request/response.
+fn handle_watch(daemon: &Daemon, writer: &mut UnixStream) -> bool {
+    if !send(writer, &Response::Watching) {
+        return false;
+    }
+    let rx = daemon.subscribe_flight();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(record) => {
+                if !send(writer, &Response::Flight(record)) {
+                    return false; // peer gone; dropping rx unsubscribes
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if daemon.is_shutdown() {
+                    return false;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return false,
+        }
     }
 }
 
@@ -213,11 +256,16 @@ fn handle_fetch(daemon: &Daemon, writer: &mut UnixStream, keys: &[String]) -> bo
                 },
             );
         };
-        let point = daemon.fetch(key);
+        let entry = daemon.fetch_entry(key);
+        let (point, provenance) = match entry {
+            Some((point, provenance)) => (Some(point), provenance),
+            None => (None, None),
+        };
         points.push(FetchedPoint {
             key: format_key(key),
             found: point.is_some(),
             point,
+            provenance,
         });
     }
     send(writer, &Response::Points { points })

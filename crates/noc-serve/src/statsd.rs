@@ -1,8 +1,9 @@
 //! Telemetry sink emitting [statsd line protocol] counters.
 //!
-//! The daemon appends one metric per line to a plain file (set
-//! `NOC_SERVE_STATSD=<path>`), so "scraping" is `tail -f` or feeding
-//! the file to any statsd relay. Lines look like:
+//! `NOC_SERVE_STATSD` names the target: a plain file path (one metric
+//! per line, so "scraping" is `tail -f` or feeding the file to any
+//! statsd relay) or `udp://host:port` to speak to a real statsd daemon.
+//! Lines look like:
 //!
 //! ```text
 //! nocserve.points_computed:4|c
@@ -10,72 +11,172 @@
 //! nocserve.batch_ms:118|ms
 //! ```
 //!
-//! Writes are best-effort appends: telemetry must never take the
-//! service down, so a missing directory or full disk silently drops
-//! lines. When no path is configured every call is a no-op.
+//! The sink is a **drain target**, not an inline emitter: `count` /
+//! `gauge` / `timing_ms` only buffer lines in memory, and the metrics
+//! registry's sampler tick calls [`StatsdSink::flush`] to write them
+//! out in one appending burst (or a handful of multi-metric UDP
+//! datagrams). Nothing on a request or worker path ever opens a file.
+//!
+//! Writes are best-effort: telemetry must never take the service down,
+//! so a missing directory, full disk or unreachable UDP peer silently
+//! drops lines. When no target is configured every call is a no-op.
 //!
 //! [statsd line protocol]: https://github.com/statsd/statsd/blob/master/docs/metric_types.md
 
 use std::io::Write;
+use std::net::UdpSocket;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Prefix stamped onto every metric name.
 const PREFIX: &str = "nocserve";
 
-/// A statsd-line sink, either file-backed or disabled.
-#[derive(Debug, Clone, Default)]
+/// Buffered lines past this are dropped until the next flush — the
+/// drain loop flushes every tick, so hitting this means the drainer
+/// died, and unbounded telemetry must not take memory with it.
+const MAX_BUFFERED: usize = 16_384;
+
+/// Keep UDP datagrams under the conventional statsd MTU budget; lines
+/// are packed newline-separated until the next one would overflow.
+const MAX_DATAGRAM: usize = 1_400;
+
+#[derive(Debug)]
+enum Target {
+    File(PathBuf),
+    Udp { socket: UdpSocket, peer: String },
+}
+
+/// A buffered statsd-line sink: file-backed, UDP-backed or disabled.
+#[derive(Debug, Default)]
 pub struct StatsdSink {
-    path: Option<PathBuf>,
+    target: Option<Target>,
+    buffer: Mutex<Vec<String>>,
+}
+
+/// Statsd metric names: anything outside `[A-Za-z0-9_.-]` becomes `_`
+/// so a hostile or accidental name can't smuggle `:`/`|`/newlines into
+/// the line protocol.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 impl StatsdSink {
-    /// A sink appending to `path`; `None` disables emission.
-    pub fn new(path: Option<PathBuf>) -> StatsdSink {
-        StatsdSink { path }
+    /// A sink writing to `target`: `udp://host:port` for a statsd
+    /// daemon, any other non-empty string as a file path to append to,
+    /// `None` to disable. An unusable UDP target degrades to disabled
+    /// (telemetry is best-effort by contract).
+    pub fn new(target: Option<&str>) -> StatsdSink {
+        let target = target.filter(|t| !t.is_empty()).and_then(|t| {
+            if let Some(peer) = t.strip_prefix("udp://") {
+                let socket = UdpSocket::bind("0.0.0.0:0").ok()?;
+                socket.set_nonblocking(true).ok()?;
+                Some(Target::Udp {
+                    socket,
+                    peer: peer.to_string(),
+                })
+            } else {
+                Some(Target::File(PathBuf::from(t)))
+            }
+        });
+        StatsdSink {
+            target,
+            buffer: Mutex::new(Vec::new()),
+        }
     }
 
     /// A sink configured from `NOC_SERVE_STATSD` (empty/unset disables).
     pub fn from_env() -> StatsdSink {
-        StatsdSink::new(
-            std::env::var("NOC_SERVE_STATSD")
-                .ok()
-                .filter(|s| !s.is_empty())
-                .map(PathBuf::from),
-        )
+        StatsdSink::new(std::env::var("NOC_SERVE_STATSD").ok().as_deref())
     }
 
-    /// Whether lines are actually being written anywhere.
+    /// Whether lines are actually going anywhere.
     pub fn enabled(&self) -> bool {
-        self.path.is_some()
+        self.target.is_some()
     }
 
-    /// Emits a counter increment (`|c`).
+    /// Buffers a counter increment (`|c`).
     pub fn count(&self, metric: &str, value: u64) {
-        self.emit(metric, value, "c");
+        self.push(metric, value, "c");
     }
 
-    /// Emits a gauge level (`|g`).
+    /// Buffers a gauge level (`|g`).
     pub fn gauge(&self, metric: &str, value: u64) {
-        self.emit(metric, value, "g");
+        self.push(metric, value, "g");
     }
 
-    /// Emits a timing in milliseconds (`|ms`).
+    /// Buffers a timing in milliseconds (`|ms`).
     pub fn timing_ms(&self, metric: &str, value: u64) {
-        self.emit(metric, value, "ms");
+        self.push(metric, value, "ms");
     }
 
-    fn emit(&self, metric: &str, value: u64, kind: &str) {
-        let Some(path) = &self.path else {
+    fn push(&self, metric: &str, value: u64, kind: &str) {
+        if self.target.is_none() {
             return;
+        }
+        let line = format!("{PREFIX}.{}:{value}|{kind}", sanitize(metric));
+        let mut buffer = self.buffer.lock().expect("statsd buffer lock");
+        if buffer.len() < MAX_BUFFERED {
+            buffer.push(line);
+        }
+    }
+
+    /// Writes every buffered line to the target: one buffered append
+    /// for a file, packed datagrams for UDP. Called by the sampler tick
+    /// and once at shutdown; failures drop the lines, never the
+    /// service.
+    pub fn flush(&self) {
+        let Some(target) = &self.target else { return };
+        let lines: Vec<String> = {
+            let mut buffer = self.buffer.lock().expect("statsd buffer lock");
+            std::mem::take(&mut *buffer)
         };
-        let line = format!("{PREFIX}.{metric}:{value}|{kind}\n");
-        // O_APPEND keeps concurrent small writes line-atomic; failures
-        // drop the line, never the service.
-        let _ = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if lines.is_empty() {
+            return;
+        }
+        match target {
+            Target::File(path) => {
+                // One appending open per flush; O_APPEND keeps the
+                // burst line-atomic against concurrent readers.
+                let Ok(file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                else {
+                    return;
+                };
+                let mut out = std::io::BufWriter::new(file);
+                for line in &lines {
+                    if writeln!(out, "{line}").is_err() {
+                        return;
+                    }
+                }
+                let _ = out.flush();
+            }
+            Target::Udp { socket, peer } => {
+                let mut datagram = String::new();
+                for line in &lines {
+                    if !datagram.is_empty() && datagram.len() + 1 + line.len() > MAX_DATAGRAM {
+                        let _ = socket.send_to(datagram.as_bytes(), peer.as_str());
+                        datagram.clear();
+                    }
+                    if !datagram.is_empty() {
+                        datagram.push('\n');
+                    }
+                    datagram.push_str(line);
+                }
+                if !datagram.is_empty() {
+                    let _ = socket.send_to(datagram.as_bytes(), peer.as_str());
+                }
+            }
+        }
     }
 }
 
@@ -84,19 +185,56 @@ mod tests {
     use super::*;
 
     #[test]
-    fn writes_statsd_lines_in_order() {
+    fn buffers_then_flushes_lines_in_order() {
         let path = std::env::temp_dir().join(format!("nocstatsd_{}.txt", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        let sink = StatsdSink::new(Some(path.clone()));
+        let sink = StatsdSink::new(path.to_str());
         assert!(sink.enabled());
         sink.count("points_computed", 4);
         sink.gauge("queue_depth", 2);
         sink.timing_ms("batch_ms", 118);
-        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!path.exists(), "nothing written before flush");
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("flushed file");
         assert_eq!(
             text,
             "nocserve.points_computed:4|c\nnocserve.queue_depth:2|g\nnocserve.batch_ms:118|ms\n"
         );
+        sink.flush(); // empty flush appends nothing
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("file").len(),
+            text.len()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn udp_target_packs_datagrams() {
+        let listener = UdpSocket::bind("127.0.0.1:0").expect("listener");
+        listener
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        let addr = listener.local_addr().expect("addr");
+        let sink = StatsdSink::new(Some(&format!("udp://{addr}")));
+        assert!(sink.enabled());
+        sink.count("requests", 7);
+        sink.gauge("queue_depth", 3);
+        sink.flush();
+        let mut buf = [0u8; 2048];
+        let n = listener.recv(&mut buf).expect("datagram");
+        let text = std::str::from_utf8(&buf[..n]).expect("utf8");
+        assert_eq!(text, "nocserve.requests:7|c\nnocserve.queue_depth:3|g");
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        let path = std::env::temp_dir().join(format!("nocstatsd_san_{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let sink = StatsdSink::new(path.to_str());
+        sink.count("weird name:with|specials\n!", 1);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("flushed file");
+        assert_eq!(text, "nocserve.weird_name_with_specials__:1|c\n");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -104,6 +242,7 @@ mod tests {
     fn disabled_sink_is_a_noop() {
         let sink = StatsdSink::new(None);
         assert!(!sink.enabled());
-        sink.count("anything", 1); // must not panic or create files
+        sink.count("anything", 1);
+        sink.flush(); // must not panic or create files
     }
 }

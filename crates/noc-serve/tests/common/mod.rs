@@ -35,6 +35,15 @@ impl TestDaemon {
     /// Boots a daemon whose socket lives under a fresh scratch dir and
     /// whose store is `store_dir` (so warm-restart tests can reuse it).
     pub fn boot(tag: &str, store_dir: PathBuf) -> TestDaemon {
+        TestDaemon::boot_observed(tag, store_dir, false)
+    }
+
+    /// Like [`TestDaemon::boot`], but with the full observability
+    /// surface on when `observed`: a flight-recorder log at
+    /// [`TestDaemon::flight_path`], a statsd line file at
+    /// [`TestDaemon::statsd_path`], and a fast (50ms) sampler tick so
+    /// short tests still see gauge samples.
+    pub fn boot_observed(tag: &str, store_dir: PathBuf, observed: bool) -> TestDaemon {
         let scratch = scratch_dir(tag);
         let sock = scratch.join("d.sock");
         let config = ServeConfig {
@@ -42,7 +51,9 @@ impl TestDaemon {
             store_dir: store_dir.clone(),
             workers: 2,
             batch: 4,
-            statsd: None,
+            statsd: observed.then(|| scratch.join("statsd.txt").display().to_string()),
+            flight: observed.then(|| scratch.join("run.flight")),
+            tick_ms: if observed { 50 } else { 500 },
         };
         let handle = std::thread::spawn(move || {
             serve(&config).expect("daemon serves");
@@ -64,6 +75,23 @@ impl TestDaemon {
         TestDaemon::boot(tag, store)
     }
 
+    /// Boots a fresh-store daemon with observability on (see
+    /// [`TestDaemon::boot_observed`]).
+    pub fn boot_fresh_observed(tag: &str) -> TestDaemon {
+        let store = scratch_dir(tag).join("store");
+        TestDaemon::boot_observed(tag, store, true)
+    }
+
+    /// Where the observed daemon writes its flight-recorder JSONL.
+    pub fn flight_path(&self) -> PathBuf {
+        self.scratch.join("run.flight")
+    }
+
+    /// Where the observed daemon's statsd drain appends lines.
+    pub fn statsd_path(&self) -> PathBuf {
+        self.scratch.join("statsd.txt")
+    }
+
     /// Connects a client, retrying while the daemon finishes binding.
     pub fn client(&self) -> Client {
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -83,7 +111,9 @@ impl TestDaemon {
         self.stop();
     }
 
-    fn stop(&mut self) {
+    /// Stops the daemon but keeps the scratch files (flight log,
+    /// statsd file) readable — the harness still cleans up on drop.
+    pub fn stop(&mut self) {
         if let Some(handle) = self.handle.take() {
             if let Ok(mut client) = Client::connect(&self.sock) {
                 let _ = client.shutdown();

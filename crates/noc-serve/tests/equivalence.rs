@@ -101,3 +101,64 @@ fn daemon_stores_points_under_the_batch_executors_keys() {
         serde_json::to_string_pretty(&cold).unwrap()
     );
 }
+
+/// The provenance stamp distinguishes the two executors: points the
+/// daemon computed are stamped with the claiming worker's id (visible
+/// over the wire via `fetch`), while the in-process batch executor
+/// stamps `worker: None` — same store layout, honest attribution.
+#[test]
+fn provenance_distinguishes_daemon_workers_from_the_batch_executor() {
+    let specs = specs();
+    let daemon = TestDaemon::boot_fresh("provenance");
+    daemon
+        .client()
+        .submit(&specs, |_, _| {})
+        .expect("job completes");
+
+    let keys: Vec<String> = specs
+        .iter()
+        .flat_map(|spec| {
+            spec.rates
+                .iter()
+                .map(|&rate| bench::format_key(point_cache_key(spec, rate)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let fetched = daemon.client().fetch(keys).expect("fetch");
+    for point in &fetched {
+        let provenance = point
+            .provenance
+            .as_ref()
+            .expect("daemon-computed points carry a provenance stamp");
+        assert!(
+            provenance.worker.is_some(),
+            "daemon stamps the claiming worker: {provenance:?}"
+        );
+        assert!(provenance.cycles > 0, "{provenance:?}");
+    }
+
+    // The batch executor over a *fresh* directory stamps the same
+    // structure with worker: None.
+    let dir = std::env::temp_dir().join(format!("fp_prov_batch_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("batch store dir");
+    let opts = SweepOptions {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        progress: false,
+    };
+    run_sweep_parallel(&specs, &opts);
+    let store = Store::new(&dir);
+    for spec in &specs {
+        for &rate in &spec.rates {
+            let (_, provenance) = store
+                .load_entry(point_cache_key(spec, rate))
+                .expect("batch-computed point present");
+            let provenance = provenance.expect("batch executor stamps provenance too");
+            assert!(
+                provenance.worker.is_none(),
+                "batch executor is worker: None, got {provenance:?}"
+            );
+        }
+    }
+}

@@ -235,3 +235,58 @@ fn gc_over_the_wire_reports_planted_damage() {
     assert_eq!(report.dropped_corrupt, 1, "{report:?}");
     assert_eq!(report.dropped_temp, 1, "{report:?}");
 }
+
+/// Observability answers are part of the protocol even when the
+/// daemon boots *without* a flight log or statsd sink: `metrics`
+/// reports a healthy zero-sink bus and `watch` still streams records
+/// (the bus fans out to watchers regardless of whether a JSONL sink
+/// was configured).
+#[test]
+fn metrics_and_watch_work_without_a_flight_log() {
+    let daemon = TestDaemon::boot_fresh("bare_observe");
+    let report = daemon.client().metrics().expect("metrics");
+    assert_eq!(report.flight.written, 0, "no sink, nothing written");
+    assert_eq!(report.flight.dropped, 0);
+    assert_eq!(report.flight.watchers, 0);
+    assert_eq!(report.proto, bench::proto::PROTO_VERSION, "{report:?}");
+
+    let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = std::sync::Arc::clone(&seen);
+    let watcher_client = daemon.client();
+    let watcher = std::thread::spawn(move || {
+        watcher_client
+            .watch(|record| {
+                sink.lock().expect("seen lock").push(record.event);
+                true
+            })
+            .expect("watch ends cleanly at shutdown");
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while daemon.client().metrics().expect("metrics").flight.watchers == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never subscribed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let spec = tiny_spec(71);
+    daemon
+        .client()
+        .submit(std::slice::from_ref(&spec), |_, _| {})
+        .expect("job completes");
+
+    let mut daemon = daemon;
+    daemon.stop();
+    watcher.join().expect("watcher thread");
+    let seen = seen.lock().expect("seen lock");
+    for event in [
+        bench::proto::flight_event::SUBMITTED,
+        bench::proto::flight_event::RESPONDED,
+    ] {
+        assert!(
+            seen.contains(&event.to_string()),
+            "missing {event:?} in {seen:?}"
+        );
+    }
+}
